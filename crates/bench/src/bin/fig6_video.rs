@@ -1,0 +1,90 @@
+//! Figure 6: video-server CPU utilization as a function of the number of
+//! client streams, SPIN vs DEC OSF/1, both on the T3 DMA adapter.
+//!
+//! "Each stream requires approximately 3 Mb/sec. At 15 streams, both SPIN
+//! and DEC OSF/1 saturate the network, but SPIN consumes only half as much
+//! of the processor." SPIN's curve is *measured*: the server runs the real
+//! pipeline (file system → SendPacket multicast → T3 driver) and
+//! utilization is CPU-busy time over the run window, as the paper measures
+//! via an idle thread. OSF/1's curve applies the modelled per-frame cost
+//! (read copy-out, per-packet send syscalls and copy-ins, no shared
+//! protocol traversal).
+
+use spin_baseline::Osf1Model;
+use spin_fs::{BufferCache, FileSystem, LruPolicy};
+use spin_net::{Medium, TwoHosts, VideoClient, VideoServer};
+use spin_sal::{HostId, MachineProfile};
+use std::sync::Arc;
+
+/// ~3 Mb/s per stream: 30 frames/s of 12.5 KB.
+const FRAME: usize = 12_500;
+const FPS: u64 = 30;
+const FRAMES: u64 = 30; // one virtual second
+const PACKET: usize = 8_000;
+
+fn spin_utilization(clients: u32) -> f64 {
+    let rig = TwoHosts::new();
+    let cache = BufferCache::new(
+        rig.host_a.disk.clone(),
+        rig.exec.clone(),
+        512,
+        Box::new(LruPolicy::default()),
+    );
+    let fs = FileSystem::format(cache, 0, 800);
+    let fs2 = fs.clone();
+    rig.exec.spawn("mkfs", move |ctx| {
+        fs2.create("/movie").unwrap();
+        fs2.write_file(ctx, "/movie", &vec![1u8; 40 * FRAME])
+            .unwrap();
+    });
+    rig.exec.run_until_idle();
+    let _client = VideoClient::install(&rig.b);
+    let server = VideoServer::start(&rig.a, fs, "/movie", FRAME, FPS, FRAMES, PACKET);
+    for _ in 0..clients {
+        server.add_client(rig.b.ip_on(Medium::T3));
+    }
+    let t0 = rig.exec.clock().now();
+    let busy0 = rig.exec.host_busy(HostId(0));
+    rig.exec.run_until_idle();
+    let elapsed = (rig.exec.clock().now() - t0).max(1);
+    let busy = rig.exec.host_busy(HostId(0)) - busy0;
+    busy as f64 / elapsed as f64 * 100.0
+}
+
+fn osf1_utilization(model: &Osf1Model, clients: u32) -> f64 {
+    // Per second: FPS frames, each read once (shared) and sent once per
+    // client per packet through the same T3 driver SPIN uses.
+    let packets = FRAME.div_ceil(PACKET) as u64;
+    let t3_driver = spin_sal::devices::nic::NicModel::t3_dma().driver_ns;
+    let reads = FPS * model.video_read_cpu(FRAME);
+    let sends = FPS * clients as u64 * packets * model.video_send_cpu(PACKET, t3_driver);
+    (reads + sends) as f64 / 1e9 * 100.0
+}
+
+fn main() {
+    let model = Osf1Model::new(Arc::new(MachineProfile::alpha_axp_3000_400()));
+    println!("\nFigure 6: video server CPU utilization vs client streams (T3, DMA)");
+    println!("===================================================================");
+    println!(
+        "{:>8} {:>12} {:>14} {:>8}",
+        "clients", "SPIN (%)", "DEC OSF/1 (%)", "ratio"
+    );
+    println!("{}", "-".repeat(46));
+    let mut last = (0.0, 0.0);
+    for clients in [2u32, 4, 6, 8, 10, 12, 14, 15] {
+        let spin = spin_utilization(clients);
+        let osf = osf1_utilization(&model, clients);
+        println!(
+            "{clients:>8} {spin:>12.1} {osf:>14.1} {:>8.2}",
+            osf / spin.max(0.01)
+        );
+        last = (spin, osf);
+    }
+    println!("{}", "-".repeat(46));
+    println!(
+        "At 15 streams ({} Mb/s aggregate, saturating the 45 Mb/s T3), the paper\n\
+         reports SPIN at roughly half of OSF/1's utilization; our ratio is {:.2}.",
+        15 * 3,
+        last.1 / last.0.max(0.01)
+    );
+}

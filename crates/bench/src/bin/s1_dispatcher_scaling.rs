@@ -1,0 +1,54 @@
+//! §5.5 "Scalability and the dispatcher": event dispatch overhead is
+//! linear in the number of guards and handlers.
+//!
+//! "Round trip Ethernet latency, which we measure at 565 µs, rises to
+//! about 585 µs when 50 additional guards and handlers register interest
+//! in the arrival of some UDP packet but all 50 guards evaluate to false.
+//! When all 50 guards evaluate to true, latency rises to 637 µs."
+
+use spin_bench::{render_table, us, Row};
+use spin_core::Identity;
+use spin_net::{udp_round_trip, Medium, TwoHosts, UdpPacket};
+use spin_sal::Nanos;
+
+fn rtt_with_guards(extra: usize, guards_pass: bool) -> Nanos {
+    let rig = TwoHosts::new();
+    for i in 0..extra {
+        rig.b
+            .events()
+            .udp_arrived
+            .install_guarded(
+                Identity::extension(&format!("watcher-{i}")),
+                move |_p: &UdpPacket| guards_pass,
+                |_p: &UdpPacket| {},
+            )
+            .expect("install watcher");
+    }
+    udp_round_trip(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 16, 16)
+}
+
+fn main() {
+    let base = rtt_with_guards(0, false);
+    let false_guards = rtt_with_guards(50, false);
+    let true_guards = rtt_with_guards(50, true);
+
+    let rows = vec![
+        Row::new("Ethernet RTT, no extra handlers", 565.0, us(base)),
+        Row::new("RTT + 50 guards, all false", 585.0, us(false_guards)),
+        Row::new("RTT + 50 guards, all true", 637.0, us(true_guards)),
+    ];
+    print!(
+        "{}",
+        render_table("§5.5: dispatcher scaling under guard load", "µs", &rows)
+    );
+    println!(
+        "\nPer-guard evaluation cost: {:.2} µs (paper: ~0.4 µs/guard over 50 guards);\n\
+         per-invoked-handler additional cost: {:.2} µs (paper: ~1 µs).",
+        us(false_guards.saturating_sub(base)) / 50.0 / 2.0, // two raises per RTT
+        us(true_guards.saturating_sub(false_guards)) / 50.0 / 2.0,
+    );
+    println!(
+        "Dispatch is linear in installed guards/handlers; no guard-folding\n\
+         optimizations are applied, matching the paper's reported status."
+    );
+}

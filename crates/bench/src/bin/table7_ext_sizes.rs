@@ -1,0 +1,69 @@
+//! Table 7: size of system extensions.
+//!
+//! The paper lists source and object sizes per extension (NULL syscall,
+//! IPC, CThreads, OSF/1 threads, VM workload, IP, UDP, TCP, HTTP,
+//! forwarders, video client/server). We report the non-comment line count
+//! of each corresponding module of this reproduction, beside the paper's
+//! count: "SPIN extensions tend to require an amount of code commensurate
+//! with their functionality."
+
+use spin_bench::count_code_lines;
+
+fn module_lines(path: &str) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| count_code_lines(&s))
+        .unwrap_or(0)
+}
+
+fn main() {
+    // (paper extension, paper lines, our implementing module(s))
+    let rows: Vec<(&str, usize, Vec<&str>)> = vec![
+        ("NULL syscall", 19, vec![]), // inline: Kernel::register_syscalls call site
+        ("IPC", 127, vec!["crates/sched/src/user.rs"]),
+        ("CThreads", 219, vec!["crates/sched/src/cthreads.rs"]),
+        (
+            "DEC OSF/1 threads",
+            305,
+            vec!["crates/sched/src/osf_threads.rs"],
+        ),
+        ("VM workload", 263, vec!["crates/vm/src/workloads.rs"]),
+        ("IP", 744, vec!["crates/net/src/stack.rs"]),
+        ("UDP", 1046, vec!["crates/net/src/measure.rs"]),
+        ("TCP", 5077, vec!["crates/net/src/tcp.rs"]),
+        ("HTTP", 392, vec!["crates/net/src/http.rs"]),
+        ("TCP/UDP Forward", 325, vec!["crates/net/src/forward.rs"]),
+        ("Video client+server", 399, vec!["crates/net/src/video.rs"]),
+        ("(RPC)", 0, vec!["crates/net/src/rpc.rs"]),
+        ("(Active messages)", 0, vec!["crates/net/src/am.rs"]),
+        (
+            "(UNIX address spaces)",
+            0,
+            vec!["crates/vm/src/address_space.rs"],
+        ),
+        ("(Mach tasks)", 0, vec!["crates/vm/src/mach_task.rs"]),
+        ("(Disk pager)", 0, vec!["crates/vm/src/pager.rs"]),
+    ];
+
+    println!("\nTable 7: extension sizes (non-comment source lines)");
+    println!("===================================================");
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "extension", "paper lines", "our lines"
+    );
+    println!("{}", "-".repeat(54));
+    for (name, paper, files) in rows {
+        let ours: usize = files.iter().map(|f| module_lines(f)).sum();
+        let paper_s = if paper == 0 {
+            "-".to_string()
+        } else {
+            paper.to_string()
+        };
+        println!("{:<26} {:>12} {:>12}", name, paper_s, ours);
+    }
+    println!(
+        "\nRows in parentheses are extensions this reproduction implements beyond the\n\
+         table (the paper's §4 describes them in prose). The NULL syscall extension\n\
+         is a one-line register_syscalls call here, matching the paper's 19 lines in\n\
+         spirit: conceptually simple extensions have simple implementations."
+    );
+}

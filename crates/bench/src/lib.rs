@@ -1,0 +1,148 @@
+//! `spin-bench` — the harness that regenerates every table and figure of
+//! the paper's evaluation (§5).
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §3 for
+//! the index) and prints a paper-vs-measured table. Criterion benches in
+//! `benches/` measure the *real* (wall-clock) overhead of the dispatcher,
+//! linker and collector, independent of the virtual-time calibration.
+
+use std::fmt::Write as _;
+
+/// One row of a reproduction table.
+pub struct Row {
+    /// Operation name (matches the paper's row label).
+    pub label: String,
+    /// The paper's reported value, if the row has one.
+    pub paper: Option<f64>,
+    /// Our measured/modelled value.
+    pub measured: f64,
+}
+
+impl Row {
+    /// A row with a paper reference value.
+    pub fn new(label: &str, paper: f64, measured: f64) -> Row {
+        Row {
+            label: label.to_string(),
+            paper: Some(paper),
+            measured,
+        }
+    }
+
+    /// A row we report without a paper counterpart.
+    pub fn extra(label: &str, measured: f64) -> Row {
+        Row {
+            label: label.to_string(),
+            paper: None,
+            measured,
+        }
+    }
+}
+
+/// Renders a comparison table with a measured/paper ratio column.
+pub fn render_table(title: &str, unit: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:<38} {:>12} {:>12} {:>8}",
+        "operation",
+        format!("paper ({unit})"),
+        format!("ours ({unit})"),
+        "ratio"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for r in rows {
+        match r.paper {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    "{:<38} {:>12.2} {:>12.2} {:>8.2}",
+                    r.label,
+                    p,
+                    r.measured,
+                    r.measured / p
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<38} {:>12} {:>12.2} {:>8}",
+                    r.label, "-", r.measured, "-"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Nanoseconds → microseconds.
+pub fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Counts non-comment, non-blank source lines in a Rust file (the paper's
+/// Table 1/7 "lines" column "does not include comments").
+pub fn count_code_lines(content: &str) -> usize {
+    let mut in_block_comment = false;
+    content
+        .lines()
+        .filter(|line| {
+            let t = line.trim();
+            if in_block_comment {
+                if t.contains("*/") {
+                    in_block_comment = false;
+                }
+                return false;
+            }
+            if t.is_empty() || t.starts_with("//") {
+                return false;
+            }
+            if t.starts_with("/*") {
+                in_block_comment = !t.contains("*/");
+                return false;
+            }
+            true
+        })
+        .count()
+}
+
+/// Sums code lines across the `.rs` files under `dir` (recursively).
+pub fn count_dir_lines(dir: &std::path::Path) -> usize {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                total += count_dir_lines(&path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(content) = std::fs::read_to_string(&path) {
+                    total += count_code_lines(&content);
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_lines_exclude_comments_and_blanks() {
+        let src = "// comment\n\nfn main() {\n    /* block\n       comment */\n    let x = 1;\n}\n";
+        assert_eq!(count_code_lines(src), 3);
+    }
+
+    #[test]
+    fn table_renders_ratios() {
+        let t = render_table(
+            "Demo",
+            "µs",
+            &[Row::new("op", 10.0, 12.0), Row::extra("other", 5.0)],
+        );
+        assert!(t.contains("1.20"));
+        assert!(t.contains("other"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for the extensibility machinery.
+
+use std::fmt;
+
+/// Errors from domain creation, linking and the nameserver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The object file is neither compiler-signed nor asserted safe.
+    UnsafeObjectFile { module: String },
+    /// `Resolve` finished but the target still has unresolved imports.
+    Unresolved { symbols: Vec<String> },
+    /// Import and export agree on a name but disagree on its type — the
+    /// paper's "type conflict that results in an error" (§3.1).
+    TypeConflict {
+        symbol: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// Two combined domains export the same symbol with different types.
+    ExportConflict { symbol: String },
+    /// The nameserver has no domain registered under this name.
+    NameNotFound { name: String },
+    /// A nameserver authorizer rejected the importer.
+    AuthorizationDenied { name: String, importer: String },
+    /// A name is already registered.
+    NameExists { name: String },
+    /// An externalized reference was invalid or of the wrong type.
+    BadExternRef,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsafeObjectFile { module } => {
+                write!(
+                    f,
+                    "object file for `{module}` is not safe (unsigned and not asserted)"
+                )
+            }
+            CoreError::Unresolved { symbols } => {
+                write!(f, "unresolved imports remain: {symbols:?}")
+            }
+            CoreError::TypeConflict {
+                symbol,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type conflict on `{symbol}`: import wants {expected}, export is {found}"
+                )
+            }
+            CoreError::ExportConflict { symbol } => {
+                write!(f, "conflicting exports of `{symbol}` in combined domain")
+            }
+            CoreError::NameNotFound { name } => write!(f, "no interface named `{name}`"),
+            CoreError::AuthorizationDenied { name, importer } => {
+                write!(f, "importer `{importer}` denied access to `{name}`")
+            }
+            CoreError::NameExists { name } => write!(f, "name `{name}` already registered"),
+            CoreError::BadExternRef => write!(f, "invalid externalized reference"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Errors from the event dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The event is not (or no longer) defined.
+    UnknownEvent { name: String },
+    /// Every handler was guarded off, asynchronous, or absent; no result
+    /// could be produced.
+    NoHandlerRan { name: String },
+    /// The primary implementation module denied the installation (§3.2:
+    /// "The implementation module can deny or allow the installation").
+    InstallDenied { name: String, installer: String },
+    /// The caller does not hold the owner capability for this operation.
+    NotOwner,
+    /// No handler with that id is installed.
+    NoSuchHandler,
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::UnknownEvent { name } => write!(f, "unknown event `{name}`"),
+            DispatchError::NoHandlerRan { name } => {
+                write!(f, "no handler produced a result for `{name}`")
+            }
+            DispatchError::InstallDenied { name, installer } => {
+                write!(f, "`{installer}` denied installation on `{name}`")
+            }
+            DispatchError::NotOwner => write!(f, "caller is not the event owner"),
+            DispatchError::NoSuchHandler => write!(f, "no such handler"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}

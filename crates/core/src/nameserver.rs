@@ -1,0 +1,208 @@
+//! The in-kernel nameserver.
+//!
+//! "A module that exports an interface explicitly creates a domain for its
+//! interface, and exports the domain through an in-kernel nameserver. ...
+//! An exporter can register an authorization procedure with the nameserver
+//! that will be called with the identity of the importer whenever the
+//! interface is imported. This fine-grained control has low cost because
+//! the importer, exporter, and authorizer interact through direct procedure
+//! calls" (§3.1).
+
+use crate::domain::Domain;
+use crate::error::CoreError;
+use crate::identity::Identity;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Decides whether `importer` may import the named interface.
+pub type Authorizer = Arc<dyn Fn(&Identity) -> bool + Send + Sync>;
+
+struct Registration {
+    domain: Domain,
+    exporter: Identity,
+    authorizer: Option<Authorizer>,
+    imports: u64,
+    denials: u64,
+}
+
+/// The kernel's name → domain registry.
+#[derive(Clone, Default)]
+pub struct NameServer {
+    names: Arc<Mutex<HashMap<String, Registration>>>,
+}
+
+impl NameServer {
+    /// An empty nameserver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `domain` under `name` with no import restriction.
+    pub fn register(
+        &self,
+        name: &str,
+        domain: Domain,
+        exporter: Identity,
+    ) -> Result<(), CoreError> {
+        self.register_with_authorizer(name, domain, exporter, None)
+    }
+
+    /// Registers `domain` under `name`, guarding imports with `authorizer`.
+    pub fn register_with_authorizer(
+        &self,
+        name: &str,
+        domain: Domain,
+        exporter: Identity,
+        authorizer: Option<Authorizer>,
+    ) -> Result<(), CoreError> {
+        let mut names = self.names.lock();
+        if names.contains_key(name) {
+            return Err(CoreError::NameExists {
+                name: name.to_string(),
+            });
+        }
+        names.insert(
+            name.to_string(),
+            Registration {
+                domain,
+                exporter,
+                authorizer,
+                imports: 0,
+                denials: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Imports the domain registered under `name`, consulting the
+    /// exporter's authorizer with the importer's identity.
+    pub fn import(&self, name: &str, importer: &Identity) -> Result<Domain, CoreError> {
+        let mut names = self.names.lock();
+        let reg = names.get_mut(name).ok_or_else(|| CoreError::NameNotFound {
+            name: name.to_string(),
+        })?;
+        if let Some(auth) = &reg.authorizer {
+            if !auth(importer) {
+                reg.denials += 1;
+                return Err(CoreError::AuthorizationDenied {
+                    name: name.to_string(),
+                    importer: importer.name().to_string(),
+                });
+            }
+        }
+        reg.imports += 1;
+        Ok(reg.domain.clone())
+    }
+
+    /// Removes a registration; only the original exporter may do so.
+    pub fn unregister(&self, name: &str, caller: &Identity) -> Result<(), CoreError> {
+        let mut names = self.names.lock();
+        match names.get(name) {
+            Some(reg) if reg.exporter == *caller => {
+                names.remove(name);
+                Ok(())
+            }
+            Some(_) => Err(CoreError::AuthorizationDenied {
+                name: name.to_string(),
+                importer: caller.name().to_string(),
+            }),
+            None => Err(CoreError::NameNotFound {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// All registered names, sorted (diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.names.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// (successful imports, denials) for a name.
+    pub fn stats(&self, name: &str) -> Option<(u64, u64)> {
+        self.names.lock().get(name).map(|r| (r.imports, r.denials))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::Interface;
+
+    fn console_domain() -> Domain {
+        Domain::create_from_module(
+            "console",
+            vec![Interface::new("Console").export("version", Arc::new(1u32))],
+        )
+    }
+
+    #[test]
+    fn register_and_import() {
+        let ns = NameServer::new();
+        ns.register(
+            "ConsoleService",
+            console_domain(),
+            Identity::kernel("console"),
+        )
+        .unwrap();
+        let d = ns
+            .import("ConsoleService", &Identity::extension("gatekeeper"))
+            .unwrap();
+        assert_eq!(*d.get::<u32>("Console", "version").unwrap(), 1);
+        assert_eq!(ns.stats("ConsoleService"), Some((1, 0)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let ns = NameServer::new();
+        ns.register("X", console_domain(), Identity::kernel("a"))
+            .unwrap();
+        assert!(matches!(
+            ns.register("X", console_domain(), Identity::kernel("b")),
+            Err(CoreError::NameExists { .. })
+        ));
+    }
+
+    #[test]
+    fn authorizer_gates_imports() {
+        let ns = NameServer::new();
+        ns.register_with_authorizer(
+            "Device",
+            console_domain(),
+            Identity::kernel("driver"),
+            Some(Arc::new(|who: &Identity| who.is_kernel())),
+        )
+        .unwrap();
+        assert!(ns.import("Device", &Identity::kernel("fs")).is_ok());
+        let err = ns
+            .import("Device", &Identity::extension("rogue"))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::AuthorizationDenied { .. }));
+        assert_eq!(ns.stats("Device"), Some((1, 1)));
+    }
+
+    #[test]
+    fn only_exporter_may_unregister() {
+        let ns = NameServer::new();
+        let owner = Identity::kernel("console");
+        ns.register("C", console_domain(), owner.clone()).unwrap();
+        assert!(ns.unregister("C", &Identity::extension("evil")).is_err());
+        ns.unregister("C", &owner).unwrap();
+        assert!(matches!(
+            ns.import("C", &owner),
+            Err(CoreError::NameNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let ns = NameServer::new();
+        ns.register("b", console_domain(), Identity::kernel("x"))
+            .unwrap();
+        ns.register("a", console_domain(), Identity::kernel("x"))
+            .unwrap();
+        assert_eq!(ns.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

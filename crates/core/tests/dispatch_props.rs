@@ -1,0 +1,146 @@
+//! Property tests for the dispatcher and capability tables: guard
+//! semantics match a reference predicate model, reducers see exactly the
+//! guarded-in results in installation order, and externalized references
+//! never confuse objects.
+
+use proptest::prelude::*;
+use spin_core::{Dispatcher, ExternTable, Identity};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any set of (divisor, addend) handlers guarded on
+    /// `value % divisor == 0`, a raise returns exactly what the reference
+    /// model predicts under last-result semantics, and a sum-reducer
+    /// returns the model's sum.
+    #[test]
+    fn guards_and_reducers_match_the_reference_model(
+        handlers in prop::collection::vec((1u64..7, 0u64..100), 1..10),
+        value in 0u64..1000,
+    ) {
+        let d = Dispatcher::unmetered();
+        let (ev, owner) = d.define::<u64, u64>("E", Identity::kernel("m"));
+        owner.set_primary(|x| *x).expect("fresh");
+        for (divisor, addend) in &handlers {
+            let (divisor, addend) = (*divisor, *addend);
+            ev.install_guarded(
+                Identity::extension("h"),
+                move |x: &u64| x % divisor == 0,
+                move |x: &u64| x + addend,
+            ).expect("allowed");
+        }
+        // Reference model: primary first, then handlers in install order.
+        let mut results = vec![value];
+        for (divisor, addend) in &handlers {
+            if value % divisor == 0 {
+                results.push(value + addend);
+            }
+        }
+        prop_assert_eq!(ev.raise(value), Ok(*results.last().expect("primary always runs")));
+
+        // With a sum reducer the same set is summed.
+        owner.set_reducer(|rs| rs.into_iter().sum()).expect("fresh");
+        let expected: u64 = results.iter().sum();
+        prop_assert_eq!(ev.raise(value), Ok(expected));
+    }
+
+    /// Uninstalling any subset of handlers leaves exactly the others.
+    #[test]
+    fn uninstall_removes_exactly_the_chosen_handlers(
+        count in 1usize..8,
+        remove_mask in any::<u8>(),
+    ) {
+        let d = Dispatcher::unmetered();
+        let (ev, owner) = d.define::<(), u64>("E", Identity::kernel("m"));
+        owner.set_primary(|_| 0).expect("fresh");
+        owner.set_reducer(|rs| rs.into_iter().sum()).expect("fresh");
+        let ident = Identity::extension("x");
+        let ids: Vec<_> = (0..count)
+            .map(|i| {
+                let bit = 1u64 << i;
+                ev.install(ident.clone(), move |_| bit).expect("allowed")
+            })
+            .collect();
+        let mut expected = 0u64;
+        for (i, id) in ids.iter().enumerate() {
+            if remove_mask & (1 << i) != 0 {
+                d.uninstall(&ev, *id, &ident).expect("installer may remove");
+            } else {
+                expected |= 1 << i;
+            }
+        }
+        prop_assert_eq!(ev.raise(()), Ok(expected));
+    }
+
+    /// Externalized references recover exactly what was externalized,
+    /// across interleaved revocations; revoked or foreign handles fail.
+    #[test]
+    fn extern_table_is_a_faithful_partial_map(
+        values in prop::collection::vec(any::<u64>(), 1..30),
+        revoke_mask in any::<u32>(),
+    ) {
+        let table = ExternTable::new();
+        let other = ExternTable::new();
+        let handles: Vec<_> =
+            values.iter().map(|&v| table.externalize(Arc::new(v))).collect();
+        for (i, h) in handles.iter().enumerate() {
+            if revoke_mask & (1 << (i % 32)) != 0 {
+                table.revoke(*h).expect("first revocation succeeds");
+            }
+        }
+        for (i, (h, &v)) in handles.iter().zip(values.iter()).enumerate() {
+            let revoked = revoke_mask & (1 << (i % 32)) != 0;
+            match table.recover::<u64>(*h) {
+                Ok(got) => {
+                    prop_assert!(!revoked);
+                    prop_assert_eq!(*got, v);
+                }
+                Err(_) => prop_assert!(revoked),
+            }
+            // A different application's table never resolves our handles.
+            prop_assert!(other.recover::<u64>(*h).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Domain linking: for any split of symbols between two source
+    /// domains, resolving against both fills every import exactly once.
+    #[test]
+    fn resolution_is_complete_and_source_order_independent(
+        names in prop::collection::hash_set("[a-z]{3,8}", 1..12),
+        split_mask in any::<u16>(),
+        flip_order in any::<bool>(),
+    ) {
+        use spin_core::{Domain, Interface, ObjectFileBuilder};
+        let names: Vec<String> = names.into_iter().collect();
+        let mut iface_a = Interface::new("I");
+        let mut iface_b = Interface::new("I");
+        for (i, n) in names.iter().enumerate() {
+            let value = Arc::new(i as u64);
+            if split_mask & (1 << (i % 16)) != 0 {
+                iface_a = iface_a.export(n, value);
+            } else {
+                iface_b = iface_b.export(n, value);
+            }
+        }
+        let src_a = Domain::create_from_module("a", vec![iface_a]);
+        let src_b = Domain::create_from_module("b", vec![iface_b]);
+
+        let mut builder = ObjectFileBuilder::new("client");
+        let slots: Vec<_> = names.iter().map(|n| builder.import::<u64>("I", n)).collect();
+        let target = Domain::create(builder.sign()).expect("signed");
+
+        let (first, second) = if flip_order { (&src_b, &src_a) } else { (&src_a, &src_b) };
+        let n1 = Domain::resolve(first, &target).expect("no type conflicts");
+        let n2 = Domain::resolve(second, &target).expect("no type conflicts");
+        prop_assert_eq!(n1 + n2, names.len());
+        prop_assert!(target.fully_resolved());
+        for (i, slot) in slots.iter().enumerate() {
+            prop_assert_eq!(*slot.get().expect("resolved"), i as u64);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Transparent protocol forwarding as a kernel extension (§5.3, Table 6).
+//!
+//! "In SPIN an application installs a node into the protocol stack which
+//! redirects all data and control packets destined for a particular port
+//! number to a secondary host." Because the node sits *inside* the stack
+//! (at the transport boundary, below connection state), TCP control
+//! segments — SYN, FIN, RST — are forwarded like any other, so "end-to-end
+//! connection establishment and termination semantics" hold, unlike the
+//! user-level OSF/1 splice the paper compares against.
+//!
+//! The forwarder rewrites addresses NAT-style and keeps a flow table so
+//! replies from the secondary host retrace the path to the original
+//! client.
+
+use crate::pkt::{proto, IpAddr, TcpHeader, UdpHeader};
+use crate::stack::{NetStack, TcpSegment, UdpPacket};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use spin_core::Identity;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Forwarding statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardStats {
+    pub forwarded: u64,
+    pub replies: u64,
+    pub flows: u64,
+}
+
+struct FlowTable {
+    /// client (ip, port) → rewritten source port on the forwarder.
+    out: HashMap<(IpAddr, u16), u16>,
+    /// rewritten source port → client (ip, port).
+    back: HashMap<u16, (IpAddr, u16)>,
+    next_port: u16,
+    stats: ForwardStats,
+}
+
+impl FlowTable {
+    fn translate(&mut self, client: (IpAddr, u16)) -> u16 {
+        if let Some(&p) = self.out.get(&client) {
+            return p;
+        }
+        let p = self.next_port;
+        self.next_port += 1;
+        self.out.insert(client, p);
+        self.back.insert(p, client);
+        self.stats.flows += 1;
+        p
+    }
+}
+
+/// A transparent forwarder for one service port.
+pub struct Forwarder {
+    state: Arc<Mutex<FlowTable>>,
+}
+
+impl Forwarder {
+    /// Installs a UDP forwarder on `stack`: datagrams to `port` are
+    /// redirected to `target`; replies retrace to the original client.
+    pub fn install_udp(stack: &NetStack, port: u16, target: IpAddr) -> Forwarder {
+        let state = Arc::new(Mutex::new(FlowTable {
+            out: HashMap::new(),
+            back: HashMap::new(),
+            next_port: 40_000,
+            stats: ForwardStats::default(),
+        }));
+
+        // Outbound: client → forwarder:port ⇒ forwarder → target:port.
+        let st2 = state.clone();
+        let stack2 = stack.clone();
+        stack
+            .events()
+            .udp_arrived
+            .install_guarded(
+                Identity::extension("Forward"),
+                move |p: &UdpPacket| p.header.dst_port == port,
+                move |p: &UdpPacket| {
+                    let rewritten = {
+                        let mut st = st2.lock();
+                        st.stats.forwarded += 1;
+                        st.translate((p.ip.src, p.header.src_port))
+                    };
+                    let datagram = UdpHeader::encode(rewritten, port, &p.payload);
+                    let _ = stack2.transmit(target, proto::UDP, datagram);
+                },
+            )
+            .expect("install UDP forwarder (out)");
+        stack.topology().note("UDP.PktArrived", "Forward");
+
+        // Inbound: target's replies to a rewritten port ⇒ original client.
+        let st3 = state.clone();
+        let stack3 = stack.clone();
+        stack
+            .events()
+            .udp_arrived
+            .install_guarded(
+                Identity::extension("Forward"),
+                move |p: &UdpPacket| p.header.dst_port >= 40_000,
+                move |p: &UdpPacket| {
+                    let client = {
+                        let mut st = st3.lock();
+                        match st.back.get(&p.header.dst_port).copied() {
+                            Some(c) => {
+                                st.stats.replies += 1;
+                                c
+                            }
+                            None => return,
+                        }
+                    };
+                    let datagram = UdpHeader::encode(port, client.1, &p.payload);
+                    let _ = stack3.transmit(client.0, proto::UDP, datagram);
+                },
+            )
+            .expect("install UDP forwarder (back)");
+
+        Forwarder { state }
+    }
+
+    /// Installs a TCP forwarder: whole segments (including SYN/FIN/RST
+    /// control) to `port` are redirected to `target` — this is what
+    /// preserves end-to-end semantics.
+    pub fn install_tcp(stack: &NetStack, port: u16, target: IpAddr) -> Forwarder {
+        let state = Arc::new(Mutex::new(FlowTable {
+            out: HashMap::new(),
+            back: HashMap::new(),
+            next_port: 40_000,
+            stats: ForwardStats::default(),
+        }));
+
+        let st2 = state.clone();
+        let stack2 = stack.clone();
+        stack
+            .events()
+            .tcp_arrived
+            .install_guarded(
+                Identity::extension("Forward"),
+                move |s: &TcpSegment| s.header.dst_port == port,
+                move |s: &TcpSegment| {
+                    let rewritten = {
+                        let mut st = st2.lock();
+                        st.stats.forwarded += 1;
+                        st.translate((s.ip.src, s.header.src_port))
+                    };
+                    let mut h = s.header;
+                    h.src_port = rewritten;
+                    let _ = stack2.transmit(target, proto::TCP, reencode(&h, &s.payload));
+                },
+            )
+            .expect("install TCP forwarder (out)");
+        stack.topology().note("TCP.PktArrived", "Forward");
+
+        let st3 = state.clone();
+        let stack3 = stack.clone();
+        stack
+            .events()
+            .tcp_arrived
+            .install_guarded(
+                Identity::extension("Forward"),
+                move |s: &TcpSegment| s.header.dst_port >= 40_000,
+                move |s: &TcpSegment| {
+                    let client = {
+                        let mut st = st3.lock();
+                        match st.back.get(&s.header.dst_port).copied() {
+                            Some(c) => {
+                                st.stats.replies += 1;
+                                c
+                            }
+                            None => return,
+                        }
+                    };
+                    let mut h = s.header;
+                    h.src_port = port;
+                    h.dst_port = client.1;
+                    let _ = stack3.transmit(client.0, proto::TCP, reencode(&h, &s.payload));
+                },
+            )
+            .expect("install TCP forwarder (back)");
+
+        Forwarder { state }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ForwardStats {
+        self.state.lock().stats
+    }
+}
+
+fn reencode(h: &TcpHeader, payload: &Bytes) -> Bytes {
+    h.encode(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Medium;
+    use crate::tcp::TcpStack;
+    use crate::testrig::ThreeHosts;
+
+    #[test]
+    fn udp_requests_are_forwarded_and_replies_retrace() {
+        // A (client) → B (forwarder) → C (server), replies C → B → A.
+        let rig = ThreeHosts::new();
+        let fwd = Forwarder::install_udp(&rig.b, 7, rig.c.ip_on(Medium::Ethernet));
+        // Echo server on C.
+        let c2 = rig.c.clone();
+        rig.c
+            .udp_bind(7, "echo", move |p| {
+                let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+            })
+            .unwrap();
+        // Client on A: a blocking request/reply to the *forwarder's* IP.
+        let a = rig.a.clone();
+        let b_ip = rig.b.ip_on(Medium::Ethernet);
+        let reply_ch = rig.a.udp_channel(5555, "client", 4).unwrap();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        rig.exec.spawn("client", move |ctx| {
+            a.udp_send(5555, b_ip, 7, b"through the forwarder").unwrap();
+            let reply = reply_ch.recv(ctx).expect("echo reply");
+            g2.lock().extend_from_slice(&reply.payload);
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(&got.lock()[..], b"through the forwarder");
+        let s = fwd.stats();
+        assert_eq!(s.forwarded, 1);
+        assert_eq!(s.replies, 1);
+        assert_eq!(s.flows, 1);
+    }
+
+    #[test]
+    fn tcp_connections_established_through_the_forwarder() {
+        // The paper's point: control packets (SYN/FIN) forward too, so a
+        // full TCP connection works end-to-end through the splice.
+        let rig = ThreeHosts::new();
+        let _fwd = Forwarder::install_tcp(&rig.b, 80, rig.c.ip_on(Medium::Ethernet));
+        let tcp_a = TcpStack::install(&rig.a);
+        let tcp_c = TcpStack::install(&rig.c);
+
+        let listener = tcp_c.listen(80);
+        rig.exec.spawn("server", move |ctx| {
+            let conn = listener.accept(ctx).expect("forwarded SYN");
+            let req = conn.recv(ctx).expect("data");
+            assert_eq!(&req[..], b"GET /");
+            conn.send(ctx, b"200 OK").unwrap();
+            conn.close(ctx);
+        });
+        let b_ip = rig.b.ip_on(Medium::Ethernet);
+        let done = Arc::new(Mutex::new(false));
+        let d2 = done.clone();
+        rig.exec.spawn("client", move |ctx| {
+            let conn = tcp_a
+                .connect(ctx, b_ip, 80)
+                .expect("handshake through forwarder");
+            conn.send(ctx, b"GET /").unwrap();
+            let reply = conn.recv(ctx).expect("reply");
+            assert_eq!(&reply[..], b"200 OK");
+            conn.close(ctx);
+            *d2.lock() = true;
+        });
+        rig.exec.run_until_idle();
+        assert!(*done.lock());
+    }
+}

@@ -1,0 +1,257 @@
+//! The in-kernel HTTP server extension (Figure 5's "HTTP" box; §5.4).
+//!
+//! "The HTTP extension implements the HyperText Transport Protocol
+//! directly within the kernel, enabling a server to respond quickly to
+//! HTTP requests by splicing together the protocol stack and the local
+//! file system." The server controls its own object cache with the hybrid
+//! policy of §5.4 and runs the file system beneath it without block
+//! caching, avoiding double buffering.
+
+use crate::pkt::IpAddr;
+use crate::stack::NetStack;
+use crate::tcp::{TcpConn, TcpStack};
+use parking_lot::Mutex;
+use spin_fs::{FileSystem, WebCache};
+use spin_sched::StrandCtx;
+use std::sync::Arc;
+
+/// Server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpStats {
+    pub requests: u64,
+    pub ok: u64,
+    pub not_found: u64,
+    pub bad_requests: u64,
+}
+
+/// The in-kernel web server.
+pub struct HttpServer {
+    stats: Arc<Mutex<HttpStats>>,
+    cache: Arc<WebCache>,
+}
+
+impl HttpServer {
+    /// Starts the server on `port`, serving files from `fs` through
+    /// `cache`. Spawns an acceptor strand plus one strand per connection.
+    pub fn start(
+        stack: &NetStack,
+        tcp: &TcpStack,
+        fs: FileSystem,
+        cache: Arc<WebCache>,
+        port: u16,
+    ) -> Arc<HttpServer> {
+        let server = Arc::new(HttpServer {
+            stats: Arc::new(Mutex::new(HttpStats::default())),
+            cache,
+        });
+        stack.topology().note("TCP.PktArrived", "HTTP");
+        let listener = tcp.listen(port);
+        let exec = stack.executor().clone();
+        let srv = server.clone();
+        let acceptor = exec.clone().spawn("http-accept", move |ctx| {
+            while let Some(conn) = listener.accept(ctx) {
+                let srv = srv.clone();
+                let fs = fs.clone();
+                ctx.executor().spawn("http-conn", move |cctx| {
+                    srv.serve_connection(cctx, &conn, &fs);
+                });
+            }
+        });
+        exec.set_daemon(acceptor);
+        server
+    }
+
+    fn serve_connection(&self, ctx: &StrandCtx, conn: &Arc<TcpConn>, fs: &FileSystem) {
+        // One request per connection (HTTP/1.0 semantics, as in 1995).
+        let request = match conn.recv(ctx) {
+            Some(r) => r,
+            None => return,
+        };
+        self.stats.lock().requests += 1;
+        let line = String::from_utf8_lossy(&request);
+        let path = match parse_request(&line) {
+            Some(p) => p,
+            None => {
+                self.stats.lock().bad_requests += 1;
+                let _ = conn.send(ctx, b"HTTP/1.0 400 Bad Request\r\n\r\n");
+                conn.close(ctx);
+                return;
+            }
+        };
+        // The hybrid object cache fronts the (uncached) file system.
+        let exists = fs.size_of(&path).is_ok();
+        if !exists {
+            self.stats.lock().not_found += 1;
+            let _ = conn.send(ctx, b"HTTP/1.0 404 Not Found\r\n\r\n");
+            conn.close(ctx);
+            return;
+        }
+        let (body, _hit) = self
+            .cache
+            .get_or_load(&path, || fs.read_file(ctx, &path).unwrap_or_default());
+        self.stats.lock().ok += 1;
+        let header = format!("HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n", body.len());
+        let _ = conn.send(ctx, header.as_bytes());
+        if !body.is_empty() {
+            let _ = conn.send(ctx, &body);
+        }
+        conn.close(ctx);
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> HttpStats {
+        *self.stats.lock()
+    }
+
+    /// The object cache (for policy inspection in benches).
+    pub fn cache(&self) -> &Arc<WebCache> {
+        &self.cache
+    }
+}
+
+fn parse_request(line: &str) -> Option<String> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let path = parts.next()?;
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+/// A blocking HTTP GET; returns (status line, body).
+pub fn http_get(
+    ctx: &StrandCtx,
+    tcp: &TcpStack,
+    server: IpAddr,
+    port: u16,
+    path: &str,
+) -> Option<(String, Vec<u8>)> {
+    let conn = tcp.connect(ctx, server, port).ok()?;
+    let request = format!("GET {path} HTTP/1.0\r\n\r\n");
+    conn.send(ctx, request.as_bytes()).ok()?;
+    let mut response = Vec::new();
+    while let Some(chunk) = conn.recv(ctx) {
+        response.extend_from_slice(&chunk);
+    }
+    conn.close(ctx);
+    let sep = response.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&response[..sep]).into_owned();
+    let status = head.lines().next()?.to_string();
+    Some((status, response[sep + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Medium;
+    use crate::testrig::TwoHosts;
+    use spin_fs::{BufferCache, HybridBySize, NoCachePolicy};
+
+    fn web_rig() -> (TwoHosts, TcpStack, Arc<HttpServer>) {
+        let rig = TwoHosts::new();
+        let tcp_a = TcpStack::install(&rig.a);
+        let tcp_b = TcpStack::install(&rig.b);
+        // The server's file system runs uncached under the object cache.
+        let bc = BufferCache::new(
+            rig.host_b.disk.clone(),
+            rig.exec.clone(),
+            64,
+            Box::new(NoCachePolicy),
+        );
+        let fs = FileSystem::format(bc, 1000, 500);
+        // Populate content.
+        let fs2 = fs.clone();
+        rig.exec.spawn("setup", move |ctx| {
+            fs2.create("/index.html").unwrap();
+            fs2.write_file(ctx, "/index.html", b"<html>SPIN</html>")
+                .unwrap();
+            fs2.create("/big.mpg").unwrap();
+            fs2.write_file(ctx, "/big.mpg", &vec![7u8; 100_000])
+                .unwrap();
+        });
+        rig.exec.run_until_idle();
+        let cache = Arc::new(WebCache::new(
+            1 << 20,
+            Box::new(HybridBySize {
+                large_threshold: 64 * 1024,
+            }),
+        ));
+        let server = HttpServer::start(&rig.b, &tcp_b, fs, cache, 80);
+        (rig, tcp_a, server)
+    }
+
+    #[test]
+    fn get_serves_file_content() {
+        let (rig, tcp_a, server) = web_rig();
+        let dst = rig.b_ip(Medium::Ethernet);
+        let got = Arc::new(Mutex::new(None));
+        let g2 = got.clone();
+        rig.exec.spawn("client", move |ctx| {
+            *g2.lock() = http_get(ctx, &tcp_a, dst, 80, "/index.html");
+        });
+        rig.exec.run_until_idle();
+        let (status, body) = got.lock().clone().expect("response");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert_eq!(body, b"<html>SPIN</html>");
+        assert_eq!(server.stats().ok, 1);
+    }
+
+    #[test]
+    fn missing_files_are_404() {
+        let (rig, tcp_a, server) = web_rig();
+        let dst = rig.b_ip(Medium::Ethernet);
+        let got = Arc::new(Mutex::new(None));
+        let g2 = got.clone();
+        rig.exec.spawn("client", move |ctx| {
+            *g2.lock() = http_get(ctx, &tcp_a, dst, 80, "/nope");
+        });
+        rig.exec.run_until_idle();
+        let (status, _) = got.lock().clone().expect("response");
+        assert!(status.contains("404"));
+        assert_eq!(server.stats().not_found, 1);
+    }
+
+    #[test]
+    fn small_files_cache_large_files_bypass() {
+        let (rig, tcp_a, server) = web_rig();
+        let dst = rig.b_ip(Medium::Ethernet);
+        let tcp2 = tcp_a.clone();
+        rig.exec.spawn("client", move |ctx| {
+            for _ in 0..2 {
+                http_get(ctx, &tcp2, dst, 80, "/index.html").expect("ok");
+                http_get(ctx, &tcp2, dst, 80, "/big.mpg").expect("ok");
+            }
+        });
+        rig.exec.run_until_idle();
+        let cs = server.cache().stats();
+        assert_eq!(cs.hits, 1, "second /index.html is a cache hit");
+        assert_eq!(cs.bypasses, 2, "/big.mpg is never cached");
+    }
+
+    #[test]
+    fn cached_requests_are_faster() {
+        let (rig, tcp_a, _server) = web_rig();
+        let dst = rig.b_ip(Medium::Ethernet);
+        let clock = rig.exec.clock().clone();
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t2 = times.clone();
+        rig.exec.spawn("client", move |ctx| {
+            for _ in 0..2 {
+                let t0 = clock.now();
+                http_get(ctx, &tcp_a, dst, 80, "/index.html").expect("ok");
+                t2.lock().push(clock.now() - t0);
+            }
+        });
+        rig.exec.run_until_idle();
+        let t = times.lock();
+        assert!(
+            t[1] < t[0],
+            "cached ({}) must beat uncached ({}) — the §5.4 claim",
+            t[1],
+            t[0]
+        );
+    }
+}

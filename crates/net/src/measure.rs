@@ -1,0 +1,168 @@
+//! Measurement harnesses for Table 5: UDP/IP round-trip latency and
+//! reliable receive bandwidth between two hosts.
+//!
+//! "We measure latency using small packets (16 bytes), and bandwidth using
+//! large packets (1500 for Ethernet and 8132 for ATM)" (§5.3). Bandwidth
+//! uses a simple sliding-window reliable layer over UDP, as the paper's
+//! "reliable bandwidth" implies.
+
+use crate::stack::{Medium, NetStack};
+use parking_lot::Mutex;
+use spin_sal::Nanos;
+use spin_sched::{Executor, KChannel};
+use std::sync::Arc;
+
+/// Echo port used by the latency harness.
+const ECHO_PORT: u16 = 7;
+/// Data/ack ports used by the bandwidth harness.
+const DATA_PORT: u16 = 5001;
+const ACK_PORT: u16 = 5002;
+
+/// Measures the average UDP round-trip time for `payload` bytes over
+/// `medium`, from the stack `client` to `server`, with `rounds` trips.
+pub fn udp_round_trip(
+    exec: &Arc<Executor>,
+    client: &NetStack,
+    server: &NetStack,
+    medium: Medium,
+    payload: usize,
+    rounds: u32,
+) -> Nanos {
+    // Echo service on the server.
+    let server2 = server.clone();
+    server
+        .udp_bind(ECHO_PORT, "echo", move |p| {
+            let _ = server2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .expect("bind echo");
+
+    let reply_ch = client
+        .udp_channel(6000, "rtt-client", 4)
+        .expect("bind client");
+    let dst = server.ip_on(medium);
+    let clock = exec.clock().clone();
+    let client2 = client.clone();
+    let result = Arc::new(Mutex::new(0u64));
+    let r2 = result.clone();
+    exec.spawn("rtt-driver", move |ctx| {
+        let data = vec![0u8; payload];
+        // Warm-up round.
+        client2.udp_send(6000, dst, ECHO_PORT, &data).unwrap();
+        reply_ch.recv(ctx);
+        let t0 = clock.now();
+        for _ in 0..rounds {
+            client2.udp_send(6000, dst, ECHO_PORT, &data).unwrap();
+            reply_ch.recv(ctx);
+        }
+        *r2.lock() = (clock.now() - t0) / rounds as u64;
+    });
+    exec.run_until_idle();
+    let r = *result.lock();
+    r
+}
+
+/// Measures reliable receive bandwidth in Mb/s: `packets` packets of
+/// `packet_size` payload bytes, sliding window of `window`.
+pub fn reliable_bandwidth(
+    exec: &Arc<Executor>,
+    sender: &NetStack,
+    receiver: &NetStack,
+    medium: Medium,
+    packet_size: usize,
+    packets: u32,
+    window: u32,
+) -> f64 {
+    let src_ip = sender.ip_on(medium);
+    // Receiver: ack every packet by sequence number.
+    let recv2 = receiver.clone();
+    let received = Arc::new(Mutex::new(0u64));
+    let rc2 = received.clone();
+    receiver
+        .udp_bind(DATA_PORT, "sink", move |p| {
+            *rc2.lock() += p.payload.len() as u64;
+            let seq = &p.payload[..4];
+            let _ = recv2.udp_send(DATA_PORT, src_ip, ACK_PORT, seq);
+        })
+        .expect("bind sink");
+
+    // Sender: window-limited blast.
+    let acks: Arc<KChannel<crate::stack::UdpPacket>> = sender
+        .udp_channel(ACK_PORT, "acks", 1024)
+        .expect("bind acks");
+    let dst = receiver.ip_on(medium);
+    let clock = exec.clock().clone();
+    let sender2 = sender.clone();
+    let elapsed = Arc::new(Mutex::new(0u64));
+    let e2 = elapsed.clone();
+    exec.spawn("bw-driver", move |ctx| {
+        let t0 = clock.now();
+        let mut inflight = 0u32;
+        let mut acked = 0u32;
+        for seq in 0..packets {
+            while inflight >= window {
+                acks.recv(ctx);
+                acked += 1;
+                inflight -= 1;
+            }
+            let mut data = vec![0u8; packet_size];
+            data[..4].copy_from_slice(&seq.to_be_bytes());
+            sender2.udp_send(DATA_PORT, dst, DATA_PORT, &data).unwrap();
+            inflight += 1;
+        }
+        while acked < packets {
+            acks.recv(ctx);
+            acked += 1;
+        }
+        *e2.lock() = clock.now() - t0;
+    });
+    exec.run_until_idle();
+    let ns = *elapsed.lock();
+    let bits = packets as f64 * packet_size as f64 * 8.0;
+    bits * 1e9 / ns as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testrig::TwoHosts;
+
+    #[test]
+    fn ethernet_latency_is_in_the_table_5_band() {
+        let rig = TwoHosts::new();
+        let rtt = udp_round_trip(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 16, 8);
+        let us = rtt as f64 / 1000.0;
+        // Paper: SPIN 565 µs on Ethernet (unoptimized drivers).
+        assert!((380.0..760.0).contains(&us), "Ethernet RTT {us} µs");
+    }
+
+    #[test]
+    fn atm_latency_beats_ethernet_and_is_in_band() {
+        let rig = TwoHosts::new();
+        let eth = udp_round_trip(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 16, 8);
+        let rig2 = TwoHosts::new();
+        let atm = udp_round_trip(&rig2.exec, &rig2.a, &rig2.b, Medium::Atm, 16, 8);
+        let us = atm as f64 / 1000.0;
+        // Paper: SPIN 421 µs on ATM.
+        assert!((280.0..560.0).contains(&us), "ATM RTT {us} µs");
+        assert!(atm < eth);
+    }
+
+    #[test]
+    fn ethernet_bandwidth_is_wire_limited() {
+        let rig = TwoHosts::new();
+        let mbps = reliable_bandwidth(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 1458, 60, 16);
+        // Paper: 8.9 Mb/s on the 10 Mb/s Ethernet.
+        assert!(
+            (7.0..10.0).contains(&mbps),
+            "Ethernet bandwidth {mbps} Mb/s"
+        );
+    }
+
+    #[test]
+    fn atm_bandwidth_is_pio_limited() {
+        let rig = TwoHosts::new();
+        let mbps = reliable_bandwidth(&rig.exec, &rig.a, &rig.b, Medium::Atm, 8104, 60, 16);
+        // Paper: SPIN reaches 33 Mb/s; the card's PIO ceiling is ~53.
+        assert!((20.0..53.0).contains(&mbps), "ATM bandwidth {mbps} Mb/s");
+    }
+}

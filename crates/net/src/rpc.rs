@@ -1,0 +1,236 @@
+//! A remote procedure call package over UDP (Figure 5's "RPC" box).
+//!
+//! Procedures are registered by name; calls carry a request id, block the
+//! calling strand until the reply, and retransmit on timeout (the usual
+//! at-least-once datagram RPC). Both stub directions run entirely in the
+//! kernel, as in the paper.
+
+use crate::pkt::IpAddr;
+use crate::stack::NetStack;
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use spin_core::DispatchError;
+use spin_sal::Nanos;
+use spin_sched::{KChannel, StrandCtx};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The UDP port carrying RPC traffic.
+pub const RPC_PORT: u16 = 3001;
+
+/// Reply timeout before a retransmission.
+const RPC_TIMEOUT: Nanos = 100_000_000;
+
+/// Retries before giving up.
+const RPC_RETRIES: u32 = 3;
+
+/// RPC errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply after all retries.
+    Timeout,
+    /// The remote had no such procedure.
+    NoProcedure(String),
+}
+
+/// A server-side procedure.
+pub type Procedure = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+const TAG_CALL: u8 = 0;
+const TAG_REPLY: u8 = 1;
+const TAG_NO_PROC: u8 = 2;
+
+/// The RPC package bound to one host's stack.
+#[derive(Clone)]
+pub struct Rpc {
+    stack: NetStack,
+    procedures: Arc<Mutex<HashMap<String, Procedure>>>,
+    pending: Arc<Mutex<HashMap<u64, Arc<KChannel<(u8, Bytes)>>>>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Rpc {
+    /// Installs the package (binds the RPC port).
+    pub fn install(stack: &NetStack) -> Result<Rpc, DispatchError> {
+        let rpc = Rpc {
+            stack: stack.clone(),
+            procedures: Arc::new(Mutex::new(HashMap::new())),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            next_id: Arc::new(AtomicU64::new(1)),
+        };
+        let rpc2 = rpc.clone();
+        stack.udp_bind(RPC_PORT, "RPC", move |p| {
+            rpc2.on_datagram(p.ip.src, &p.payload);
+        })?;
+        Ok(rpc)
+    }
+
+    /// Registers a named procedure.
+    pub fn register(&self, name: &str, f: impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static) {
+        self.procedures.lock().insert(name.to_string(), Arc::new(f));
+    }
+
+    fn on_datagram(&self, src: IpAddr, payload: &Bytes) {
+        if payload.len() < 9 {
+            return;
+        }
+        let tag = payload[0];
+        let id = u64::from_be_bytes(payload[1..9].try_into().expect("length checked"));
+        match tag {
+            TAG_CALL => {
+                // name-len(2) name args...
+                if payload.len() < 11 {
+                    return;
+                }
+                let nlen = u16::from_be_bytes(payload[9..11].try_into().expect("len")) as usize;
+                if payload.len() < 11 + nlen {
+                    return;
+                }
+                let name = String::from_utf8_lossy(&payload[11..11 + nlen]).into_owned();
+                let args = &payload[11 + nlen..];
+                let proc = self.procedures.lock().get(&name).cloned();
+                let (tag, body) = match proc {
+                    Some(f) => (TAG_REPLY, f(args)),
+                    None => (TAG_NO_PROC, name.into_bytes()),
+                };
+                let mut b = BytesMut::with_capacity(9 + body.len());
+                b.extend_from_slice(&[tag]);
+                b.extend_from_slice(&id.to_be_bytes());
+                b.extend_from_slice(&body);
+                let _ = self.stack.udp_send(RPC_PORT, src, RPC_PORT, &b.freeze());
+            }
+            TAG_REPLY | TAG_NO_PROC => {
+                let waiter = self.pending.lock().get(&id).cloned();
+                if let Some(ch) = waiter {
+                    ch.try_push((tag, payload.slice(9..)));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Calls `name` on `dst`, blocking until the reply (with retries).
+    pub fn call(
+        &self,
+        ctx: &StrandCtx,
+        dst: IpAddr,
+        name: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, RpcError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let ch = KChannel::new(self.stack.executor().clone(), 1);
+        self.pending.lock().insert(id, ch.clone());
+
+        let mut b = BytesMut::with_capacity(11 + name.len() + args.len());
+        b.extend_from_slice(&[TAG_CALL]);
+        b.extend_from_slice(&id.to_be_bytes());
+        b.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        b.extend_from_slice(name.as_bytes());
+        b.extend_from_slice(args);
+        let request = b.freeze();
+
+        let exec = self.stack.executor().clone();
+        let result = (|| {
+            for _ in 0..RPC_RETRIES {
+                let _ = self.stack.udp_send(RPC_PORT, dst, RPC_PORT, &request);
+                let waiter = ctx.id();
+                let e2 = exec.clone();
+                let timer = exec
+                    .timers()
+                    .schedule_at(exec.clock().now() + RPC_TIMEOUT, move |_| {
+                        e2.unblock(waiter)
+                    });
+                let got = loop {
+                    if let Some(r) = ch.try_recv() {
+                        break Some(r);
+                    }
+                    // Either the reply or the timeout wakes us.
+                    ctx.block();
+                    match ch.try_recv() {
+                        Some(r) => break Some(r),
+                        None => break None, // timeout fired
+                    }
+                };
+                exec.timers().cancel(timer);
+                match got {
+                    Some((TAG_REPLY, body)) => return Ok(body.to_vec()),
+                    Some((_, body)) => {
+                        return Err(RpcError::NoProcedure(
+                            String::from_utf8_lossy(&body).into_owned(),
+                        ))
+                    }
+                    None => continue, // retransmit
+                }
+            }
+            Err(RpcError::Timeout)
+        })();
+        self.pending.lock().remove(&id);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Medium;
+    use crate::testrig::TwoHosts;
+
+    fn rig() -> (TwoHosts, Rpc, Rpc) {
+        let rig = TwoHosts::new();
+        let a = Rpc::install(&rig.a).unwrap();
+        let b = Rpc::install(&rig.b).unwrap();
+        (rig, a, b)
+    }
+
+    #[test]
+    fn call_returns_the_procedure_result() {
+        let (rig, a, b) = rig();
+        b.register("sum", |args| {
+            let total: u64 = args.iter().map(|&x| x as u64).sum();
+            total.to_be_bytes().to_vec()
+        });
+        let dst = rig.b_ip(Medium::Ethernet);
+        let got = Arc::new(Mutex::new(0u64));
+        let g2 = got.clone();
+        rig.exec.spawn("caller", move |ctx| {
+            let reply = a.call(ctx, dst, "sum", &[1, 2, 3]).unwrap();
+            *g2.lock() = u64::from_be_bytes(reply.try_into().unwrap());
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(*got.lock(), 6);
+    }
+
+    #[test]
+    fn unknown_procedure_is_reported() {
+        let (rig, a, _b) = rig();
+        let dst = rig.b_ip(Medium::Ethernet);
+        let got = Arc::new(Mutex::new(None));
+        let g2 = got.clone();
+        rig.exec.spawn("caller", move |ctx| {
+            *g2.lock() = Some(a.call(ctx, dst, "nope", &[]));
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(
+            got.lock().clone().unwrap(),
+            Err(RpcError::NoProcedure("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn lost_requests_are_retransmitted() {
+        let (rig, a, b) = rig();
+        // Drop the first two frames on the wire: the first call attempt
+        // (request) and its retry's request... then let traffic through.
+        rig.board.ethernet.set_drop_filter(|i| i < 1);
+        b.register("echo", |args| args.to_vec());
+        let dst = rig.b_ip(Medium::Ethernet);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        rig.exec.spawn("caller", move |ctx| {
+            *g2.lock() = a.call(ctx, dst, "echo", b"persist").unwrap();
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(&got.lock()[..], b"persist");
+    }
+}

@@ -1,0 +1,748 @@
+//! The extensible protocol stack (Figure 5).
+//!
+//! "Each incoming packet is 'pushed' through the protocol graph by events
+//! and 'pulled' by handlers" (§5.3). The graph is built exactly as the
+//! paper describes:
+//!
+//! * the NIC interrupt handler unblocks a **separately scheduled kernel
+//!   thread** ("protocol processing is done by a separately scheduled
+//!   kernel thread outside of the interrupt handler");
+//! * that thread raises `Ether.PktArrived` / `ATM.PktArrived`;
+//! * the IP module's handler parses the packet and raises
+//!   `IP.PacketArrived`; UDP, TCP and ICMP install handlers on it **with
+//!   guards comparing the protocol type field** — the paper's worked
+//!   example of per-instance dispatch ("the IP module ... constructs a
+//!   guard that compares the type field in the header of the incoming
+//!   packet");
+//! * applications bind handlers on `UDP.PktArrived` guarded by port.
+//!
+//! The outgoing side raises `SendPacket`, whose default implementation
+//! transmits; extensions can suppress and replace the transmission — the
+//! video server's multicast handler (§5.4) hangs here.
+
+use crate::pkt::{
+    proto, EtherHeader, IcmpHeader, IcmpKind, IpAddr, Ipv4Header, TcpHeader, UdpHeader,
+    ETHERTYPE_IPV4,
+};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use spin_core::{Dispatcher, Event, Identity};
+use spin_sal::board::vectors;
+use spin_sal::devices::nic::Nic;
+use spin_sal::{Host, Nanos, WireEndpoint};
+use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+
+/// Which attached medium a packet used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Medium {
+    Ethernet,
+    Atm,
+    T3,
+}
+
+/// The simulation-wide IP → attachment registry (static ARP).
+#[derive(Clone, Default)]
+pub struct AddressMap {
+    entries: Arc<Mutex<HashMap<IpAddr, (Medium, WireEndpoint)>>>,
+}
+
+impl AddressMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an address.
+    pub fn register(&self, ip: IpAddr, medium: Medium, endpoint: WireEndpoint) {
+        self.entries.lock().insert(ip, (medium, endpoint));
+    }
+
+    /// Resolves an address.
+    pub fn resolve(&self, ip: IpAddr) -> Option<(Medium, WireEndpoint)> {
+        self.entries.lock().get(&ip).copied()
+    }
+}
+
+/// A frame handed up from a link layer.
+#[derive(Clone)]
+pub struct LinkFrame {
+    pub medium: Medium,
+    pub bytes: Bytes,
+}
+
+/// An IP packet in flight up the stack.
+#[derive(Clone)]
+pub struct IpPacket {
+    pub header: Ipv4Header,
+    pub payload: Bytes,
+    pub medium: Medium,
+}
+
+/// A UDP datagram delivered to `UDP.PktArrived` handlers.
+#[derive(Clone)]
+pub struct UdpPacket {
+    pub ip: Ipv4Header,
+    pub header: UdpHeader,
+    pub payload: Bytes,
+}
+
+/// A TCP segment delivered to `TCP.PktArrived` handlers.
+#[derive(Clone)]
+pub struct TcpSegment {
+    pub ip: Ipv4Header,
+    pub header: TcpHeader,
+    pub payload: Bytes,
+}
+
+/// An ICMP message delivered to `ICMP.PktArrived` handlers.
+#[derive(Clone)]
+pub struct IcmpPacket {
+    pub ip: Ipv4Header,
+    pub header: IcmpHeader,
+    pub payload: Bytes,
+}
+
+/// An outgoing transmission presented to `SendPacket` handlers.
+#[derive(Clone)]
+pub struct SendRequest {
+    pub dst: IpAddr,
+    pub protocol: u8,
+    /// The transport-layer segment (UDP/TCP/ICMP bytes).
+    pub payload: Bytes,
+}
+
+/// What `SendPacket` handlers decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Transmit normally.
+    Transmit,
+    /// A handler took responsibility (e.g. multicast fan-out); do not
+    /// transmit the original.
+    Suppressed,
+}
+
+/// The events of the protocol graph.
+#[derive(Clone)]
+pub struct NetEvents {
+    pub ether_arrived: Event<LinkFrame, ()>,
+    pub atm_arrived: Event<LinkFrame, ()>,
+    pub t3_arrived: Event<LinkFrame, ()>,
+    pub ip_arrived: Event<IpPacket, ()>,
+    pub udp_arrived: Event<UdpPacket, ()>,
+    pub tcp_arrived: Event<TcpSegment, ()>,
+    pub icmp_arrived: Event<IcmpPacket, ()>,
+    pub send_packet: Event<SendRequest, SendVerdict>,
+}
+
+/// Edges of the Figure 5 graph, recorded as extensions install handlers.
+#[derive(Clone, Default)]
+pub struct Topology {
+    edges: Arc<Mutex<Vec<(String, String)>>>,
+}
+
+impl Topology {
+    /// Records "`event` is handled by `handler`".
+    pub fn note(&self, event: &str, handler: &str) {
+        self.edges
+            .lock()
+            .push((event.to_string(), handler.to_string()));
+    }
+
+    /// All recorded edges, sorted.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        let mut e = self.edges.lock().clone();
+        e.sort();
+        e.dedup();
+        e
+    }
+
+    /// Renders the graph as indented text (the Figure 5 printout).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let edges = self.edges();
+        let mut events: Vec<&String> = edges.iter().map(|(e, _)| e).collect();
+        events.dedup();
+        for event in events {
+            out.push_str(&format!("{event}\n"));
+            for (e, h) in &edges {
+                if e == event {
+                    out.push_str(&format!("  -> {h}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Network statistics for one stack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub parse_errors: u64,
+}
+
+struct NetInner {
+    host: Host,
+    exec: Arc<Executor>,
+    addrs: AddressMap,
+    my_ips: HashMap<Medium, IpAddr>,
+    events: NetEvents,
+    topology: Topology,
+    ping_waiters: Mutex<HashMap<(u16, u16), Arc<KChannel<Nanos>>>>,
+    ping_seq: AtomicU16,
+    stats: Arc<Mutex<NetStats>>,
+    proto_thread: StrandId,
+}
+
+/// One host's protocol stack.
+#[derive(Clone)]
+pub struct NetStack {
+    inner: Arc<NetInner>,
+}
+
+impl NetStack {
+    /// Installs the stack on a host: defines the events, builds the
+    /// default protocol graph, registers NIC interrupt handlers and spawns
+    /// the protocol thread. `eth_ip`/`atm_ip`/`t3_ip` attach the host to
+    /// the three media.
+    pub fn install(
+        host: &Host,
+        exec: &Arc<Executor>,
+        dispatcher: &Dispatcher,
+        addrs: &AddressMap,
+        eth_ip: IpAddr,
+        atm_ip: IpAddr,
+        t3_ip: IpAddr,
+    ) -> NetStack {
+        let events = NetEvents {
+            ether_arrived: Self::define_link(dispatcher, "Ether.PktArrived"),
+            atm_arrived: Self::define_link(dispatcher, "ATM.PktArrived"),
+            t3_arrived: Self::define_link(dispatcher, "T3.PktArrived"),
+            ip_arrived: {
+                let (ev, owner) =
+                    dispatcher.define::<IpPacket, ()>("IP.PacketArrived", Identity::kernel("IP"));
+                owner.set_primary(|_| ()).expect("fresh event");
+                ev
+            },
+            udp_arrived: {
+                let (ev, owner) =
+                    dispatcher.define::<UdpPacket, ()>("UDP.PktArrived", Identity::kernel("UDP"));
+                owner.set_primary(|_| ()).expect("fresh event");
+                ev
+            },
+            tcp_arrived: {
+                let (ev, owner) =
+                    dispatcher.define::<TcpSegment, ()>("TCP.PktArrived", Identity::kernel("TCP"));
+                owner.set_primary(|_| ()).expect("fresh event");
+                ev
+            },
+            icmp_arrived: {
+                let (ev, owner) = dispatcher
+                    .define::<IcmpPacket, ()>("ICMP.PktArrived", Identity::kernel("ICMP"));
+                owner.set_primary(|_| ()).expect("fresh event");
+                ev
+            },
+            send_packet: {
+                let (ev, owner) = dispatcher
+                    .define::<SendRequest, SendVerdict>("SendPacket", Identity::kernel("IP"));
+                owner
+                    .set_primary(|_| SendVerdict::Transmit)
+                    .expect("fresh event");
+                // If any handler suppressed, the send is suppressed.
+                owner
+                    .set_reducer(|results| {
+                        if results.contains(&SendVerdict::Suppressed) {
+                            SendVerdict::Suppressed
+                        } else {
+                            SendVerdict::Transmit
+                        }
+                    })
+                    .expect("fresh event");
+                ev
+            },
+        };
+
+        let mut my_ips = HashMap::new();
+        my_ips.insert(Medium::Ethernet, eth_ip);
+        my_ips.insert(Medium::Atm, atm_ip);
+        my_ips.insert(Medium::T3, t3_ip);
+        addrs.register(eth_ip, Medium::Ethernet, host.ethernet.addr());
+        addrs.register(atm_ip, Medium::Atm, host.atm.addr());
+        addrs.register(t3_ip, Medium::T3, host.t3.addr());
+
+        // The protocol thread: drained by NIC interrupts.
+        let nics: Vec<(Medium, Nic)> = vec![
+            (Medium::Ethernet, host.ethernet.clone()),
+            (Medium::Atm, host.atm.clone()),
+            (Medium::T3, host.t3.clone()),
+        ];
+        let ev2 = events.clone();
+        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let stats2 = stats.clone();
+        let proto_thread =
+            exec.spawn_on(host.id, &format!("netin-{}", host.id.0), 12, move |ctx| {
+                loop {
+                    let mut any = false;
+                    for (medium, nic) in &nics {
+                        while let Some(frame) = nic.receive() {
+                            any = true;
+                            {
+                                let mut s = stats2.lock();
+                                s.frames_in += 1;
+                                s.bytes_in += frame.payload.len() as u64;
+                            }
+                            let ev = match medium {
+                                Medium::Ethernet => &ev2.ether_arrived,
+                                Medium::Atm => &ev2.atm_arrived,
+                                Medium::T3 => &ev2.t3_arrived,
+                            };
+                            let _ = ev.raise(LinkFrame {
+                                medium: *medium,
+                                bytes: frame.payload,
+                            });
+                        }
+                    }
+                    if !any {
+                        ctx.block();
+                    }
+                }
+            });
+        exec.set_daemon(proto_thread);
+        // NIC interrupts unblock the protocol thread.
+        for v in [vectors::ETHERNET, vectors::ATM, vectors::T3] {
+            let e2 = exec.clone();
+            host.irqs.register(v, move || e2.unblock(proto_thread));
+        }
+
+        let inner = Arc::new(NetInner {
+            host: host.clone(),
+            exec: exec.clone(),
+            addrs: addrs.clone(),
+            my_ips,
+            events,
+            topology: Topology::default(),
+            ping_waiters: Mutex::new(HashMap::new()),
+            ping_seq: AtomicU16::new(1),
+            stats,
+            proto_thread,
+        });
+        let stack = NetStack { inner };
+        stack.build_default_graph();
+        stack
+    }
+
+    fn define_link(dispatcher: &Dispatcher, name: &str) -> Event<LinkFrame, ()> {
+        let (ev, owner) = dispatcher.define::<LinkFrame, ()>(name, Identity::kernel("Link"));
+        owner.set_primary(|_| ()).expect("fresh event");
+        ev
+    }
+
+    /// Installs the default IP / UDP / TCP / ICMP handlers — the core
+    /// edges of Figure 5.
+    fn build_default_graph(&self) {
+        let ev = self.inner.events.clone();
+        let topo = &self.inner.topology;
+
+        // Link → IP (Ethernet carries an Ethernet header; ATM and T3 are
+        // raw IP).
+        let ip_ev = ev.ip_arrived.clone();
+        self.inner
+            .events
+            .ether_arrived
+            .install(Identity::kernel("IP"), move |f: &LinkFrame| {
+                if let Some((eh, ip_bytes)) = EtherHeader::decode(&f.bytes) {
+                    if eh.ethertype == ETHERTYPE_IPV4 {
+                        if let Some((header, payload)) = Ipv4Header::decode(&ip_bytes) {
+                            let _ = ip_ev.raise(IpPacket {
+                                header,
+                                payload,
+                                medium: f.medium,
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("install IP on ether");
+        topo.note("Ether.PktArrived", "IP");
+        for (link_ev, name) in [(&ev.atm_arrived, "ATM"), (&ev.t3_arrived, "T3")] {
+            let ip_ev = ev.ip_arrived.clone();
+            link_ev
+                .install(Identity::kernel("IP"), move |f: &LinkFrame| {
+                    if let Some((header, payload)) = Ipv4Header::decode(&f.bytes) {
+                        let _ = ip_ev.raise(IpPacket {
+                            header,
+                            payload,
+                            medium: f.medium,
+                        });
+                    }
+                })
+                .expect("install IP on link");
+            topo.note(&format!("{name}.PktArrived"), "IP");
+        }
+
+        // IP → transports, guarded by the protocol type field (§3.2's
+        // worked example of guards).
+        let udp_ev = ev.udp_arrived.clone();
+        ev.ip_arrived
+            .install_guarded(
+                Identity::kernel("UDP"),
+                |p: &IpPacket| p.header.protocol == proto::UDP,
+                move |p: &IpPacket| {
+                    if let Some((header, payload)) = UdpHeader::decode(&p.payload) {
+                        let _ = udp_ev.raise(UdpPacket {
+                            ip: p.header,
+                            header,
+                            payload,
+                        });
+                    }
+                },
+            )
+            .expect("install UDP");
+        topo.note("IP.PacketArrived", "UDP");
+
+        let tcp_ev = ev.tcp_arrived.clone();
+        ev.ip_arrived
+            .install_guarded(
+                Identity::kernel("TCP"),
+                |p: &IpPacket| p.header.protocol == proto::TCP,
+                move |p: &IpPacket| {
+                    if let Some((header, payload)) = TcpHeader::decode(&p.payload) {
+                        let _ = tcp_ev.raise(TcpSegment {
+                            ip: p.header,
+                            header,
+                            payload,
+                        });
+                    }
+                },
+            )
+            .expect("install TCP");
+        topo.note("IP.PacketArrived", "TCP");
+
+        let icmp_ev = ev.icmp_arrived.clone();
+        ev.ip_arrived
+            .install_guarded(
+                Identity::kernel("ICMP"),
+                |p: &IpPacket| p.header.protocol == proto::ICMP,
+                move |p: &IpPacket| {
+                    if let Some((header, payload)) = IcmpHeader::decode(&p.payload) {
+                        let _ = icmp_ev.raise(IcmpPacket {
+                            ip: p.header,
+                            header,
+                            payload,
+                        });
+                    }
+                },
+            )
+            .expect("install ICMP");
+        topo.note("IP.PacketArrived", "ICMP");
+
+        // ICMP default implementation: echo requests are answered, echo
+        // replies wake pingers.
+        let me = self.clone();
+        ev.icmp_arrived
+            .install(Identity::kernel("ICMP"), move |p: &IcmpPacket| {
+                match p.header.kind {
+                    IcmpKind::EchoRequest => {
+                        let reply = IcmpHeader {
+                            kind: IcmpKind::EchoReply,
+                            ident: p.header.ident,
+                            seq: p.header.seq,
+                        }
+                        .encode(&p.payload);
+                        let _ = me.send_ip(p.ip.src, proto::ICMP, reply);
+                    }
+                    IcmpKind::EchoReply => {
+                        let waiter = me
+                            .inner
+                            .ping_waiters
+                            .lock()
+                            .remove(&(p.header.ident, p.header.seq));
+                        if let Some(ch) = waiter {
+                            ch.try_push(me.inner.exec.clock().now());
+                        }
+                    }
+                }
+            })
+            .expect("install ICMP echo");
+        topo.note("ICMP.PktArrived", "Ping");
+    }
+
+    /// The event bundle (for extensions).
+    pub fn events(&self) -> &NetEvents {
+        &self.inner.events
+    }
+
+    /// The Figure 5 topology recorder.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
+    }
+
+    /// The executor this stack runs on.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.inner.exec
+    }
+
+    /// This host's IP on a medium.
+    pub fn ip_on(&self, medium: Medium) -> IpAddr {
+        self.inner.my_ips[&medium]
+    }
+
+    /// The protocol thread (diagnostics).
+    pub fn protocol_thread(&self) -> StrandId {
+        self.inner.proto_thread
+    }
+
+    /// Sends a transport segment to `dst`, running the `SendPacket`
+    /// extension point first.
+    pub fn send_ip(&self, dst: IpAddr, protocol: u8, segment: Bytes) -> Result<(), NetError> {
+        let verdict = self
+            .inner
+            .events
+            .send_packet
+            .raise(SendRequest {
+                dst,
+                protocol,
+                payload: segment.clone(),
+            })
+            .unwrap_or(SendVerdict::Transmit);
+        if verdict == SendVerdict::Suppressed {
+            return Ok(());
+        }
+        self.transmit(dst, protocol, segment)
+    }
+
+    /// Transmits without consulting `SendPacket` (used by handlers that
+    /// have already claimed the packet, e.g. multicast fan-out).
+    pub fn transmit(&self, dst: IpAddr, protocol: u8, segment: Bytes) -> Result<(), NetError> {
+        let (medium, endpoint) = self
+            .inner
+            .addrs
+            .resolve(dst)
+            .ok_or(NetError::NoRoute { dst })?;
+        let src = self.inner.my_ips[&medium];
+        let ip_bytes = Ipv4Header::encode(src, dst, protocol, 64, &segment);
+        let nic = self.nic_for(medium);
+        let frame = match medium {
+            Medium::Ethernet => EtherHeader {
+                src: nic.addr().0,
+                dst: endpoint.0,
+                ethertype: ETHERTYPE_IPV4,
+            }
+            .encode(&ip_bytes),
+            Medium::Atm | Medium::T3 => ip_bytes,
+        };
+        {
+            let mut s = self.inner.stats.lock();
+            s.frames_out += 1;
+            s.bytes_out += frame.len() as u64;
+        }
+        nic.send(endpoint, frame)
+            .map_err(|e| NetError::TooLarge(format!("{e:?}")))
+    }
+
+    fn nic_for(&self, medium: Medium) -> &Nic {
+        match medium {
+            Medium::Ethernet => &self.inner.host.ethernet,
+            Medium::Atm => &self.inner.host.atm,
+            Medium::T3 => &self.inner.host.t3,
+        }
+    }
+
+    /// Sends a UDP datagram.
+    pub fn udp_send(
+        &self,
+        src_port: u16,
+        dst: IpAddr,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        let datagram = UdpHeader::encode(src_port, dst_port, payload);
+        self.send_ip(dst, proto::UDP, datagram)
+    }
+
+    /// Binds a handler to a UDP port (a guarded handler on
+    /// `UDP.PktArrived`, per the paper's idiom).
+    pub fn udp_bind(
+        &self,
+        port: u16,
+        label: &str,
+        handler: impl Fn(&UdpPacket) + Send + Sync + 'static,
+    ) -> Result<spin_core::HandlerId, spin_core::DispatchError> {
+        self.inner.topology.note("UDP.PktArrived", label);
+        self.inner.events.udp_arrived.install_guarded(
+            Identity::extension(label),
+            move |p: &UdpPacket| p.header.dst_port == port,
+            move |p: &UdpPacket| handler(p),
+        )
+    }
+
+    /// Binds a UDP port to a channel for blocking receives.
+    pub fn udp_channel(
+        &self,
+        port: u16,
+        label: &str,
+        depth: usize,
+    ) -> Result<Arc<KChannel<UdpPacket>>, spin_core::DispatchError> {
+        let ch = KChannel::new(self.inner.exec.clone(), depth);
+        let ch2 = ch.clone();
+        self.udp_bind(port, label, move |p| {
+            ch2.try_push(p.clone());
+        })?;
+        Ok(ch)
+    }
+
+    /// Pings `dst` with `payload_len` bytes; returns the round-trip time.
+    pub fn ping(&self, ctx: &StrandCtx, dst: IpAddr, payload_len: usize) -> Option<Nanos> {
+        let ident = self.inner.host.id.0 as u16;
+        let seq = self.inner.ping_seq.fetch_add(1, Ordering::Relaxed);
+        let ch = KChannel::new(self.inner.exec.clone(), 1);
+        self.inner
+            .ping_waiters
+            .lock()
+            .insert((ident, seq), ch.clone());
+        let t0 = self.inner.exec.clock().now();
+        let msg = IcmpHeader {
+            kind: IcmpKind::EchoRequest,
+            ident,
+            seq,
+        }
+        .encode(&vec![0u8; payload_len]);
+        self.send_ip(dst, proto::ICMP, msg).ok()?;
+        let arrived = ch.recv(ctx)?;
+        Some(arrived - t0)
+    }
+
+    /// Stack counters.
+    pub fn stats(&self) -> NetStats {
+        *self.inner.stats.lock()
+    }
+}
+
+/// Errors from the network stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    NoRoute { dst: IpAddr },
+    TooLarge(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testrig::TwoHosts;
+
+    #[test]
+    fn udp_datagram_crosses_the_ethernet() {
+        let rig = TwoHosts::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        rig.b
+            .udp_bind(7777, "sink", move |p| {
+                g2.lock().push((p.header.src_port, p.payload.to_vec()));
+            })
+            .unwrap();
+        let a = rig.a.clone();
+        let dst = rig.b.ip_on(Medium::Ethernet);
+        rig.exec.spawn("sender", move |_| {
+            a.udp_send(1234, dst, 7777, b"hello spin").unwrap();
+        });
+        rig.exec.run_until_idle();
+        let g = got.lock();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0], (1234, b"hello spin".to_vec()));
+    }
+
+    #[test]
+    fn udp_port_guards_separate_endpoints() {
+        let rig = TwoHosts::new();
+        let hits = Arc::new(Mutex::new((0u32, 0u32)));
+        let h1 = hits.clone();
+        rig.b.udp_bind(1, "one", move |_| h1.lock().0 += 1).unwrap();
+        let h2 = hits.clone();
+        rig.b.udp_bind(2, "two", move |_| h2.lock().1 += 1).unwrap();
+        let a = rig.a.clone();
+        let dst = rig.b.ip_on(Medium::Ethernet);
+        rig.exec.spawn("sender", move |_| {
+            a.udp_send(9, dst, 1, b"x").unwrap();
+            a.udp_send(9, dst, 1, b"x").unwrap();
+            a.udp_send(9, dst, 2, b"x").unwrap();
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(*hits.lock(), (2, 1));
+    }
+
+    #[test]
+    fn ping_round_trip_over_both_media() {
+        let rig = TwoHosts::new();
+        let a = rig.a.clone();
+        let eth_dst = rig.b.ip_on(Medium::Ethernet);
+        let atm_dst = rig.b.ip_on(Medium::Atm);
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let r2 = results.clone();
+        rig.exec.spawn("pinger", move |ctx| {
+            let eth = a.ping(ctx, eth_dst, 16).expect("ethernet ping");
+            let atm = a.ping(ctx, atm_dst, 16).expect("atm ping");
+            r2.lock().push((eth, atm));
+        });
+        rig.exec.run_until_idle();
+        let r = results.lock();
+        let (eth, atm) = r[0];
+        assert!(eth > 0 && atm > 0);
+        assert!(atm < eth, "ATM RTT {atm} should beat Ethernet {eth}");
+    }
+
+    #[test]
+    fn send_packet_handlers_can_suppress() {
+        let rig = TwoHosts::new();
+        let seen = Arc::new(Mutex::new(0u32));
+        let s2 = seen.clone();
+        rig.b.udp_bind(5, "sink", move |_| *s2.lock() += 1).unwrap();
+        // A firewall extension suppressing everything to port 5.
+        rig.a
+            .events()
+            .send_packet
+            .install(Identity::extension("firewall"), move |req: &SendRequest| {
+                if req.protocol == proto::UDP {
+                    if let Some((h, _)) = UdpHeader::decode(&req.payload) {
+                        if h.dst_port == 5 {
+                            return SendVerdict::Suppressed;
+                        }
+                    }
+                }
+                SendVerdict::Transmit
+            })
+            .unwrap();
+        let a = rig.a.clone();
+        let dst = rig.b.ip_on(Medium::Ethernet);
+        rig.exec.spawn("sender", move |_| {
+            a.udp_send(9, dst, 5, b"blocked").unwrap();
+            a.udp_send(9, dst, 6, b"allowed").unwrap();
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(*seen.lock(), 0, "port-5 traffic must be suppressed");
+        assert!(rig.b.stats().frames_in >= 1, "port-6 traffic still flows");
+    }
+
+    #[test]
+    fn topology_records_the_figure_5_graph() {
+        let rig = TwoHosts::new();
+        let rendered = rig.a.topology().render();
+        for needle in [
+            "Ether.PktArrived",
+            "IP.PacketArrived",
+            "-> UDP",
+            "-> TCP",
+            "-> ICMP",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
+        }
+    }
+}

@@ -1,0 +1,816 @@
+//! TCP as a kernel extension.
+//!
+//! The paper's stack includes TCP among the in-kernel protocol extensions
+//! (Figure 5; Table 7 lists a 5077-line TCP). The original "use\[d\] the DEC
+//! OSF/1 TCP engine as a SPIN extension, and manually assert\[ed\] that the
+//! code, which is written in C, is safe" (§5.3 n.2); here TCP is written
+//! natively. The implementation covers what the experiments exercise:
+//!
+//! * three-way handshake and active/passive open,
+//! * cumulative ACKs, in-order delivery with an out-of-order reassembly
+//!   buffer,
+//! * sender flow control from the peer's advertised window,
+//! * slow start / congestion avoidance with an ssthresh halved on loss,
+//! * timeout-driven retransmission,
+//! * FIN close (TIME_WAIT collapsed to CLOSED; no simultaneous-open).
+//!
+//! Segments are processed on the protocol thread, which must never block:
+//! handler work is send-and-signal only; blocking waits happen on the
+//! caller's strand.
+
+use crate::pkt::{proto, IpAddr, TcpFlags, TcpHeader};
+use crate::stack::{NetStack, TcpSegment};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use spin_core::Identity;
+use spin_sal::Nanos;
+use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Maximum segment size (fits the Ethernet MTU under IP + TCP headers).
+pub const MSS: usize = 1400;
+
+/// Receive window advertised to the peer.
+const RECV_WINDOW: u16 = 32_768;
+
+/// Retransmission timeout (virtual time).
+const RTO: Nanos = 150_000_000;
+
+/// SYN retry limit before `connect` fails.
+const SYN_RETRIES: u32 = 4;
+
+/// TCP errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpError {
+    /// No listener on the destination port (RST received).
+    Refused,
+    /// The connection is closed.
+    Closed,
+    /// The handshake timed out.
+    Timeout,
+    /// Transmission failed (no route).
+    Net(String),
+}
+
+/// Connection states (RFC 793 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    LastAck,
+    Closed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConnKey {
+    local_port: u16,
+    peer: IpAddr,
+    peer_port: u16,
+}
+
+struct SendEntry {
+    seq: u32,
+    data: Bytes,
+    fin: bool,
+}
+
+struct ConnState {
+    state: TcpState,
+    snd_una: u32,
+    snd_nxt: u32,
+    peer_window: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    rcv_nxt: u32,
+    /// Out-of-order segments awaiting the gap to fill.
+    reassembly: BTreeMap<u32, Bytes>,
+    /// Sent but unacknowledged segments, oldest first.
+    retransmit: VecDeque<SendEntry>,
+    /// Strands blocked waiting for window space.
+    send_waiters: Vec<StrandId>,
+    rto_timer: Option<spin_sal::clock::TimerId>,
+    retransmissions: u64,
+    fin_received: bool,
+}
+
+/// One TCP connection.
+pub struct TcpConn {
+    key: ConnKey,
+    stack: NetStack,
+    exec: Arc<Executor>,
+    state: Mutex<ConnState>,
+    /// In-order data delivered to the application.
+    incoming: Arc<KChannel<Bytes>>,
+    /// Signaled when the handshake completes (or fails: payload false).
+    established: Arc<KChannel<bool>>,
+    /// Signaled when the close handshake fully completes.
+    closed: Arc<KChannel<()>>,
+}
+
+impl TcpConn {
+    /// The connection's current state.
+    pub fn state(&self) -> TcpState {
+        self.state.lock().state
+    }
+
+    /// Total retransmissions performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.state.lock().retransmissions
+    }
+
+    /// The peer address and port.
+    pub fn peer(&self) -> (IpAddr, u16) {
+        (self.key.peer, self.key.peer_port)
+    }
+
+    fn send_segment(&self, flags: TcpFlags, seq: u32, payload: &[u8]) {
+        let st = self.state.lock();
+        let header = TcpHeader {
+            src_port: self.key.local_port,
+            dst_port: self.key.peer_port,
+            seq,
+            ack: if flags.ack { st.rcv_nxt } else { 0 },
+            flags,
+            window: RECV_WINDOW,
+        };
+        drop(st);
+        let seg = header.encode(payload);
+        let _ = self.stack.send_ip(self.key.peer, proto::TCP, seg);
+    }
+
+    fn usable_window(st: &ConnState) -> u32 {
+        let in_flight = st.snd_nxt.wrapping_sub(st.snd_una);
+        st.peer_window.min(st.cwnd).saturating_sub(in_flight)
+    }
+
+    fn arm_rto(self: &Arc<Self>, st: &mut ConnState) {
+        if st.rto_timer.is_some() || st.retransmit.is_empty() {
+            return;
+        }
+        let me = self.clone();
+        let at = self.exec.clock().now() + RTO;
+        st.rto_timer = Some(self.exec.timers().schedule_at(at, move |_| me.on_rto()));
+    }
+
+    fn on_rto(self: &Arc<Self>) {
+        let front = {
+            let mut st = self.state.lock();
+            st.rto_timer = None;
+            if st.retransmit.is_empty() || st.state == TcpState::Closed {
+                return;
+            }
+            // Loss: halve into ssthresh, restart slow start.
+            let in_flight = st.snd_nxt.wrapping_sub(st.snd_una);
+            st.ssthresh = (in_flight / 2).max(2 * MSS as u32);
+            st.cwnd = MSS as u32;
+            st.retransmissions += 1;
+            let e = st.retransmit.front().expect("checked non-empty");
+            (e.seq, e.data.clone(), e.fin)
+        };
+        let (seq, data, fin) = front;
+        self.send_segment(
+            TcpFlags {
+                ack: true,
+                fin,
+                ..Default::default()
+            },
+            seq,
+            &data,
+        );
+        let mut st = self.state.lock();
+        self.arm_rto(&mut st);
+    }
+
+    /// Sends `data`, blocking for window space as needed.
+    pub fn send(self: &Arc<Self>, ctx: &StrandCtx, data: &[u8]) -> Result<(), TcpError> {
+        let mut offset = 0;
+        while offset < data.len() {
+            // Wait for window space.
+            loop {
+                let mut st = self.state.lock();
+                match st.state {
+                    TcpState::Established | TcpState::CloseWait => {}
+                    _ => return Err(TcpError::Closed),
+                }
+                if Self::usable_window(&st) >= 1 {
+                    break;
+                }
+                st.send_waiters.push(ctx.id());
+                drop(st);
+                ctx.block();
+            }
+            let (seq, chunk) = {
+                let mut st = self.state.lock();
+                let window = Self::usable_window(&st) as usize;
+                let n = (data.len() - offset).min(MSS).min(window.max(1));
+                let chunk = Bytes::copy_from_slice(&data[offset..offset + n]);
+                let seq = st.snd_nxt;
+                st.snd_nxt = st.snd_nxt.wrapping_add(n as u32);
+                st.retransmit.push_back(SendEntry {
+                    seq,
+                    data: chunk.clone(),
+                    fin: false,
+                });
+                (seq, chunk)
+            };
+            self.send_segment(
+                TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                },
+                seq,
+                &chunk,
+            );
+            {
+                let mut st = self.state.lock();
+                self.arm_rto(&mut st);
+            }
+            offset += chunk.len();
+        }
+        Ok(())
+    }
+
+    /// Receives the next in-order chunk; `None` once the peer has closed
+    /// and all data is drained.
+    pub fn recv(&self, ctx: &StrandCtx) -> Option<Bytes> {
+        loop {
+            if let Some(b) = self.incoming.try_recv() {
+                return Some(b);
+            }
+            {
+                let st = self.state.lock();
+                if st.fin_received || st.state == TcpState::Closed {
+                    // Drain anything that raced in.
+                    return self.incoming.try_recv();
+                }
+            }
+            // Block until the protocol thread delivers or the peer closes.
+            match self.incoming.recv(ctx) {
+                Some(b) => return Some(b),
+                None => return None,
+            }
+        }
+    }
+
+    /// Receives exactly `n` bytes (concatenating chunks).
+    pub fn recv_exact(&self, ctx: &StrandCtx, n: usize) -> Result<Vec<u8>, TcpError> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.recv(ctx) {
+                Some(b) => out.extend_from_slice(&b),
+                None => return Err(TcpError::Closed),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Closes the send side and waits for the close handshake.
+    pub fn close(self: &Arc<Self>, ctx: &StrandCtx) {
+        let fin_seq = {
+            let mut st = self.state.lock();
+            match st.state {
+                TcpState::Established => st.state = TcpState::FinWait1,
+                TcpState::CloseWait => st.state = TcpState::LastAck,
+                _ => return,
+            }
+            let seq = st.snd_nxt;
+            st.snd_nxt = st.snd_nxt.wrapping_add(1);
+            st.retransmit.push_back(SendEntry {
+                seq,
+                data: Bytes::new(),
+                fin: true,
+            });
+            seq
+        };
+        self.send_segment(
+            TcpFlags {
+                fin: true,
+                ack: true,
+                ..Default::default()
+            },
+            fin_seq,
+            &[],
+        );
+        {
+            let mut st = self.state.lock();
+            self.arm_rto(&mut st);
+        }
+        // Wait until fully closed (bounded by the channel close).
+        let _ = self.closed.recv(ctx);
+    }
+
+    /// Handles an inbound segment (protocol-thread context; must not
+    /// block).
+    fn on_segment(self: &Arc<Self>, seg: &TcpSegment) {
+        let h = &seg.header;
+        let mut wake_senders = Vec::new();
+        let mut deliver: Vec<Bytes> = Vec::new();
+        let mut send_ack = false;
+        let mut now_established = false;
+        let mut now_closed = false;
+        let mut fin_arrived = false;
+        {
+            let mut st = self.state.lock();
+            if h.flags.rst {
+                st.state = TcpState::Closed;
+                st.fin_received = true;
+                now_closed = true;
+                wake_senders.append(&mut st.send_waiters);
+            } else {
+                // Handshake transitions.
+                match st.state {
+                    TcpState::SynSent if h.flags.syn && h.flags.ack => {
+                        st.rcv_nxt = h.seq.wrapping_add(1);
+                        st.snd_una = h.ack;
+                        st.state = TcpState::Established;
+                        now_established = true;
+                        send_ack = true;
+                        wake_senders.append(&mut st.send_waiters);
+                    }
+                    TcpState::SynReceived if h.flags.ack && !h.flags.syn => {
+                        st.snd_una = h.ack;
+                        st.state = TcpState::Established;
+                        now_established = true;
+                    }
+                    _ => {}
+                }
+                st.peer_window = h.window as u32;
+
+                // ACK processing.
+                if h.flags.ack && seq_le(st.snd_una, h.ack) && seq_le(h.ack, st.snd_nxt) {
+                    let advanced = h.ack != st.snd_una;
+                    st.snd_una = h.ack;
+                    while let Some(front) = st.retransmit.front() {
+                        let end = front
+                            .seq
+                            .wrapping_add(front.data.len() as u32)
+                            .wrapping_add(front.fin as u32);
+                        if seq_le(end, h.ack) {
+                            st.retransmit.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    if advanced {
+                        // Congestion growth: slow start then linear.
+                        if st.cwnd < st.ssthresh {
+                            st.cwnd += MSS as u32;
+                        } else {
+                            st.cwnd += (MSS * MSS) as u32 / st.cwnd.max(1);
+                        }
+                        if let Some(t) = st.rto_timer.take() {
+                            self.exec.timers().cancel(t);
+                        }
+                        wake_senders.append(&mut st.send_waiters);
+                        // Close-handshake progress.
+                        if st.retransmit.is_empty() {
+                            match st.state {
+                                TcpState::FinWait1 => st.state = TcpState::FinWait2,
+                                TcpState::LastAck => {
+                                    st.state = TcpState::Closed;
+                                    now_closed = true;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+
+                // Data and FIN processing.
+                if !seg.payload.is_empty() || h.flags.fin {
+                    if h.seq == st.rcv_nxt {
+                        if !seg.payload.is_empty() {
+                            st.rcv_nxt = st.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                            deliver.push(seg.payload.clone());
+                        }
+                        // Pull contiguous reassembly.
+                        while let Some((&s, _)) = st.reassembly.first_key_value() {
+                            if s == st.rcv_nxt {
+                                let (_, data) = st.reassembly.pop_first().expect("peeked");
+                                st.rcv_nxt = st.rcv_nxt.wrapping_add(data.len() as u32);
+                                deliver.push(data);
+                            } else {
+                                break;
+                            }
+                        }
+                        if h.flags.fin {
+                            st.rcv_nxt = st.rcv_nxt.wrapping_add(1);
+                            st.fin_received = true;
+                            fin_arrived = true;
+                            match st.state {
+                                TcpState::Established => st.state = TcpState::CloseWait,
+                                TcpState::FinWait2 | TcpState::FinWait1 => {
+                                    st.state = TcpState::Closed;
+                                    now_closed = true;
+                                }
+                                _ => {}
+                            }
+                        }
+                        send_ack = true;
+                    } else if seq_lt(st.rcv_nxt, h.seq) && !seg.payload.is_empty() {
+                        st.reassembly.insert(h.seq, seg.payload.clone());
+                        send_ack = true; // duplicate ACK for the gap
+                    } else {
+                        send_ack = true; // old segment: re-ACK
+                    }
+                }
+            }
+        }
+        for b in deliver {
+            self.incoming.try_push(b);
+        }
+        if fin_arrived {
+            // No more data will arrive: wake any blocked receiver. Queued
+            // chunks are still drained before `recv` reports end-of-stream.
+            self.incoming.close();
+        }
+        if send_ack {
+            let seq = self.state.lock().snd_nxt;
+            self.send_segment(
+                TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                },
+                seq,
+                &[],
+            );
+        }
+        for w in wake_senders {
+            self.exec.unblock(w);
+        }
+        if now_established {
+            self.established.try_push(true);
+        }
+        if now_closed {
+            self.incoming.close();
+            self.closed.close();
+        }
+    }
+}
+
+/// A passive listener.
+pub struct TcpListener {
+    accept_ch: Arc<KChannel<Arc<TcpConn>>>,
+    pub port: u16,
+}
+
+impl TcpListener {
+    /// Accepts the next established connection.
+    pub fn accept(&self, ctx: &StrandCtx) -> Option<Arc<TcpConn>> {
+        self.accept_ch.recv(ctx)
+    }
+}
+
+struct TcpStackState {
+    conns: HashMap<ConnKey, Arc<TcpConn>>,
+    listeners: HashMap<u16, Arc<KChannel<Arc<TcpConn>>>>,
+}
+
+/// The per-host TCP extension.
+#[derive(Clone)]
+pub struct TcpStack {
+    stack: NetStack,
+    exec: Arc<Executor>,
+    state: Arc<Mutex<TcpStackState>>,
+    next_port: Arc<AtomicU16>,
+    isn: Arc<AtomicU32>,
+}
+
+impl TcpStack {
+    /// Installs TCP on a stack: a handler on `TCP.PktArrived` routes
+    /// segments to connections and listeners.
+    pub fn install(stack: &NetStack) -> TcpStack {
+        let tcp = TcpStack {
+            stack: stack.clone(),
+            exec: stack.executor().clone(),
+            state: Arc::new(Mutex::new(TcpStackState {
+                conns: HashMap::new(),
+                listeners: HashMap::new(),
+            })),
+            next_port: Arc::new(AtomicU16::new(30_000)),
+            isn: Arc::new(AtomicU32::new(1_000)),
+        };
+        let tcp2 = tcp.clone();
+        stack
+            .events()
+            .tcp_arrived
+            .install(Identity::kernel("TCPConn"), move |seg: &TcpSegment| {
+                tcp2.on_segment(seg);
+            })
+            .expect("install TCP segment router");
+        stack.topology().note("TCP.PktArrived", "TCP connections");
+        tcp
+    }
+
+    fn new_conn(&self, key: ConnKey, state: TcpState, snd_nxt: u32, rcv_nxt: u32) -> Arc<TcpConn> {
+        Arc::new(TcpConn {
+            key,
+            stack: self.stack.clone(),
+            exec: self.exec.clone(),
+            state: Mutex::new(ConnState {
+                state,
+                snd_una: snd_nxt,
+                snd_nxt,
+                peer_window: RECV_WINDOW as u32,
+                cwnd: 2 * MSS as u32,
+                ssthresh: 64 * 1024,
+                rcv_nxt,
+                reassembly: BTreeMap::new(),
+                retransmit: VecDeque::new(),
+                send_waiters: Vec::new(),
+                rto_timer: None,
+                retransmissions: 0,
+                fin_received: false,
+            }),
+            incoming: KChannel::new(self.exec.clone(), 1024),
+            established: KChannel::new(self.exec.clone(), 1),
+            closed: KChannel::new(self.exec.clone(), 1),
+        })
+    }
+
+    /// Starts listening on `port`.
+    pub fn listen(&self, port: u16) -> Arc<TcpListener> {
+        let ch = KChannel::new(self.exec.clone(), 64);
+        self.state.lock().listeners.insert(port, ch.clone());
+        Arc::new(TcpListener {
+            accept_ch: ch,
+            port,
+        })
+    }
+
+    /// Opens a connection to `dst:port`, blocking through the handshake.
+    pub fn connect(
+        &self,
+        ctx: &StrandCtx,
+        dst: IpAddr,
+        port: u16,
+    ) -> Result<Arc<TcpConn>, TcpError> {
+        let local_port = self.next_port.fetch_add(1, Ordering::Relaxed);
+        let isn = self.isn.fetch_add(64_000, Ordering::Relaxed);
+        let key = ConnKey {
+            local_port,
+            peer: dst,
+            peer_port: port,
+        };
+        let conn = self.new_conn(key, TcpState::SynSent, isn.wrapping_add(1), 0);
+        self.state.lock().conns.insert(key, conn.clone());
+
+        for _attempt in 0..SYN_RETRIES {
+            // Register for the establishment/RST wakeup before the SYN can
+            // possibly be answered.
+            conn.state.lock().send_waiters.push(ctx.id());
+            conn.send_segment(
+                TcpFlags {
+                    syn: true,
+                    ..Default::default()
+                },
+                isn,
+                &[],
+            );
+            // Wait for establishment, refusal, or a timeout tick.
+            let exec = self.exec.clone();
+            let waiter = ctx.id();
+            let deadline = exec.clock().now() + RTO;
+            let timer = self.exec.timers().schedule_at(deadline, move |_| {
+                exec.unblock(waiter);
+            });
+            if conn.state() == TcpState::SynSent {
+                ctx.block();
+            }
+            self.exec.timers().cancel(timer);
+            match conn.state() {
+                TcpState::Established => return Ok(conn),
+                TcpState::Closed => {
+                    self.state.lock().conns.remove(&key);
+                    return Err(TcpError::Refused);
+                }
+                _ => {}
+            }
+        }
+        self.state.lock().conns.remove(&key);
+        Err(TcpError::Timeout)
+    }
+
+    fn on_segment(&self, seg: &TcpSegment) {
+        let key = ConnKey {
+            local_port: seg.header.dst_port,
+            peer: seg.ip.src,
+            peer_port: seg.header.src_port,
+        };
+        let existing = self.state.lock().conns.get(&key).cloned();
+        if let Some(conn) = existing {
+            conn.on_segment(seg);
+            // Reap fully closed connections.
+            if conn.state() == TcpState::Closed {
+                self.state.lock().conns.remove(&key);
+            }
+            return;
+        }
+        if seg.header.flags.syn && !seg.header.flags.ack {
+            let listener = self.state.lock().listeners.get(&key.local_port).cloned();
+            if let Some(accept_ch) = listener {
+                // Passive open: SYN-RECEIVED, send SYN-ACK.
+                let isn = self.isn.fetch_add(64_000, Ordering::Relaxed);
+                let conn = self.new_conn(
+                    key,
+                    TcpState::SynReceived,
+                    isn.wrapping_add(1),
+                    seg.header.seq.wrapping_add(1),
+                );
+                self.state.lock().conns.insert(key, conn.clone());
+                conn.send_segment(
+                    TcpFlags {
+                        syn: true,
+                        ack: true,
+                        ..Default::default()
+                    },
+                    isn,
+                    &[],
+                );
+                accept_ch.try_push(conn);
+                return;
+            }
+        }
+        // No connection, no listener: refuse.
+        if !seg.header.flags.rst {
+            let reply = TcpHeader {
+                src_port: key.local_port,
+                dst_port: key.peer_port,
+                seq: seg.header.ack,
+                ack: seg.header.seq.wrapping_add(1),
+                flags: TcpFlags {
+                    rst: true,
+                    ack: true,
+                    ..Default::default()
+                },
+                window: 0,
+            }
+            .encode(&[]);
+            let _ = self.stack.send_ip(key.peer, proto::TCP, reply);
+        }
+    }
+
+    /// Open connections (diagnostics).
+    pub fn connection_count(&self) -> usize {
+        self.state.lock().conns.len()
+    }
+}
+
+#[inline]
+fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+#[inline]
+fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Medium;
+    use crate::testrig::TwoHosts;
+
+    fn tcp_rig() -> (TwoHosts, TcpStack, TcpStack) {
+        let rig = TwoHosts::new();
+        let a = TcpStack::install(&rig.a);
+        let b = TcpStack::install(&rig.b);
+        (rig, a, b)
+    }
+
+    #[test]
+    fn connect_and_exchange_data() {
+        let (rig, a, b) = tcp_rig();
+        let listener = b.listen(80);
+        rig.exec.spawn("server", move |ctx| {
+            let conn = listener.accept(ctx).expect("one client");
+            let req = conn.recv(ctx).expect("request");
+            assert_eq!(&req[..], b"ping");
+            conn.send(ctx, b"pong").unwrap();
+        });
+        let dst = rig.b_ip(Medium::Ethernet);
+        let done = Arc::new(Mutex::new(false));
+        let d2 = done.clone();
+        rig.exec.spawn("client", move |ctx| {
+            let conn = a.connect(ctx, dst, 80).expect("handshake");
+            assert_eq!(conn.state(), TcpState::Established);
+            conn.send(ctx, b"ping").unwrap();
+            let reply = conn.recv(ctx).expect("reply");
+            assert_eq!(&reply[..], b"pong");
+            *d2.lock() = true;
+        });
+        rig.exec.run_until_idle();
+        assert!(*done.lock());
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_refused() {
+        let (rig, a, _b) = tcp_rig();
+        let dst = rig.b_ip(Medium::Ethernet);
+        let result = Arc::new(Mutex::new(None));
+        let r2 = result.clone();
+        rig.exec.spawn("client", move |ctx| {
+            *r2.lock() = Some(a.connect(ctx, dst, 81).err());
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(result.lock().clone().flatten(), Some(TcpError::Refused));
+    }
+
+    #[test]
+    fn bulk_transfer_is_ordered_and_complete() {
+        let (rig, a, b) = tcp_rig();
+        let listener = b.listen(80);
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let r2 = received.clone();
+        rig.exec.spawn("server", move |ctx| {
+            let conn = listener.accept(ctx).expect("client");
+            while let Some(chunk) = conn.recv(ctx) {
+                r2.lock().extend_from_slice(&chunk);
+            }
+        });
+        let dst = rig.b_ip(Medium::Atm);
+        let payload: Vec<u8> = (0..20_000).map(|i| (i % 241) as u8).collect();
+        let p2 = payload.clone();
+        rig.exec.spawn("client", move |ctx| {
+            let conn = a.connect(ctx, dst, 80).unwrap();
+            conn.send(ctx, &p2).unwrap();
+            conn.close(ctx);
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(*received.lock(), payload);
+    }
+
+    #[test]
+    fn retransmission_recovers_from_loss() {
+        let (rig, a, b) = tcp_rig();
+        // Drop every 5th frame on the Ethernet.
+        rig.board.ethernet.set_drop_filter(|i| i % 5 == 4);
+        let listener = b.listen(80);
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let r2 = received.clone();
+        rig.exec.spawn("server", move |ctx| {
+            let conn = listener.accept(ctx).expect("client");
+            while let Some(chunk) = conn.recv(ctx) {
+                r2.lock().extend_from_slice(&chunk);
+            }
+        });
+        let dst = rig.b_ip(Medium::Ethernet);
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 199) as u8).collect();
+        let p2 = payload.clone();
+        let retx = Arc::new(Mutex::new(0u64));
+        let rt2 = retx.clone();
+        rig.exec.spawn("client", move |ctx| {
+            let conn = a.connect(ctx, dst, 80).unwrap();
+            conn.send(ctx, &p2).unwrap();
+            // Give retransmissions time to drain before closing.
+            ctx.sleep(2 * RTO * (SYN_RETRIES as u64));
+            *rt2.lock() = conn.retransmissions();
+            conn.close(ctx);
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(
+            *received.lock(),
+            payload,
+            "all data must arrive despite loss"
+        );
+        assert!(*retx.lock() > 0, "loss must have forced retransmission");
+    }
+
+    #[test]
+    fn close_handshake_reaps_connections() {
+        let (rig, a, b) = tcp_rig();
+        let listener = b.listen(80);
+        let b2 = b.clone();
+        rig.exec.spawn("server", move |ctx| {
+            let conn = listener.accept(ctx).expect("client");
+            // Drain to FIN, then close our side.
+            while conn.recv(ctx).is_some() {}
+            conn.close(ctx);
+            let _ = b2;
+        });
+        let dst = rig.b_ip(Medium::Ethernet);
+        let a2 = a.clone();
+        rig.exec.spawn("client", move |ctx| {
+            let conn = a2.connect(ctx, dst, 80).unwrap();
+            conn.send(ctx, b"bye").unwrap();
+            conn.close(ctx);
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(a.connection_count(), 0);
+        assert_eq!(b.connection_count(), 0);
+    }
+
+    #[test]
+    fn sequence_comparisons_wrap() {
+        assert!(seq_lt(u32::MAX - 1, 2));
+        assert!(seq_le(5, 5));
+        assert!(!seq_lt(2, u32::MAX - 1));
+    }
+}

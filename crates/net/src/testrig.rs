@@ -1,0 +1,139 @@
+//! The standard two-workstation testbed used throughout the networking
+//! tests and benchmarks: two hosts on one board (shared timeline), both
+//! attached to Ethernet, ATM and T3, each with an installed [`NetStack`].
+
+use crate::pkt::IpAddr;
+use crate::stack::{AddressMap, Medium, NetStack};
+use spin_core::Dispatcher;
+use spin_sal::{Host, SimBoard};
+use spin_sched::Executor;
+use std::sync::Arc;
+
+/// The two-host rig.
+pub struct TwoHosts {
+    pub board: SimBoard,
+    pub exec: Arc<Executor>,
+    pub dispatcher: Dispatcher,
+    pub addrs: AddressMap,
+    pub host_a: Host,
+    pub host_b: Host,
+    pub a: NetStack,
+    pub b: NetStack,
+}
+
+impl Default for TwoHosts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoHosts {
+    /// Builds the rig with conventional addresses: host A is 10.x.0.1,
+    /// host B is 10.x.0.2 (x = 0 Ethernet, 1 ATM, 2 T3).
+    pub fn new() -> TwoHosts {
+        let board = SimBoard::new();
+        let host_a = board.new_host(256);
+        let host_b = board.new_host(256);
+        let exec = Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        );
+        exec.add_irq_controller(host_a.irqs.clone());
+        exec.add_irq_controller(host_b.irqs.clone());
+        let dispatcher = Dispatcher::new(board.clock.clone(), board.profile.clone());
+        let addrs = AddressMap::new();
+        let a = NetStack::install(
+            &host_a,
+            &exec,
+            &dispatcher,
+            &addrs,
+            IpAddr::new(10, 0, 0, 1),
+            IpAddr::new(10, 1, 0, 1),
+            IpAddr::new(10, 2, 0, 1),
+        );
+        let b = NetStack::install(
+            &host_b,
+            &exec,
+            &dispatcher,
+            &addrs,
+            IpAddr::new(10, 0, 0, 2),
+            IpAddr::new(10, 1, 0, 2),
+            IpAddr::new(10, 2, 0, 2),
+        );
+        TwoHosts {
+            board,
+            exec,
+            dispatcher,
+            addrs,
+            host_a,
+            host_b,
+            a,
+            b,
+        }
+    }
+
+    /// The IP of stack `b` on `medium` (the usual target).
+    pub fn b_ip(&self, medium: Medium) -> IpAddr {
+        self.b.ip_on(medium)
+    }
+}
+
+/// A three-workstation rig (client, forwarder, server) for the Table 6
+/// protocol-forwarding experiments.
+pub struct ThreeHosts {
+    pub board: SimBoard,
+    pub exec: Arc<Executor>,
+    pub dispatcher: Dispatcher,
+    pub addrs: AddressMap,
+    pub a: NetStack,
+    pub b: NetStack,
+    pub c: NetStack,
+}
+
+impl Default for ThreeHosts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreeHosts {
+    /// Builds the rig; host X is 10.m.0.X on medium m.
+    pub fn new() -> ThreeHosts {
+        let board = SimBoard::new();
+        let hosts: Vec<Host> = (0..3).map(|_| board.new_host(256)).collect();
+        let exec = Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        );
+        let dispatcher = Dispatcher::new(board.clock.clone(), board.profile.clone());
+        let addrs = AddressMap::new();
+        let mut stacks = Vec::new();
+        for (i, host) in hosts.iter().enumerate() {
+            exec.add_irq_controller(host.irqs.clone());
+            let n = (i + 1) as u8;
+            stacks.push(NetStack::install(
+                host,
+                &exec,
+                &dispatcher,
+                &addrs,
+                IpAddr::new(10, 0, 0, n),
+                IpAddr::new(10, 1, 0, n),
+                IpAddr::new(10, 2, 0, n),
+            ));
+        }
+        let c = stacks.pop().expect("three stacks");
+        let b = stacks.pop().expect("two stacks");
+        let a = stacks.pop().expect("one stack");
+        ThreeHosts {
+            board,
+            exec,
+            dispatcher,
+            addrs,
+            a,
+            b,
+            c,
+        }
+    }
+}

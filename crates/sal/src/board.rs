@@ -1,0 +1,210 @@
+//! Assembling the simulated testbed: a board (shared timeline + wire) and
+//! hosts (CPU-local hardware).
+//!
+//! The paper's experiments run on one or two DEC Alpha workstations joined
+//! by Ethernet and ATM. [`SimBoard::new_host`] builds a fully-populated
+//! workstation; multi-host experiments share one [`SimBoard`], hence one
+//! virtual timeline, one timer queue and one wire per medium.
+
+use crate::clock::{Clock, TimerQueue};
+use crate::cost::MachineProfile;
+use crate::devices::console::Console;
+use crate::devices::disk::{Disk, DiskGeometry};
+use crate::devices::nic::{Nic, NicModel};
+use crate::irq::IrqController;
+use crate::mem::PhysMem;
+use crate::mmu::Mmu;
+use crate::wire::{Wire, WireEndpoint};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+/// Well-known interrupt vectors, mirroring a fixed motherboard wiring.
+pub mod vectors {
+    use crate::irq::IrqVector;
+
+    pub const DISK: IrqVector = IrqVector(1);
+    pub const ETHERNET: IrqVector = IrqVector(2);
+    pub const ATM: IrqVector = IrqVector(3);
+    pub const T3: IrqVector = IrqVector(4);
+    pub const TIMER: IrqVector = IrqVector(5);
+}
+
+/// The shared simulation backplane.
+#[derive(Clone)]
+pub struct SimBoard {
+    pub clock: Clock,
+    pub timers: TimerQueue,
+    pub profile: Arc<MachineProfile>,
+    /// The Ethernet segment joining all hosts.
+    pub ethernet: Wire,
+    /// The ATM switch joining all hosts.
+    pub atm: Wire,
+    /// The T3 link (video-server experiment).
+    pub t3: Wire,
+    next_host: Arc<Mutex<u32>>,
+}
+
+impl SimBoard {
+    /// Creates a board with the paper's machine profile.
+    pub fn new() -> Self {
+        Self::with_profile(MachineProfile::alpha_axp_3000_400())
+    }
+
+    /// Creates a board with a custom profile (used by ablation benches).
+    pub fn with_profile(profile: MachineProfile) -> Self {
+        let clock = Clock::new();
+        let timers = TimerQueue::new();
+        // One-way latency: dominated by the switch/segment, a few µs.
+        let ethernet = Wire::new(clock.clone(), timers.clone(), 5_000);
+        let atm = Wire::new(clock.clone(), timers.clone(), 3_000);
+        let t3 = Wire::new(clock.clone(), timers.clone(), 3_000);
+        SimBoard {
+            clock,
+            timers,
+            profile: Arc::new(profile),
+            ethernet,
+            atm,
+            t3,
+            next_host: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// Builds a complete workstation attached to all three media.
+    ///
+    /// Wire addresses are deterministic: host *i* gets endpoint *i* on every
+    /// medium.
+    pub fn new_host(&self, memory_frames: usize) -> Host {
+        let id = {
+            let mut n = self.next_host.lock();
+            let id = HostId(*n);
+            *n += 1;
+            id
+        };
+        let irqs = IrqController::new(self.clock.clone(), self.profile.clone());
+        let endpoint = WireEndpoint(id.0);
+        Host {
+            id,
+            mem: PhysMem::new(memory_frames),
+            mmu: Mmu::new(self.clock.clone(), self.profile.clone()),
+            console: Console::new(self.clock.clone(), self.profile.clone()),
+            disk: Disk::new(
+                DiskGeometry::default(),
+                self.clock.clone(),
+                self.timers.clone(),
+                irqs.clone(),
+                vectors::DISK,
+                self.profile.clone(),
+            ),
+            ethernet: Nic::new(
+                NicModel::lance_ethernet(),
+                endpoint,
+                self.ethernet.clone(),
+                irqs.clone(),
+                vectors::ETHERNET,
+                self.clock.clone(),
+                self.profile.clone(),
+            ),
+            atm: Nic::new(
+                NicModel::fore_atm(),
+                endpoint,
+                self.atm.clone(),
+                irqs.clone(),
+                vectors::ATM,
+                self.clock.clone(),
+                self.profile.clone(),
+            ),
+            t3: Nic::new(
+                NicModel::t3_dma(),
+                endpoint,
+                self.t3.clone(),
+                irqs.clone(),
+                vectors::T3,
+                self.clock.clone(),
+                self.profile.clone(),
+            ),
+            irqs,
+            clock: self.clock.clone(),
+            timers: self.timers.clone(),
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+impl Default for SimBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One simulated DEC Alpha workstation.
+#[derive(Clone)]
+pub struct Host {
+    pub id: HostId,
+    pub mem: PhysMem,
+    pub mmu: Mmu,
+    pub console: Console,
+    pub disk: Disk,
+    pub ethernet: Nic,
+    pub atm: Nic,
+    pub t3: Nic,
+    pub irqs: IrqController,
+    pub clock: Clock,
+    pub timers: TimerQueue,
+    pub profile: Arc<MachineProfile>,
+}
+
+impl Host {
+    /// This host's address on every wire.
+    pub fn endpoint(&self) -> WireEndpoint {
+        WireEndpoint(self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn two_hosts_share_a_timeline_and_can_talk() {
+        let board = SimBoard::new();
+        let a = board.new_host(64);
+        let b = board.new_host(64);
+        assert_ne!(a.id, b.id);
+
+        a.ethernet
+            .send(b.endpoint(), Bytes::from_static(b"hello"))
+            .unwrap();
+        board.clock.skip_to(board.clock.now() + 10_000_000);
+        board.timers.fire_due(board.clock.now());
+        b.irqs.dispatch_pending();
+        let f = b.ethernet.receive().unwrap();
+        assert_eq!(&f.payload[..], b"hello");
+    }
+
+    #[test]
+    fn hosts_have_isolated_memory_and_mmu() {
+        let board = SimBoard::new();
+        let a = board.new_host(8);
+        let b = board.new_host(8);
+        a.mem.write(crate::FrameId(0), 0, &[1]);
+        let mut buf = [0u8; 1];
+        b.mem.read(crate::FrameId(0), 0, &mut buf);
+        assert_eq!(buf, [0]);
+        let ctx = a.mmu.create_context();
+        assert!(b.mmu.examine(ctx, 0).is_err());
+    }
+
+    #[test]
+    fn endpoints_are_deterministic() {
+        let board = SimBoard::new();
+        let a = board.new_host(1);
+        let b = board.new_host(1);
+        assert_eq!(a.endpoint(), WireEndpoint(0));
+        assert_eq!(b.endpoint(), WireEndpoint(1));
+    }
+}

@@ -1,0 +1,284 @@
+//! The simulated disk: "read block 22 from SCSI unit 0" (§5.1).
+//!
+//! Models the paper's HP C2247-300 1 GB drive with a seek + rotation +
+//! transfer latency model. Requests are asynchronous: completion runs from a
+//! timer callback which hands the data to the submitted continuation and
+//! posts the disk's interrupt vector. Blocking reads are layered on top by
+//! the file system using strands.
+
+use crate::clock::{Clock, Nanos, TimerQueue};
+use crate::cost::MachineProfile;
+use crate::irq::{IrqController, IrqVector};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Disk block size (one 8 KB page, so paging I/O is one block per page).
+pub const BLOCK_SIZE: usize = crate::PAGE_SIZE;
+
+/// Index of a disk block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Physical characteristics of the drive.
+#[derive(Debug, Clone)]
+pub struct DiskGeometry {
+    /// Total number of blocks.
+    pub blocks: u64,
+}
+
+impl Default for DiskGeometry {
+    fn default() -> Self {
+        // 1 GB drive in 8 KB blocks, like the HP C2247-300.
+        DiskGeometry { blocks: 131_072 }
+    }
+}
+
+/// A queued I/O request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskRequest {
+    Read(BlockId),
+    Write(BlockId, Vec<u8>),
+}
+
+type Completion = Box<dyn FnOnce(Result<Vec<u8>, DiskError>) + Send>;
+
+/// Errors reported at completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// The block number is beyond the end of the drive.
+    OutOfRange(BlockId),
+    /// A write buffer was not exactly one block.
+    BadLength(usize),
+}
+
+struct DiskState {
+    blocks: Vec<Option<Box<[u8]>>>, // None = still zero (never written)
+    head: u64,
+    in_flight: u64,
+    completed: u64,
+}
+
+/// The simulated disk.
+#[derive(Clone)]
+pub struct Disk {
+    state: Arc<Mutex<DiskState>>,
+    geometry: DiskGeometry,
+    clock: Clock,
+    timers: TimerQueue,
+    irqs: IrqController,
+    vector: IrqVector,
+    profile: Arc<MachineProfile>,
+}
+
+impl Disk {
+    /// Creates a zero-filled disk that posts completions on `vector`.
+    pub fn new(
+        geometry: DiskGeometry,
+        clock: Clock,
+        timers: TimerQueue,
+        irqs: IrqController,
+        vector: IrqVector,
+        profile: Arc<MachineProfile>,
+    ) -> Self {
+        let blocks = (0..geometry.blocks).map(|_| None).collect();
+        Disk {
+            state: Arc::new(Mutex::new(DiskState {
+                blocks,
+                head: 0,
+                in_flight: 0,
+                completed: 0,
+            })),
+            geometry,
+            clock,
+            timers,
+            irqs,
+            vector,
+            profile,
+        }
+    }
+
+    /// The drive's interrupt vector.
+    pub fn vector(&self) -> IrqVector {
+        self.vector
+    }
+
+    /// The drive's geometry.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Latency model: sequential access pays only transfer; anything else
+    /// pays an average seek plus half a rotation.
+    fn latency(&self, head: u64, target: u64) -> Nanos {
+        let p = &self.profile;
+        if target == head || target == head + 1 {
+            p.disk_block_transfer
+        } else {
+            p.disk_seek + p.disk_rotation / 2 + p.disk_block_transfer
+        }
+    }
+
+    /// Submits a request; `done` runs (from a timer) when the media
+    /// operation completes, after which the interrupt vector is posted.
+    ///
+    /// Reads complete with the block contents; writes complete with an
+    /// empty buffer.
+    pub fn submit(
+        &self,
+        req: DiskRequest,
+        done: impl FnOnce(Result<Vec<u8>, DiskError>) + Send + 'static,
+    ) {
+        let done: Completion = Box::new(done);
+        let block = match &req {
+            DiskRequest::Read(b) | DiskRequest::Write(b, _) => *b,
+        };
+        if block.0 >= self.geometry.blocks {
+            done(Err(DiskError::OutOfRange(block)));
+            return;
+        }
+        if let DiskRequest::Write(_, buf) = &req {
+            if buf.len() != BLOCK_SIZE {
+                done(Err(DiskError::BadLength(buf.len())));
+                return;
+            }
+        }
+        let latency = {
+            let mut st = self.state.lock();
+            let l = self.latency(st.head, block.0);
+            st.head = block.0;
+            st.in_flight += 1;
+            l
+        };
+        let state = self.state.clone();
+        let irqs = self.irqs.clone();
+        let vector = self.vector;
+        let when = self.clock.now() + latency;
+        self.timers.schedule_at(when, move |_| {
+            let result = {
+                let mut st = state.lock();
+                st.in_flight -= 1;
+                st.completed += 1;
+                match req {
+                    DiskRequest::Read(b) => {
+                        let data = match &st.blocks[b.0 as usize] {
+                            Some(d) => d.to_vec(),
+                            None => vec![0u8; BLOCK_SIZE],
+                        };
+                        Ok(data)
+                    }
+                    DiskRequest::Write(b, buf) => {
+                        st.blocks[b.0 as usize] = Some(buf.into_boxed_slice());
+                        Ok(Vec::new())
+                    }
+                }
+            };
+            done(result);
+            irqs.post(vector);
+        });
+    }
+
+    /// (in-flight, completed) request counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.in_flight, st.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> (Disk, Clock, TimerQueue, IrqController) {
+        let clock = Clock::new();
+        let timers = TimerQueue::new();
+        let profile = Arc::new(MachineProfile::alpha_axp_3000_400());
+        let irqs = IrqController::new(clock.clone(), profile.clone());
+        let disk = Disk::new(
+            DiskGeometry { blocks: 16 },
+            clock.clone(),
+            timers.clone(),
+            irqs.clone(),
+            IrqVector(3),
+            profile,
+        );
+        (disk, clock, timers, irqs)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (disk, clock, timers, _irqs) = rig();
+        let mut data = vec![0u8; BLOCK_SIZE];
+        data[0] = 0xAB;
+        let wrote = Arc::new(Mutex::new(false));
+        let w2 = wrote.clone();
+        disk.submit(DiskRequest::Write(BlockId(5), data), move |r| {
+            r.unwrap();
+            *w2.lock() = true;
+        });
+        clock.skip_to(clock.now() + 60_000_000);
+        timers.fire_due(clock.now());
+        assert!(*wrote.lock());
+
+        let read = Arc::new(Mutex::new(Vec::new()));
+        let r2 = read.clone();
+        disk.submit(DiskRequest::Read(BlockId(5)), move |r| {
+            *r2.lock() = r.unwrap();
+        });
+        clock.skip_to(clock.now() + 60_000_000);
+        timers.fire_due(clock.now());
+        assert_eq!(read.lock()[0], 0xAB);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let (disk, clock, timers, _) = rig();
+        let read = Arc::new(Mutex::new(Vec::new()));
+        let r2 = read.clone();
+        disk.submit(DiskRequest::Read(BlockId(0)), move |r| {
+            *r2.lock() = r.unwrap();
+        });
+        clock.skip_to(60_000_000);
+        timers.fire_due(clock.now());
+        assert_eq!(read.lock().len(), BLOCK_SIZE);
+        assert!(read.lock().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_range_fails_immediately() {
+        let (disk, _, _, _) = rig();
+        let err = Arc::new(Mutex::new(None));
+        let e2 = err.clone();
+        disk.submit(DiskRequest::Read(BlockId(999)), move |r| {
+            *e2.lock() = Some(r.unwrap_err());
+        });
+        assert_eq!(*err.lock(), Some(DiskError::OutOfRange(BlockId(999))));
+    }
+
+    #[test]
+    fn sequential_access_is_cheaper_than_random() {
+        let (disk, _, _, _) = rig();
+        let seq = disk.latency(4, 5);
+        let rand = disk.latency(4, 12);
+        assert!(seq < rand);
+    }
+
+    #[test]
+    fn completion_posts_interrupt() {
+        let (disk, clock, timers, irqs) = rig();
+        disk.submit(DiskRequest::Read(BlockId(1)), |_| {});
+        clock.skip_to(60_000_000);
+        timers.fire_due(clock.now());
+        assert!(irqs.has_pending());
+    }
+
+    #[test]
+    fn bad_write_length_rejected() {
+        let (disk, _, _, _) = rig();
+        let err = Arc::new(Mutex::new(None));
+        let e2 = err.clone();
+        disk.submit(DiskRequest::Write(BlockId(0), vec![1, 2, 3]), move |r| {
+            *e2.lock() = Some(r.unwrap_err());
+        });
+        assert_eq!(*err.lock(), Some(DiskError::BadLength(3)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Simulated devices: console, disk, and network interfaces.
+//!
+//! These are the vendor devices of the paper's testbed. SPIN dynamically
+//! linked DEC OSF/1 drivers for them ("SPIN's lowest level device interface
+//! is identical to the DEC OSF/1 driver interface", §3.1); our equivalents
+//! expose small submit/complete interfaces, post interrupts through the
+//! host's [`IrqController`](crate::IrqController), and charge the machine
+//! profile for driver, copy, PIO/DMA and media time.
+
+pub mod console;
+pub mod disk;
+pub mod nic;
+
+pub use console::Console;
+pub use disk::{BlockId, Disk, DiskGeometry, DiskRequest};
+pub use nic::{Frame, IoKind, Nic, NicModel};

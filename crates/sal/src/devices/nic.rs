@@ -1,0 +1,316 @@
+//! Network interface cards: Lance Ethernet, FORE ATM (PIO) and T3 (DMA).
+//!
+//! The paper's testbed (§5): a 10 Mb/s Lance Ethernet, a FORE TCA-100
+//! 155 Mb/s ATM card that "uses programmed I/O and can maximally deliver
+//! only about 53 Mb/s", and the experimental Digital T3PKT adapter that
+//! "can send 45 Mb/s using DMA". PIO burns CPU per byte (that is what caps
+//! the ATM card and dominates the video server's CPU in Figure 6's PIO
+//! configuration); DMA costs only a fixed descriptor setup.
+
+use crate::clock::Clock;
+use crate::cost::MachineProfile;
+use crate::irq::{IrqController, IrqVector};
+use crate::wire::{Wire, WireEndpoint};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How the card moves bytes between memory and the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// The CPU copies every byte to/from the card.
+    Pio,
+    /// The card DMAs; the CPU pays a fixed setup per packet.
+    Dma,
+}
+
+/// Static description of a card model.
+#[derive(Debug, Clone)]
+pub struct NicModel {
+    pub name: &'static str,
+    /// Link rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Maximum payload per frame.
+    pub mtu: usize,
+    /// Per-frame framing overhead on the wire, in bytes.
+    pub framing_bytes: usize,
+    pub io: IoKind,
+    /// Card staging latency per frame (buffering inside the adapter and
+    /// its firmware), added to delivery time without consuming CPU. The
+    /// paper notes "neither the Lance Ethernet driver nor the FORE ATM
+    /// driver are optimized for latency" (§5.3); this is where that shows.
+    pub staging_ns: u64,
+    /// Per-packet driver CPU cost for this device (vendor drivers differ;
+    /// the experimental T3PKT driver is the heaviest, which is what makes
+    /// Figure 6's utilization grow as fast as it does).
+    pub driver_ns: u64,
+}
+
+impl NicModel {
+    /// The 10 Mb/s Lance Ethernet interface.
+    pub fn lance_ethernet() -> Self {
+        NicModel {
+            name: "Lance Ethernet",
+            bandwidth_bps: 10_000_000,
+            mtu: 1500,
+            framing_bytes: 38, // preamble + header + FCS + IFG
+            io: IoKind::Dma,
+            staging_ns: 68_000,
+            driver_ns: 60_000,
+        }
+    }
+
+    /// The FORE TCA-100 ATM adapter (programmed I/O).
+    pub fn fore_atm() -> Self {
+        NicModel {
+            name: "FORE TCA-100 ATM",
+            bandwidth_bps: 155_000_000,
+            mtu: 8132,
+            framing_bytes: 60, // AAL5 trailer + cell tax approximation
+            io: IoKind::Pio,
+            staging_ns: 74_000,
+            driver_ns: 60_000,
+        }
+    }
+
+    /// The experimental Digital T3PKT adapter (45 Mb/s, DMA).
+    pub fn t3_dma() -> Self {
+        NicModel {
+            name: "Digital T3PKT",
+            bandwidth_bps: 45_000_000,
+            mtu: 8192,
+            framing_bytes: 16,
+            io: IoKind::Dma,
+            staging_ns: 20_000,
+            driver_ns: 242_000,
+        }
+    }
+}
+
+/// A frame in flight or in a receive queue.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub src: WireEndpoint,
+    pub dst: WireEndpoint,
+    pub payload: Bytes,
+}
+
+/// Errors from the send path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicError {
+    /// Payload exceeds the card's MTU.
+    TooLarge { len: usize, mtu: usize },
+}
+
+#[derive(Default)]
+struct NicStats {
+    tx_frames: u64,
+    tx_bytes: u64,
+    rx_frames: u64,
+    rx_bytes: u64,
+}
+
+/// One installed network interface.
+#[derive(Clone)]
+pub struct Nic {
+    model: NicModel,
+    addr: WireEndpoint,
+    wire: Wire,
+    rx: Arc<Mutex<VecDeque<Frame>>>,
+    clock: Clock,
+    profile: Arc<MachineProfile>,
+    stats: Arc<Mutex<NicStats>>,
+}
+
+impl Nic {
+    /// Creates a NIC, attaching it to `wire` at address `addr`; received
+    /// frames post `vector` on `irqs`.
+    pub fn new(
+        model: NicModel,
+        addr: WireEndpoint,
+        wire: Wire,
+        irqs: IrqController,
+        vector: IrqVector,
+        clock: Clock,
+        profile: Arc<MachineProfile>,
+    ) -> Self {
+        let rx = Arc::new(Mutex::new(VecDeque::new()));
+        wire.attach(addr, rx.clone(), irqs, vector);
+        Nic {
+            model,
+            addr,
+            wire,
+            rx,
+            clock,
+            profile,
+            stats: Arc::new(Mutex::new(NicStats::default())),
+        }
+    }
+
+    /// The card model.
+    pub fn model(&self) -> &NicModel {
+        &self.model
+    }
+
+    /// This card's wire address.
+    pub fn addr(&self) -> WireEndpoint {
+        self.addr
+    }
+
+    /// Transmits `payload` to `dst`, charging driver and I/O costs and
+    /// handing the frame to the wire.
+    pub fn send(&self, dst: WireEndpoint, payload: Bytes) -> Result<(), NicError> {
+        if payload.len() > self.model.mtu {
+            return Err(NicError::TooLarge {
+                len: payload.len(),
+                mtu: self.model.mtu,
+            });
+        }
+        let p = &self.profile;
+        self.clock.advance(self.model.driver_ns);
+        match self.model.io {
+            IoKind::Pio => self.clock.advance(p.pio(payload.len())),
+            IoKind::Dma => self.clock.advance(p.dma_setup),
+        }
+        {
+            let mut st = self.stats.lock();
+            st.tx_frames += 1;
+            st.tx_bytes += payload.len() as u64;
+        }
+        let bits = ((payload.len() + self.model.framing_bytes) * 8) as u64;
+        self.wire.transmit_delayed(
+            Frame {
+                src: self.addr,
+                dst,
+                payload,
+            },
+            bits,
+            self.model.bandwidth_bps,
+            self.model.staging_ns,
+        );
+        Ok(())
+    }
+
+    /// Pulls the next received frame, charging the driver and the inbound
+    /// copy (PIO cards burn CPU per byte here too).
+    pub fn receive(&self) -> Option<Frame> {
+        let frame = self.rx.lock().pop_front()?;
+        let p = &self.profile;
+        self.clock.advance(self.model.driver_ns);
+        match self.model.io {
+            IoKind::Pio => self.clock.advance(p.pio(frame.payload.len())),
+            IoKind::Dma => self.clock.advance(p.dma_setup),
+        }
+        {
+            let mut st = self.stats.lock();
+            st.rx_frames += 1;
+            st.rx_bytes += frame.payload.len() as u64;
+        }
+        Some(frame)
+    }
+
+    /// Number of frames waiting in the receive queue.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.lock().len()
+    }
+
+    /// (tx frames, tx bytes, rx frames, rx bytes).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        let st = self.stats.lock();
+        (st.tx_frames, st.tx_bytes, st.rx_frames, st.rx_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TimerQueue;
+
+    fn rig(model: NicModel) -> (Nic, Nic, Clock, TimerQueue, IrqController) {
+        let clock = Clock::new();
+        let timers = TimerQueue::new();
+        let profile = Arc::new(MachineProfile::alpha_axp_3000_400());
+        let wire = Wire::new(clock.clone(), timers.clone(), 1_000);
+        let irqs = IrqController::new(clock.clone(), profile.clone());
+        let a = Nic::new(
+            model.clone(),
+            WireEndpoint(1),
+            wire.clone(),
+            irqs.clone(),
+            IrqVector(10),
+            clock.clone(),
+            profile.clone(),
+        );
+        let b = Nic::new(
+            model,
+            WireEndpoint(2),
+            wire,
+            irqs.clone(),
+            IrqVector(11),
+            clock.clone(),
+            profile,
+        );
+        (a, b, clock, timers, irqs)
+    }
+
+    #[test]
+    fn ethernet_frame_travels_between_nics() {
+        let (a, b, clock, timers, irqs) = rig(NicModel::lance_ethernet());
+        a.send(WireEndpoint(2), Bytes::from_static(b"ping"))
+            .unwrap();
+        clock.skip_to(clock.now() + 10_000_000);
+        timers.fire_due(clock.now());
+        assert!(irqs.has_pending());
+        let f = b.receive().expect("frame should have arrived");
+        assert_eq!(&f.payload[..], b"ping");
+        assert_eq!(f.src, WireEndpoint(1));
+        assert_eq!(a.counters().0, 1);
+        assert_eq!(b.counters().2, 1);
+    }
+
+    #[test]
+    fn mtu_is_enforced() {
+        let (a, _, _, _, _) = rig(NicModel::lance_ethernet());
+        let big = Bytes::from(vec![0u8; 1501]);
+        assert_eq!(
+            a.send(WireEndpoint(2), big),
+            Err(NicError::TooLarge {
+                len: 1501,
+                mtu: 1500
+            })
+        );
+    }
+
+    #[test]
+    fn pio_costs_scale_with_length_dma_does_not() {
+        let (atm, _, clock, _, _) = rig(NicModel::fore_atm());
+        let t0 = clock.now();
+        atm.send(WireEndpoint(2), Bytes::from(vec![0u8; 8000]))
+            .unwrap();
+        let pio_cost = clock.now() - t0;
+
+        let (t3, _, clock2, _, _) = rig(NicModel::t3_dma());
+        let t1 = clock2.now();
+        t3.send(WireEndpoint(2), Bytes::from(vec![0u8; 8000]))
+            .unwrap();
+        let dma_cost = clock2.now() - t1;
+
+        // The T3's driver is itself expensive; compare the byte-dependent
+        // portion: PIO must dwarf DMA setup once driver costs are removed.
+        let pio_only = pio_cost - NicModel::fore_atm().driver_ns;
+        let dma_only = dma_cost - NicModel::t3_dma().driver_ns;
+        assert!(
+            pio_only > 100 * dma_only.max(1),
+            "PIO ({pio_only} ns) should dwarf DMA ({dma_only} ns)"
+        );
+    }
+
+    #[test]
+    fn receive_on_empty_queue_is_none_and_free() {
+        let (a, _, clock, _, _) = rig(NicModel::lance_ethernet());
+        let t0 = clock.now();
+        assert!(a.receive().is_none());
+        assert_eq!(clock.now(), t0);
+    }
+}

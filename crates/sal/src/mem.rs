@@ -1,0 +1,126 @@
+//! Simulated physical memory: an array of page frames.
+//!
+//! The paper's machines had 64 MB of memory in 8 KB pages. [`PhysMem`] holds
+//! the frames' bytes; allocation policy (free lists, colors, contiguity) is
+//! the business of the `PhysAddr` service in `spin-vm`, exactly as the paper
+//! separates the physical-address *service* from the raw storage.
+
+use crate::PAGE_SIZE;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Index of a physical page frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// Physical byte address of the first byte of this frame.
+    #[inline]
+    pub fn base(self) -> u64 {
+        self.0 as u64 * PAGE_SIZE as u64
+    }
+}
+
+/// The machine's physical page frames.
+///
+/// Cloning shares the underlying storage.
+#[derive(Clone)]
+pub struct PhysMem {
+    frames: Arc<Vec<Mutex<Box<[u8]>>>>,
+}
+
+impl PhysMem {
+    /// Creates `frames` zeroed page frames.
+    pub fn new(frames: usize) -> Self {
+        let v = (0..frames)
+            .map(|_| Mutex::new(vec![0u8; PAGE_SIZE].into_boxed_slice()))
+            .collect();
+        PhysMem {
+            frames: Arc::new(v),
+        }
+    }
+
+    /// Number of frames in the machine.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Reads bytes from a frame into `buf`, starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame does not exist or the range exceeds the page —
+    /// those are simulator bugs, not guest errors (the MMU rejects guest
+    /// addresses before they get here).
+    pub fn read(&self, frame: FrameId, offset: usize, buf: &mut [u8]) {
+        let f = self.frames[frame.0 as usize].lock();
+        buf.copy_from_slice(&f[offset..offset + buf.len()]);
+    }
+
+    /// Writes `buf` into a frame starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PhysMem::read`].
+    pub fn write(&self, frame: FrameId, offset: usize, buf: &[u8]) {
+        let mut f = self.frames[frame.0 as usize].lock();
+        f[offset..offset + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Zeroes an entire frame.
+    pub fn zero(&self, frame: FrameId) {
+        self.frames[frame.0 as usize].lock().fill(0);
+    }
+
+    /// Copies one whole frame to another (used by copy-on-write faults).
+    pub fn copy_frame(&self, from: FrameId, to: FrameId) {
+        assert_ne!(from, to, "copy_frame onto itself");
+        let src = self.frames[from.0 as usize].lock();
+        let mut dst = self.frames[to.0 as usize].lock();
+        dst.copy_from_slice(&src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_start_zeroed_and_round_trip() {
+        let m = PhysMem::new(4);
+        assert_eq!(m.frame_count(), 4);
+        let mut buf = [0xffu8; 8];
+        m.read(FrameId(2), 100, &mut buf);
+        assert_eq!(buf, [0; 8]);
+        m.write(FrameId(2), 100, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        m.read(FrameId(2), 100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn frames_are_independent() {
+        let m = PhysMem::new(2);
+        m.write(FrameId(0), 0, &[42]);
+        let mut buf = [0u8; 1];
+        m.read(FrameId(1), 0, &mut buf);
+        assert_eq!(buf, [0]);
+    }
+
+    #[test]
+    fn copy_and_zero_frame() {
+        let m = PhysMem::new(2);
+        m.write(FrameId(0), 10, &[9, 9]);
+        m.copy_frame(FrameId(0), FrameId(1));
+        let mut buf = [0u8; 2];
+        m.read(FrameId(1), 10, &mut buf);
+        assert_eq!(buf, [9, 9]);
+        m.zero(FrameId(1));
+        m.read(FrameId(1), 10, &mut buf);
+        assert_eq!(buf, [0, 0]);
+    }
+
+    #[test]
+    fn frame_base_address() {
+        assert_eq!(FrameId(3).base(), 3 * PAGE_SIZE as u64);
+    }
+}

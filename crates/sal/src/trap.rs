@@ -1,0 +1,65 @@
+//! Trap descriptors: the hardware events that enter the kernel.
+//!
+//! In SPIN "the kernel's trap handler raises a `Trap.SystemCall` event which
+//! is dispatched to a Modula-3 procedure installed as a handler" (§5.2).
+//! This module only *describes* traps; raising them as events is done by the
+//! kernel in `spin-core`, and the user/kernel boundary crossing costs are
+//! charged from the machine profile by the caller.
+
+use crate::irq::IrqVector;
+use crate::mmu::{Access, ContextId, MmuFault};
+
+/// A reason for entering the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// A system call from user mode.
+    Syscall {
+        /// The system-call number chosen by whatever interface the
+        /// application installed.
+        number: u64,
+        /// Up to six register arguments, as on the Alpha calling convention.
+        args: [u64; 6],
+    },
+    /// A memory-management fault, raised while translating `va`.
+    MemoryFault {
+        ctx: ContextId,
+        va: u64,
+        access: Access,
+        fault: MmuFault,
+    },
+    /// A device interrupt.
+    Interrupt(IrqVector),
+    /// The preemption timer fired.
+    TimerTick,
+    /// An unaligned access or other machine check (not used by benchmarks,
+    /// present for completeness of the trap namespace).
+    MachineCheck { info: u64 },
+}
+
+impl Trap {
+    /// Short name used in traces and dispatcher diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Trap::Syscall { .. } => "Trap.SystemCall",
+            Trap::MemoryFault { .. } => "Trap.MemoryFault",
+            Trap::Interrupt(_) => "Trap.Interrupt",
+            Trap::TimerTick => "Trap.TimerTick",
+            Trap::MachineCheck { .. } => "Trap.MachineCheck",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_names_are_stable() {
+        let t = Trap::Syscall {
+            number: 1,
+            args: [0; 6],
+        };
+        assert_eq!(t.name(), "Trap.SystemCall");
+        assert_eq!(Trap::TimerTick.name(), "Trap.TimerTick");
+    }
+}

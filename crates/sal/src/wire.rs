@@ -1,0 +1,232 @@
+//! The wire: a point-to-point/switched medium connecting simulated NICs.
+//!
+//! Transmission is serialized per sender (a 10 Mb/s Ethernet can only push
+//! one frame at a time), so saturating workloads see real queueing delay —
+//! that is what bends the OSF/1 curve in the Figure 6 reproduction. Delivery
+//! happens through the shared timer queue: at arrival time the frame lands
+//! in the receiver's queue and the receiver's interrupt vector is posted.
+
+use crate::clock::{Clock, Nanos, TimerQueue};
+use crate::devices::nic::Frame;
+use crate::irq::{IrqController, IrqVector};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// An address on the wire (one per attached NIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WireEndpoint(pub u32);
+
+pub(crate) struct Receiver {
+    pub rx: Arc<Mutex<VecDeque<Frame>>>,
+    pub irqs: IrqController,
+    pub vector: IrqVector,
+}
+
+struct WireState {
+    receivers: HashMap<WireEndpoint, Receiver>,
+    busy_until: HashMap<WireEndpoint, Nanos>,
+    delivered: u64,
+    dropped: u64,
+    /// Deterministic fault injection: called with the frame's global
+    /// sequence index; `true` drops the frame on the floor.
+    drop_filter: Option<Box<dyn Fn(u64) -> bool + Send + Sync>>,
+    tx_index: u64,
+}
+
+/// The shared medium.
+#[derive(Clone)]
+pub struct Wire {
+    state: Arc<Mutex<WireState>>,
+    clock: Clock,
+    timers: TimerQueue,
+    /// Fixed propagation + switch latency per frame.
+    propagation: Nanos,
+}
+
+impl Wire {
+    /// Creates a wire with the given one-way propagation/switch delay.
+    pub fn new(clock: Clock, timers: TimerQueue, propagation: Nanos) -> Self {
+        Wire {
+            state: Arc::new(Mutex::new(WireState {
+                receivers: HashMap::new(),
+                busy_until: HashMap::new(),
+                delivered: 0,
+                dropped: 0,
+                drop_filter: None,
+                tx_index: 0,
+            })),
+            clock,
+            timers,
+            propagation,
+        }
+    }
+
+    pub(crate) fn attach(
+        &self,
+        endpoint: WireEndpoint,
+        rx: Arc<Mutex<VecDeque<Frame>>>,
+        irqs: IrqController,
+        vector: IrqVector,
+    ) {
+        self.state
+            .lock()
+            .receivers
+            .insert(endpoint, Receiver { rx, irqs, vector });
+    }
+
+    /// Queues `frame` for transmission at the sender's link rate.
+    ///
+    /// `bits_on_wire` includes framing overhead. The sender's link is busy
+    /// until the frame has left; delivery fires `propagation` later.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests
+    pub(crate) fn transmit(&self, frame: Frame, bits_on_wire: u64, bandwidth_bps: u64) {
+        self.transmit_delayed(frame, bits_on_wire, bandwidth_bps, 0)
+    }
+
+    /// [`Wire::transmit`] with an extra fixed delivery delay (adapter
+    /// staging) that occupies neither the link nor the CPU.
+    pub(crate) fn transmit_delayed(
+        &self,
+        frame: Frame,
+        bits_on_wire: u64,
+        bandwidth_bps: u64,
+        staging_ns: Nanos,
+    ) {
+        let now = self.clock.now();
+        {
+            let mut st = self.state.lock();
+            let idx = st.tx_index;
+            st.tx_index += 1;
+            if let Some(f) = st.drop_filter.as_ref() {
+                if f(idx) {
+                    st.dropped += 1;
+                    return;
+                }
+            }
+        }
+        let tx_time = bits_on_wire.saturating_mul(1_000_000_000) / bandwidth_bps.max(1);
+        let (arrival, dst) = {
+            let mut st = self.state.lock();
+            let busy = st.busy_until.get(&frame.src).copied().unwrap_or(0);
+            let start = busy.max(now);
+            let done = start + tx_time;
+            st.busy_until.insert(frame.src, done);
+            (done + self.propagation + staging_ns, frame.dst)
+        };
+        let state = self.state.clone();
+        self.timers.schedule_at(arrival, move |_| {
+            let mut st = state.lock();
+            match st.receivers.get(&dst) {
+                Some(r) => {
+                    r.rx.lock().push_back(frame);
+                    let (irqs, vector) = (r.irqs.clone(), r.vector);
+                    st.delivered += 1;
+                    drop(st);
+                    irqs.post(vector);
+                }
+                None => st.dropped += 1,
+            }
+        });
+    }
+
+    /// Installs a deterministic drop filter for fault injection (e.g.
+    /// "drop every 7th frame" for TCP retransmission tests).
+    pub fn set_drop_filter(&self, f: impl Fn(u64) -> bool + Send + Sync + 'static) {
+        self.state.lock().drop_filter = Some(Box::new(f));
+    }
+
+    /// Removes the drop filter.
+    pub fn clear_drop_filter(&self) {
+        self.state.lock().drop_filter = None;
+    }
+
+    /// (delivered, dropped) frame counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.delivered, st.dropped)
+    }
+
+    /// Virtual time at which the sender's link becomes free.
+    pub fn sender_busy_until(&self, endpoint: WireEndpoint) -> Nanos {
+        self.state
+            .lock()
+            .busy_until
+            .get(&endpoint)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MachineProfile;
+    use bytes::Bytes;
+
+    fn rig() -> (
+        Wire,
+        Clock,
+        TimerQueue,
+        IrqController,
+        Arc<Mutex<VecDeque<Frame>>>,
+    ) {
+        let clock = Clock::new();
+        let timers = TimerQueue::new();
+        let profile = Arc::new(MachineProfile::alpha_axp_3000_400());
+        let wire = Wire::new(clock.clone(), timers.clone(), 1_000);
+        let irqs = IrqController::new(clock.clone(), profile);
+        let rx = Arc::new(Mutex::new(VecDeque::new()));
+        wire.attach(WireEndpoint(2), rx.clone(), irqs.clone(), IrqVector(7));
+        (wire, clock, timers, irqs, rx)
+    }
+
+    fn frame(payload: &[u8]) -> Frame {
+        Frame {
+            src: WireEndpoint(1),
+            dst: WireEndpoint(2),
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    #[test]
+    fn frame_arrives_after_tx_time_plus_propagation() {
+        let (wire, clock, timers, irqs, rx) = rig();
+        // 1000 bits at 10 Mb/s = 100 µs on the wire.
+        wire.transmit(frame(&[0u8; 125]), 1000, 10_000_000);
+        clock.skip_to(100_999);
+        timers.fire_due(clock.now());
+        assert!(rx.lock().is_empty(), "too early");
+        clock.skip_to(101_000);
+        timers.fire_due(clock.now());
+        assert_eq!(rx.lock().len(), 1);
+        assert!(irqs.has_pending());
+    }
+
+    #[test]
+    fn sender_link_serializes_back_to_back_frames() {
+        let (wire, clock, timers, _irqs, rx) = rig();
+        wire.transmit(frame(b"a"), 1000, 10_000_000);
+        wire.transmit(frame(b"b"), 1000, 10_000_000);
+        // Second frame cannot start until the first is done: arrival at
+        // 200_000 + 1_000 propagation.
+        assert_eq!(wire.sender_busy_until(WireEndpoint(1)), 200_000);
+        clock.skip_to(201_000);
+        timers.fire_due(clock.now());
+        assert_eq!(rx.lock().len(), 2);
+    }
+
+    #[test]
+    fn frames_to_unknown_endpoints_are_dropped() {
+        let (wire, clock, timers, _, _) = rig();
+        let f = Frame {
+            src: WireEndpoint(1),
+            dst: WireEndpoint(99),
+            payload: Bytes::new(),
+        };
+        wire.transmit(f, 8, 10_000_000);
+        clock.skip_to(1_000_000);
+        timers.fire_due(clock.now());
+        assert_eq!(wire.stats(), (0, 1));
+    }
+}

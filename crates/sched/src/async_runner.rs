@@ -1,0 +1,122 @@
+//! The real asynchronous-handler runner for the dispatcher.
+//!
+//! §3.2: "A handler may be asynchronous, which causes it to execute in a
+//! separate thread from the raiser, isolating the raiser from handler
+//! latency." The dispatcher in `spin-core` cannot depend on this crate, so
+//! it exposes a pluggable runner; [`install_async_runner`] provides the
+//! production one — each asynchronous invocation runs on a fresh kernel
+//! strand.
+
+use crate::executor::Executor;
+use spin_core::Dispatcher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wires `dispatcher`'s asynchronous handler execution onto `exec`.
+/// Returns a counter of dispatched asynchronous invocations.
+pub fn install_async_runner(exec: &Arc<Executor>, dispatcher: &Dispatcher) -> Arc<AtomicU64> {
+    let count = Arc::new(AtomicU64::new(0));
+    let c2 = count.clone();
+    let exec = exec.clone();
+    dispatcher.set_async_runner(Arc::new(move |f: Box<dyn FnOnce() + Send>| {
+        c2.fetch_add(1, Ordering::Relaxed);
+        exec.spawn("async-handler", move |_ctx| f());
+    }));
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use spin_core::{Constraints, HandlerMode, Identity, InstallDecision};
+    use spin_sal::SimBoard;
+
+    #[test]
+    fn async_handlers_run_on_their_own_strand_after_the_raise() {
+        let board = SimBoard::new();
+        let exec = Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        );
+        let disp = spin_core::Dispatcher::new(board.clock.clone(), board.profile.clone());
+        let dispatched = install_async_runner(&exec, &disp);
+
+        let (ev, owner) = disp.define::<(), u32>("E", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        owner
+            .set_auth(|_| InstallDecision::Allow {
+                owner_guard: None,
+                constraints: Some(Constraints {
+                    mode: HandlerMode::Asynchronous,
+                    time_bound: None,
+                }),
+            })
+            .unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        ev.install(Identity::extension("monitor"), move |_| {
+            l2.lock().push("async ran");
+            9
+        })
+        .unwrap();
+
+        let l3 = log.clone();
+        exec.spawn("raiser", move |_ctx| {
+            // The raise returns the primary's result immediately; the
+            // async handler has NOT run yet (it needs a schedule slice).
+            assert_eq!(ev.raise(()), Ok(1));
+            l3.lock().push("raise returned");
+        });
+        exec.run_until_idle();
+        assert_eq!(
+            *log.lock(),
+            vec!["raise returned", "async ran"],
+            "the raiser was isolated from the handler"
+        );
+        assert_eq!(dispatched.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn a_slow_async_handler_does_not_delay_the_raiser() {
+        let board = SimBoard::new();
+        let exec = Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        );
+        let disp = spin_core::Dispatcher::new(board.clock.clone(), board.profile.clone());
+        install_async_runner(&exec, &disp);
+        let (ev, owner) = disp.define::<(), ()>("E", Identity::kernel("k"));
+        owner.set_primary(|_| ()).unwrap();
+        owner
+            .set_auth(|_| InstallDecision::Allow {
+                owner_guard: None,
+                constraints: Some(Constraints {
+                    mode: HandlerMode::Asynchronous,
+                    time_bound: None,
+                }),
+            })
+            .unwrap();
+        let clock = board.clock.clone();
+        let c2 = clock.clone();
+        ev.install(Identity::extension("slow-monitor"), move |_| {
+            c2.advance(50_000_000); // 50 ms of monitor work
+        })
+        .unwrap();
+        let raise_cost = Arc::new(Mutex::new(0u64));
+        let r2 = raise_cost.clone();
+        exec.spawn("raiser", move |_| {
+            let t0 = clock.now();
+            ev.raise(()).unwrap();
+            *r2.lock() = clock.now() - t0;
+        });
+        exec.run_until_idle();
+        assert!(
+            *raise_cost.lock() < 1_000_000,
+            "raise cost {} must not include the 50 ms handler",
+            raise_cost.lock()
+        );
+    }
+}

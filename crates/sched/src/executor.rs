@@ -1,0 +1,853 @@
+//! The deterministic strand executor.
+//!
+//! Every *strand* (§4.2: "a strand is similar to a thread ... \[but\] has no
+//! minimal or requisite kernel state other than a name") is backed by a
+//! real OS thread, but **exactly one simulated context runs at a time**: a
+//! baton passes between the coordinator (the thread that called
+//! [`Executor::run_until_idle`]) and the running strand. All scheduling
+//! decisions are made by a [`SchedulerPolicy`] under the executor lock, so
+//! runs are reproducible regardless of OS scheduling.
+//!
+//! The coordinator pumps the simulation between strand slices: it fires due
+//! timers, dispatches device interrupts, and — when no strand is runnable —
+//! skips the virtual clock forward to the next timer deadline.
+//!
+//! Preemption reproduces the paper's "the kernel is preemptive, ensuring
+//! that a handler cannot take over the processor": the clock's advance hook
+//! charges the running strand's quantum, and the strand is descheduled at
+//! its next *safe point* ([`StrandCtx::preempt_point`], and every blocking
+//! or yielding operation). Safe-point preemption keeps the simulation
+//! deadlock-free while preserving quantum semantics on the virtual
+//! timeline.
+
+use parking_lot::{Condvar, Mutex};
+use spin_sal::{Clock, HostId, IrqController, MachineProfile, Nanos, TimerQueue};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a strand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrandId(pub u64);
+
+/// Why [`Executor::run_until_idle`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdleOutcome {
+    /// Every strand ran to completion.
+    AllComplete,
+    /// Runnable work remains but the deadline was reached.
+    DeadlineReached,
+    /// No strand is runnable, no timer is pending, yet strands are blocked.
+    Deadlock { blocked: Vec<String> },
+}
+
+/// A pluggable scheduling policy: the paper's *global scheduler*.
+///
+/// "While the global scheduling policy is replaceable, it cannot be
+/// replaced by an arbitrary application" (§4.2) — replacing it through
+/// [`Executor::set_policy`] is a trusted operation.
+pub trait SchedulerPolicy: Send {
+    /// Makes a strand runnable.
+    fn enqueue(&mut self, strand: StrandId, priority: u8);
+    /// Picks the next strand to run.
+    fn dequeue(&mut self) -> Option<StrandId>;
+    /// Removes a strand wherever it is queued.
+    fn remove(&mut self, strand: StrandId);
+    /// Policy name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// The default global scheduler: "a round-robin, preemptive, priority
+/// policy" (§4.2). Higher priority runs first; equal priorities round-robin
+/// in FIFO order.
+#[derive(Default)]
+pub struct RoundRobinPriority {
+    queues: std::collections::BTreeMap<u8, std::collections::VecDeque<StrandId>>,
+}
+
+impl SchedulerPolicy for RoundRobinPriority {
+    fn enqueue(&mut self, strand: StrandId, priority: u8) {
+        self.queues.entry(priority).or_default().push_back(strand);
+    }
+    fn dequeue(&mut self) -> Option<StrandId> {
+        // Highest priority band first.
+        let (&prio, _) = self.queues.iter().rev().find(|(_, q)| !q.is_empty())?;
+        let q = self.queues.get_mut(&prio).expect("found above");
+        q.pop_front()
+    }
+    fn remove(&mut self, strand: StrandId) {
+        for q in self.queues.values_mut() {
+            q.retain(|&s| s != strand);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "round-robin preemptive priority"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Ready,
+    Running,
+    Blocked,
+    Done,
+}
+
+struct Baton {
+    go: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Baton {
+    fn new() -> Arc<Self> {
+        Arc::new(Baton {
+            go: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+    fn wait(&self) {
+        let mut go = self.go.lock();
+        while !*go {
+            self.cv.wait(&mut go);
+        }
+        *go = false;
+    }
+    fn signal(&self) {
+        *self.go.lock() = true;
+        self.cv.notify_one();
+    }
+}
+
+struct StrandInfo {
+    name: String,
+    priority: u8,
+    host: HostId,
+    state: RunState,
+    baton: Arc<Baton>,
+    cpu_ns: Nanos,
+    joiners: Vec<StrandId>,
+    panicked: bool,
+    /// Daemons (device threads, protocol threads) may stay blocked forever
+    /// without counting as deadlock or preventing completion.
+    daemon: bool,
+}
+
+struct ExecState {
+    strands: HashMap<StrandId, StrandInfo>,
+    policy: Box<dyn SchedulerPolicy>,
+    current: Option<StrandId>,
+    host_busy: HashMap<HostId, Nanos>,
+    switches: u64,
+}
+
+/// Hooks raised around scheduling transitions so stacked schedulers and
+/// thread packages can observe them (wired to dispatcher events by
+/// [`events::StrandEvents`](crate::events::StrandEvents)).
+type TransitionHook = Box<dyn Fn(StrandId) + Send + Sync>;
+
+#[derive(Default)]
+struct Hooks {
+    block: Option<TransitionHook>,
+    unblock: Option<TransitionHook>,
+    checkpoint: Option<TransitionHook>,
+    resume: Option<TransitionHook>,
+}
+
+/// The executor.
+pub struct Executor {
+    clock: Clock,
+    timers: TimerQueue,
+    profile: Arc<MachineProfile>,
+    state: Mutex<ExecState>,
+    irqs: Mutex<Vec<IrqController>>,
+    main_baton: Arc<Baton>,
+    next_id: AtomicU64,
+    quantum: AtomicU64,
+    quantum_used: AtomicU64,
+    preempt_pending: AtomicBool,
+    hooks: Mutex<Hooks>,
+}
+
+impl Executor {
+    /// Creates an executor on the shared timeline.
+    pub fn new(clock: Clock, timers: TimerQueue, profile: Arc<MachineProfile>) -> Arc<Executor> {
+        let exec = Arc::new(Executor {
+            clock: clock.clone(),
+            timers,
+            profile,
+            state: Mutex::new(ExecState {
+                strands: HashMap::new(),
+                policy: Box::new(RoundRobinPriority::default()),
+                current: None,
+                host_busy: HashMap::new(),
+                switches: 0,
+            }),
+            irqs: Mutex::new(Vec::new()),
+            main_baton: Baton::new(),
+            next_id: AtomicU64::new(1),
+            quantum: AtomicU64::new(1_000_000), // 1 ms virtual quantum
+            quantum_used: AtomicU64::new(0),
+            preempt_pending: AtomicBool::new(false),
+            hooks: Mutex::new(Hooks::default()),
+        });
+        // Charge the running strand and arm preemption at quantum expiry.
+        let weak = Arc::downgrade(&exec);
+        clock.set_advance_hook(Box::new(move |ns| {
+            if let Some(exec) = weak.upgrade() {
+                exec.on_advance(ns);
+            }
+        }));
+        exec
+    }
+
+    /// Convenience: an executor for a single simulated host.
+    pub fn for_host(host: &spin_sal::Host) -> Arc<Executor> {
+        let exec = Executor::new(
+            host.clock.clone(),
+            host.timers.clone(),
+            host.profile.clone(),
+        );
+        exec.add_irq_controller(host.irqs.clone());
+        exec
+    }
+
+    /// Registers a host's interrupt controller for pumping.
+    pub fn add_irq_controller(&self, irqs: IrqController) {
+        self.irqs.lock().push(irqs);
+    }
+
+    /// Replaces the global scheduling policy (trusted operation).
+    pub fn set_policy(&self, policy: Box<dyn SchedulerPolicy>) {
+        let mut st = self.state.lock();
+        // Re-enqueue currently ready strands into the new policy.
+        let ready: Vec<(StrandId, u8)> = {
+            let mut v = Vec::new();
+            let mut old = std::mem::replace(&mut st.policy, policy);
+            while let Some(id) = old.dequeue() {
+                if let Some(info) = st.strands.get(&id) {
+                    v.push((id, info.priority));
+                }
+            }
+            v
+        };
+        for (id, prio) in ready {
+            st.policy.enqueue(id, prio);
+        }
+    }
+
+    /// Sets the preemption quantum (virtual nanoseconds).
+    pub fn set_quantum(&self, ns: Nanos) {
+        self.quantum.store(ns, Ordering::Relaxed);
+    }
+
+    /// Installs transition hooks (used by `events` to raise dispatcher
+    /// events on Block/Unblock/Checkpoint/Resume).
+    pub(crate) fn set_hooks(
+        &self,
+        block: TransitionHook,
+        unblock: TransitionHook,
+        checkpoint: TransitionHook,
+        resume: TransitionHook,
+    ) {
+        let mut h = self.hooks.lock();
+        h.block = Some(block);
+        h.unblock = Some(unblock);
+        h.checkpoint = Some(checkpoint);
+        h.resume = Some(resume);
+    }
+
+    fn on_advance(&self, ns: Nanos) {
+        let mut st = self.state.lock();
+        if let Some(cur) = st.current {
+            let host = st.strands.get(&cur).map(|i| i.host);
+            if let Some(info) = st.strands.get_mut(&cur) {
+                info.cpu_ns += ns;
+            }
+            if let Some(h) = host {
+                *st.host_busy.entry(h).or_insert(0) += ns;
+            }
+            let used = self.quantum_used.fetch_add(ns, Ordering::Relaxed) + ns;
+            if used > self.quantum.load(Ordering::Relaxed) {
+                self.preempt_pending.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Spawns a strand on host 0 at priority 8.
+    pub fn spawn(
+        self: &Arc<Self>,
+        name: &str,
+        f: impl FnOnce(&StrandCtx) + Send + 'static,
+    ) -> StrandId {
+        self.spawn_on(HostId(0), name, 8, f)
+    }
+
+    /// Spawns a strand on a host at a priority.
+    pub fn spawn_on(
+        self: &Arc<Self>,
+        host: HostId,
+        name: &str,
+        priority: u8,
+        f: impl FnOnce(&StrandCtx) + Send + 'static,
+    ) -> StrandId {
+        self.clock.advance(self.profile.thread_create);
+        let id = StrandId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let baton = Baton::new();
+        {
+            let mut st = self.state.lock();
+            st.strands.insert(
+                id,
+                StrandInfo {
+                    name: name.to_string(),
+                    priority,
+                    host,
+                    state: RunState::Ready,
+                    baton: baton.clone(),
+                    cpu_ns: 0,
+                    joiners: Vec::new(),
+                    panicked: false,
+                    daemon: false,
+                },
+            );
+            st.policy.enqueue(id, priority);
+        }
+        let exec = self.clone();
+        let thread_name = format!("strand-{}", name);
+        std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                baton.wait(); // wait to be scheduled the first time
+                let ctx = StrandCtx {
+                    exec: exec.clone(),
+                    id,
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                exec.finish_current(result.is_err());
+            })
+            .expect("spawn strand thread");
+        id
+    }
+
+    /// Strand termination: wake joiners, return control to the coordinator.
+    fn finish_current(&self, panicked: bool) {
+        {
+            let mut st = self.state.lock();
+            let cur = st.current.expect("a finishing strand was current");
+            let joiners = {
+                let info = st.strands.get_mut(&cur).expect("current exists");
+                info.state = RunState::Done;
+                info.panicked = panicked;
+                std::mem::take(&mut info.joiners)
+            };
+            for j in joiners {
+                Self::make_ready(&mut st, j);
+            }
+            st.current = None;
+        }
+        self.main_baton.signal();
+        // Thread exits; the OS thread is never reused.
+    }
+
+    fn make_ready(st: &mut ExecState, id: StrandId) {
+        if let Some(info) = st.strands.get_mut(&id) {
+            if info.state == RunState::Blocked || info.state == RunState::Ready {
+                if info.state == RunState::Blocked {
+                    info.state = RunState::Ready;
+                    let prio = info.priority;
+                    st.policy.enqueue(id, prio);
+                }
+            }
+        }
+    }
+
+    /// Makes a blocked strand runnable. Safe from any context, including
+    /// interrupt handlers and timer callbacks. Raises the Unblock hook.
+    pub fn unblock(&self, id: StrandId) {
+        if let Some(h) = self.hooks.lock().unblock.as_ref() {
+            h(id);
+        }
+        self.clock.advance(self.profile.sync_op);
+        let mut st = self.state.lock();
+        Self::make_ready(&mut st, id);
+    }
+
+    /// Returns control to the coordinator; the calling strand keeps `state`.
+    fn switch_out(&self, new_state: RunState) {
+        let my_baton = {
+            let mut st = self.state.lock();
+            let cur = st.current.expect("switch_out from a running strand");
+            let info = st.strands.get_mut(&cur).expect("current exists");
+            info.state = new_state;
+            let baton = info.baton.clone();
+            if new_state == RunState::Ready {
+                let prio = info.priority;
+                st.policy.enqueue(cur, prio);
+            }
+            st.current = None;
+            baton
+        };
+        self.main_baton.signal();
+        my_baton.wait();
+    }
+
+    /// Blocks the calling strand until [`Executor::unblock`]. Raises the
+    /// Block hook ("a disk driver can direct a scheduler to block the
+    /// current strand during an I/O operation").
+    fn block_current(&self) {
+        let cur = self
+            .state
+            .lock()
+            .current
+            .expect("block from a running strand");
+        if let Some(h) = self.hooks.lock().block.as_ref() {
+            h(cur);
+        }
+        self.clock.advance(self.profile.sync_op);
+        self.switch_out(RunState::Blocked);
+    }
+
+    fn yield_current(&self) {
+        self.switch_out(RunState::Ready);
+    }
+
+    /// Runs the simulation until every strand completes, a deadline is hit,
+    /// or the system deadlocks. Must be called from outside any strand.
+    pub fn run_until_idle(&self) -> IdleOutcome {
+        self.run_until(Nanos::MAX)
+    }
+
+    /// Like [`Executor::run_until_idle`] with a virtual-time deadline.
+    pub fn run_until(&self, deadline: Nanos) -> IdleOutcome {
+        loop {
+            if self.clock.now() >= deadline {
+                return IdleOutcome::DeadlineReached;
+            }
+            // Pump completions and interrupts first: they may unblock work.
+            self.timers.fire_due(self.clock.now());
+            for irqs in self.irqs.lock().iter() {
+                irqs.dispatch_pending();
+            }
+
+            let next = {
+                let mut st = self.state.lock();
+                loop {
+                    match st.policy.dequeue() {
+                        Some(id)
+                            if st.strands.get(&id).map(|i| i.state) == Some(RunState::Ready) =>
+                        {
+                            break Some(id)
+                        }
+                        Some(_) => continue, // stale queue entry
+                        None => break None,
+                    }
+                }
+            };
+
+            match next {
+                Some(id) => {
+                    self.clock
+                        .advance(self.profile.sched_decision + self.profile.context_switch);
+                    if let Some(h) = self.hooks.lock().resume.as_ref() {
+                        h(id);
+                    }
+                    self.quantum_used.store(0, Ordering::Relaxed);
+                    self.preempt_pending.store(false, Ordering::Relaxed);
+                    let baton = {
+                        let mut st = self.state.lock();
+                        st.switches += 1;
+                        st.current = Some(id);
+                        let info = st.strands.get_mut(&id).expect("dequeued strand exists");
+                        info.state = RunState::Running;
+                        info.baton.clone()
+                    };
+                    baton.signal();
+                    self.main_baton.wait();
+                    if let Some(h) = self.hooks.lock().checkpoint.as_ref() {
+                        h(id);
+                    }
+                }
+                None => {
+                    // Idle: advance to the next timer, or stop.
+                    match self.timers.next_deadline() {
+                        Some(t) if t >= deadline => {
+                            self.clock.skip_to(deadline);
+                            return IdleOutcome::DeadlineReached;
+                        }
+                        Some(t) => {
+                            self.clock.skip_to(t.max(self.clock.now()));
+                        }
+                        None => {
+                            let st = self.state.lock();
+                            let blocked: Vec<String> = st
+                                .strands
+                                .values()
+                                .filter(|i| i.state == RunState::Blocked && !i.daemon)
+                                .map(|i| i.name.clone())
+                                .collect();
+                            return if blocked.is_empty() {
+                                IdleOutcome::AllComplete
+                            } else {
+                                IdleOutcome::Deadlock { blocked }
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks a strand as a daemon: it may remain blocked forever without
+    /// being reported as deadlocked (device and protocol service threads).
+    pub fn set_daemon(&self, id: StrandId) {
+        if let Some(info) = self.state.lock().strands.get_mut(&id) {
+            info.daemon = true;
+        }
+    }
+
+    /// Whether a strand has finished.
+    pub fn is_done(&self, id: StrandId) -> bool {
+        self.state
+            .lock()
+            .strands
+            .get(&id)
+            .map(|i| i.state == RunState::Done)
+            .unwrap_or(false)
+    }
+
+    /// Whether a strand panicked.
+    pub fn panicked(&self, id: StrandId) -> bool {
+        self.state
+            .lock()
+            .strands
+            .get(&id)
+            .map(|i| i.panicked)
+            .unwrap_or(false)
+    }
+
+    /// Virtual CPU time consumed by a strand.
+    pub fn cpu_time(&self, id: StrandId) -> Nanos {
+        self.state
+            .lock()
+            .strands
+            .get(&id)
+            .map(|i| i.cpu_ns)
+            .unwrap_or(0)
+    }
+
+    /// Virtual CPU time consumed on a host (the Figure 6 utilization
+    /// numerator).
+    pub fn host_busy(&self, host: HostId) -> Nanos {
+        self.state.lock().host_busy.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Number of context switches performed.
+    pub fn switches(&self) -> u64 {
+        self.state.lock().switches
+    }
+
+    /// The executor's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The executor's machine profile.
+    pub fn profile(&self) -> &Arc<MachineProfile> {
+        &self.profile
+    }
+
+    /// The executor's timer queue.
+    pub fn timers(&self) -> &TimerQueue {
+        &self.timers
+    }
+
+    /// The currently running strand, if called from strand context.
+    pub fn current(&self) -> Option<StrandId> {
+        self.state.lock().current
+    }
+
+    /// A [`StrandCtx`] for the currently running strand. Used by trusted
+    /// code (fault handlers, interrupt bottom halves) that must block the
+    /// strand it happens to be running on — e.g. a demand pager waiting
+    /// for disk I/O inside a `Translation.PageNotPresent` handler.
+    pub fn current_ctx(self: &Arc<Self>) -> Option<StrandCtx> {
+        self.state.lock().current.map(|id| StrandCtx {
+            exec: self.clone(),
+            id,
+        })
+    }
+}
+
+/// Capability handed to a strand body.
+#[derive(Clone)]
+pub struct StrandCtx {
+    exec: Arc<Executor>,
+    id: StrandId,
+}
+
+impl StrandCtx {
+    /// This strand's id.
+    pub fn id(&self) -> StrandId {
+        self.id
+    }
+
+    /// The executor.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
+    }
+
+    /// Voluntarily yields the processor (stays runnable).
+    pub fn yield_now(&self) {
+        self.exec.yield_current();
+    }
+
+    /// Blocks until another context unblocks this strand.
+    pub fn block(&self) {
+        self.exec.block_current();
+    }
+
+    /// Sleeps for `ns` of virtual time.
+    pub fn sleep(&self, ns: Nanos) {
+        let exec = self.exec.clone();
+        let id = self.id;
+        let at = self.exec.clock.now() + ns;
+        self.exec.timers.schedule_at(at, move |_| exec.unblock(id));
+        self.exec.block_current();
+    }
+
+    /// A preemption safe point: deschedules the strand if its quantum
+    /// expired.
+    pub fn preempt_point(&self) {
+        if self.exec.preempt_pending.swap(false, Ordering::Relaxed) {
+            self.exec.yield_current();
+        }
+    }
+
+    /// Blocks until `target` completes.
+    pub fn join(&self, target: StrandId) {
+        {
+            let mut st = self.exec.state.lock();
+            match st.strands.get_mut(&target) {
+                Some(info) if info.state != RunState::Done => info.joiners.push(self.id),
+                _ => return, // already done or never existed
+            }
+        }
+        self.exec.block_current();
+    }
+
+    /// Charges simulated CPU work to this strand.
+    pub fn work(&self, ns: Nanos) {
+        self.exec.clock.advance(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spin_sal::SimBoard;
+
+    fn exec() -> Arc<Executor> {
+        let board = SimBoard::new();
+        Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        )
+    }
+
+    #[test]
+    fn strands_run_to_completion() {
+        let e = exec();
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        e.spawn("worker", move |_| f2.store(true, Ordering::Relaxed));
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn yield_interleaves_equal_priority_strands() {
+        let e = exec();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in ["a", "b"] {
+            let log = log.clone();
+            e.spawn(tag, move |ctx| {
+                for _ in 0..3 {
+                    log.lock().push(tag);
+                    ctx.yield_now();
+                }
+            });
+        }
+        e.run_until_idle();
+        assert_eq!(*log.lock(), vec!["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn priorities_order_execution() {
+        let e = exec();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (tag, prio) in [("low", 1u8), ("high", 20u8), ("mid", 10u8)] {
+            let log = log.clone();
+            e.spawn_on(HostId(0), tag, prio, move |_| log.lock().push(tag));
+        }
+        e.run_until_idle();
+        assert_eq!(*log.lock(), vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn block_and_unblock() {
+        let e = exec();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let blocked = e.spawn("blocked", move |ctx| {
+            l1.lock().push("before");
+            ctx.block();
+            l1.lock().push("after");
+        });
+        let l2 = log.clone();
+        let e2 = e.clone();
+        e.spawn("waker", move |_| {
+            l2.lock().push("waking");
+            e2.unblock(blocked);
+        });
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert_eq!(*log.lock(), vec!["before", "waking", "after"]);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let e = exec();
+        let clock = e.clock().clone();
+        e.spawn("sleeper", move |ctx| ctx.sleep(1_000_000));
+        let t0 = clock.now();
+        e.run_until_idle();
+        assert!(clock.now() >= t0 + 1_000_000);
+    }
+
+    #[test]
+    fn join_waits_for_target() {
+        let e = exec();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let child = e.spawn("child", move |ctx| {
+            ctx.sleep(1000);
+            l1.lock().push("child done");
+        });
+        let l2 = log.clone();
+        e.spawn("parent", move |ctx| {
+            ctx.join(child);
+            l2.lock().push("parent done");
+        });
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert_eq!(*log.lock(), vec!["child done", "parent done"]);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_named() {
+        let e = exec();
+        e.spawn("stuck", |ctx| ctx.block());
+        match e.run_until_idle() {
+            IdleOutcome::Deadlock { blocked } => assert_eq!(blocked, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_stops_the_run() {
+        let e = exec();
+        e.spawn("spinner", |ctx| loop {
+            ctx.work(1000);
+            ctx.preempt_point();
+            if ctx.executor().clock().now() > 10_000_000 {
+                break;
+            }
+        });
+        assert_eq!(e.run_until(2_000_000), IdleOutcome::DeadlineReached);
+    }
+
+    #[test]
+    fn quantum_preemption_round_robins_cpu_hogs() {
+        let e = exec();
+        e.set_quantum(10_000);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in ["a", "b"] {
+            let log = log.clone();
+            e.spawn(tag, move |ctx| {
+                for _ in 0..3 {
+                    ctx.work(15_000); // exceeds quantum every round
+                    log.lock().push(tag);
+                    ctx.preempt_point();
+                }
+            });
+        }
+        e.run_until_idle();
+        let l = log.lock();
+        // Strict alternation proves preemption (without it, "a" runs 3x
+        // before "b" starts).
+        assert_eq!(*l, vec!["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn cpu_time_is_attributed_to_strands_and_hosts() {
+        let e = exec();
+        let s = e.spawn("worker", |ctx| ctx.work(5_000));
+        e.run_until_idle();
+        assert_eq!(e.cpu_time(s), 5_000);
+        assert!(e.host_busy(HostId(0)) >= 5_000);
+    }
+
+    #[test]
+    fn panicking_strand_is_reported_not_fatal() {
+        let e = exec();
+        let s = e.spawn("bad", |_| panic!("extension bug"));
+        let ok = e.spawn("good", |_| {});
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert!(e.panicked(s));
+        assert!(!e.panicked(ok));
+    }
+
+    #[test]
+    fn spawn_from_within_a_strand() {
+        let e = exec();
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        e.spawn("parent", move |ctx| {
+            let f3 = f2.clone();
+            let child = ctx
+                .executor()
+                .spawn("child", move |_| f3.store(true, Ordering::Relaxed));
+            ctx.join(child);
+        });
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn replacing_the_global_policy_takes_effect() {
+        // A LIFO policy to prove replacement: later spawns run first.
+        struct Lifo(Vec<StrandId>);
+        impl SchedulerPolicy for Lifo {
+            fn enqueue(&mut self, s: StrandId, _p: u8) {
+                self.0.push(s);
+            }
+            fn dequeue(&mut self) -> Option<StrandId> {
+                self.0.pop()
+            }
+            fn remove(&mut self, s: StrandId) {
+                self.0.retain(|&x| x != s);
+            }
+            fn name(&self) -> &'static str {
+                "lifo"
+            }
+        }
+        let e = exec();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in ["first", "second"] {
+            let log = log.clone();
+            e.spawn(tag, move |_| log.lock().push(tag));
+        }
+        e.set_policy(Box::new(Lifo(Vec::new())));
+        e.run_until_idle();
+        assert_eq!(*log.lock(), vec!["second", "first"]);
+    }
+}

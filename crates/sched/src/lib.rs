@@ -1,0 +1,46 @@
+//! `spin-sched` — extensible thread management for the SPIN reproduction.
+//!
+//! This crate implements §4.2 of the paper:
+//!
+//! * **strands** and the deterministic [`Executor`] that multiplexes them
+//!   on the virtual timeline (one real OS thread per strand, exactly one
+//!   running at a time, preemption at safe points when the quantum
+//!   expires);
+//! * the **Strand interface events** — `Block`, `Unblock`, `Checkpoint`,
+//!   `Resume` — raised through the central dispatcher so stacked
+//!   schedulers and thread packages can observe control flow
+//!   ([`StrandEvents`]);
+//! * the **global scheduler**: "a round-robin, preemptive, priority
+//!   policy", replaceable through [`Executor::set_policy`] as a trusted
+//!   operation;
+//! * **thread packages** built directly on strands: the trusted in-kernel
+//!   Modula-3 package ([`M3Threads`]), the DEC OSF/1 kernel-thread
+//!   interface used by vendor drivers ([`OsfThreads`]), and the two
+//!   user-level C-Threads structures of Table 3 ([`CThreads`], layered vs
+//!   integrated);
+//! * **user-level contexts** and the protected cross-address-space call
+//!   path of Table 2 ([`UserProcess`], [`XasService`]).
+
+pub mod async_runner;
+pub mod cthreads;
+pub mod events;
+pub mod executor;
+pub mod group;
+pub mod kthread;
+pub mod lottery;
+pub mod osf_threads;
+pub mod sync;
+pub mod user;
+
+pub use async_runner::install_async_runner;
+pub use cthreads::{measure_fork_join, measure_ping_pong, CThreads, CThreadsImpl};
+pub use events::{StrandEvents, StrandRef};
+pub use executor::{
+    Executor, IdleOutcome, RoundRobinPriority, SchedulerPolicy, StrandCtx, StrandId,
+};
+pub use group::{PackageStats, TaskPackage};
+pub use kthread::{measure_kernel_fork_join, measure_kernel_ping_pong, M3Threads};
+pub use lottery::{LotteryPolicy, TicketBook};
+pub use osf_threads::{OsfThreads, WaitChannel};
+pub use sync::{KChannel, KCondition, KMutex};
+pub use user::{measure_xas_call, UserProcess, XasClient, XasService};

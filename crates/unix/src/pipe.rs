@@ -1,0 +1,165 @@
+//! UNIX pipes over the kernel channel primitive.
+
+use spin_sched::{Executor, KChannel, StrandCtx};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A pipe: a bounded byte stream with reference-counted ends.
+pub struct Pipe {
+    chunks: Arc<KChannel<Vec<u8>>>,
+    readers: AtomicU32,
+    writers: AtomicU32,
+    /// Residual bytes from a partially-consumed chunk.
+    residue: parking_lot::Mutex<Vec<u8>>,
+}
+
+impl Pipe {
+    /// Creates a pipe with one reader and one writer reference.
+    pub fn new(exec: Arc<Executor>) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            chunks: KChannel::new(exec, 16),
+            readers: AtomicU32::new(1),
+            writers: AtomicU32::new(1),
+            residue: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Duplicates an end (dup/fork semantics).
+    pub fn add_reader(&self) {
+        self.readers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Duplicates the writer end.
+    pub fn add_writer(&self) {
+        self.writers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops a reader reference.
+    pub fn drop_reader(&self) {
+        if self.readers.fetch_sub(1, Ordering::Relaxed) == 1 {
+            // Writers will see EPIPE via closed channel on next send.
+            self.chunks.close();
+        }
+    }
+
+    /// Drops a writer reference; the last one signals EOF to readers.
+    pub fn drop_writer(&self) {
+        if self.writers.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.chunks.close();
+        }
+    }
+
+    /// Writes `data` (blocking when full). Returns bytes written, or
+    /// `None` on a broken pipe.
+    pub fn write(&self, ctx: &StrandCtx, data: &[u8]) -> Option<usize> {
+        if self.readers.load(Ordering::Relaxed) == 0 {
+            return None; // EPIPE
+        }
+        if data.is_empty() {
+            return Some(0);
+        }
+        if self.chunks.send(ctx, data.to_vec()) {
+            Some(data.len())
+        } else {
+            None
+        }
+    }
+
+    /// Reads up to `max` bytes (blocking while empty). `Some(empty)` is
+    /// EOF (all writers gone).
+    pub fn read(&self, ctx: &StrandCtx, max: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        {
+            let mut res = self.residue.lock();
+            if !res.is_empty() {
+                let n = max.min(res.len());
+                out.extend(res.drain(..n));
+                return out;
+            }
+        }
+        match self.chunks.recv(ctx) {
+            Some(mut chunk) => {
+                if chunk.len() > max {
+                    let rest = chunk.split_off(max);
+                    *self.residue.lock() = rest;
+                }
+                chunk
+            }
+            None => Vec::new(), // EOF
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use spin_sal::SimBoard;
+
+    fn exec() -> Arc<Executor> {
+        let board = SimBoard::new();
+        Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        )
+    }
+
+    #[test]
+    fn bytes_flow_in_order_and_eof_arrives() {
+        let e = exec();
+        let pipe = Pipe::new(e.clone());
+        let p2 = pipe.clone();
+        e.spawn("writer", move |ctx| {
+            p2.write(ctx, b"hello ").unwrap();
+            p2.write(ctx, b"pipe").unwrap();
+            p2.drop_writer();
+        });
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let (p3, g2) = (pipe.clone(), got.clone());
+        e.spawn("reader", move |ctx| loop {
+            let chunk = p3.read(ctx, 4);
+            if chunk.is_empty() {
+                break;
+            }
+            g2.lock().extend_from_slice(&chunk);
+        });
+        e.run_until_idle();
+        assert_eq!(&got.lock()[..], b"hello pipe");
+    }
+
+    #[test]
+    fn short_reads_leave_residue() {
+        let e = exec();
+        let pipe = Pipe::new(e.clone());
+        let p2 = pipe.clone();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        e.spawn("both", move |ctx| {
+            p2.write(ctx, b"abcdef").unwrap();
+            g2.lock().push(p2.read(ctx, 2));
+            g2.lock().push(p2.read(ctx, 3));
+            g2.lock().push(p2.read(ctx, 10));
+        });
+        e.run_until_idle();
+        let g = got.lock();
+        assert_eq!(g[0], b"ab");
+        assert_eq!(g[1], b"cde");
+        assert_eq!(g[2], b"f");
+    }
+
+    #[test]
+    fn writing_to_a_readerless_pipe_is_epipe() {
+        let e = exec();
+        let pipe = Pipe::new(e.clone());
+        pipe.drop_reader();
+        let p2 = pipe.clone();
+        let result = Arc::new(Mutex::new(Some(0usize)));
+        let r2 = result.clone();
+        e.spawn("writer", move |ctx| {
+            *r2.lock() = p2.write(ctx, b"x");
+        });
+        e.run_until_idle();
+        assert_eq!(*result.lock(), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration: the full extension lifecycle across crates — boot, export,
+//! dynamic linking against `SpinPublic`, nameserver authorization, event
+//! dispatch, and §3's safety properties.
+
+use spin_os::core::{
+    CoreError, Identity, InstallDecision, Interface, Kernel, ObjectFile, ObjectFileBuilder,
+};
+use spin_os::sal::SimBoard;
+use spin_os::vm::VmService;
+use std::sync::Arc;
+
+fn kernel() -> Kernel {
+    let board = SimBoard::new();
+    Kernel::boot(board.new_host(256))
+}
+
+#[test]
+fn extension_links_imports_and_calls_a_core_service() {
+    let k = kernel();
+    let vm = VmService::install(&k);
+
+    // A compiler-signed extension imports the Translation service.
+    let mut b = ObjectFileBuilder::new("my-vm-tool");
+    let trans = b.import::<spin_os::vm::TranslationService>("Translation", "service");
+    let domain = k
+        .load_extension(b.sign())
+        .expect("links against SpinPublic");
+    assert!(domain.fully_resolved());
+
+    // Call through the resolved import: allocate a context, same service.
+    let svc = trans.get().expect("resolved");
+    let ctx = svc.create();
+    assert!(svc.destroy(ctx).is_ok());
+    drop(vm);
+}
+
+#[test]
+fn unsigned_code_cannot_become_a_domain_but_asserted_code_can() {
+    let k = kernel();
+    let unsigned = ObjectFile::unsigned("vendor_driver", vec![]);
+    assert!(matches!(
+        k.load_extension(unsigned),
+        Err(CoreError::UnsafeObjectFile { .. })
+    ));
+    let asserted = ObjectFile::unsigned("vendor_driver", vec![]).assert_safe();
+    k.load_extension(asserted).expect("kernel vouches for it");
+    assert_eq!(k.asserted_safe_count(), 1, "the kernel tracks its vouching");
+}
+
+#[test]
+fn nameserver_authorization_gates_device_interfaces() {
+    let k = kernel();
+    let domain = spin_os::core::Domain::create_from_module(
+        "disk-driver",
+        vec![Interface::new("Disk").export("unit0", Arc::new(0u32))],
+    );
+    k.nameserver()
+        .register_with_authorizer(
+            "DiskService",
+            domain,
+            Identity::kernel("disk"),
+            Some(Arc::new(|who: &Identity| {
+                who.is_kernel() || who.name() == "fs"
+            })),
+        )
+        .unwrap();
+    assert!(k
+        .nameserver()
+        .import("DiskService", &Identity::extension("fs"))
+        .is_ok());
+    assert!(matches!(
+        k.nameserver()
+            .import("DiskService", &Identity::extension("game")),
+        Err(CoreError::AuthorizationDenied { .. })
+    ));
+}
+
+#[test]
+fn event_owner_policies_compose_with_extension_guards() {
+    let k = kernel();
+    let (ev, owner) = k
+        .dispatcher()
+        .define::<u64, u64>("Service.Op", Identity::kernel("service"));
+    owner.set_primary(|x| *x).unwrap();
+    // Owner: deny "evil", constrain everyone else with an even-only guard.
+    owner
+        .set_auth(|req| {
+            if req.installer.name() == "evil" {
+                InstallDecision::Deny
+            } else {
+                InstallDecision::Allow {
+                    owner_guard: Some(Arc::new(|x: &u64| x % 2 == 0)),
+                    constraints: None,
+                }
+            }
+        })
+        .unwrap();
+    assert!(ev.install(Identity::extension("evil"), |_| 0).is_err());
+    // Installer stacks a further guard: multiples of ten only.
+    ev.install_guarded(Identity::extension("good"), |x| x % 10 == 0, |x| x + 1)
+        .unwrap();
+    assert_eq!(ev.raise(20), Ok(21), "both guards pass -> final handler");
+    assert_eq!(ev.raise(4), Ok(4), "installer guard fails -> primary only");
+    assert_eq!(ev.raise(15), Ok(15), "owner guard fails -> primary only");
+}
+
+#[test]
+fn externalized_references_cross_the_user_boundary_safely() {
+    let k = kernel();
+    let vm = VmService::install(&k);
+    let table = k.new_extern_table();
+    // The kernel externalizes a physical-memory capability.
+    let region = vm.phys.allocate(1, Default::default()).unwrap();
+    let handle = table.externalize(region.clone());
+    // User space returns the index; the kernel recovers the typed ref.
+    let recovered = table.recover::<spin_os::vm::PhysRegion>(handle).unwrap();
+    assert_eq!(recovered.id(), region.id());
+    // Revocation invalidates without confusing types.
+    table.revoke(handle).unwrap();
+    assert!(table.recover::<spin_os::vm::PhysRegion>(handle).is_err());
+}
+
+#[test]
+fn kernel_heap_reclaims_extension_garbage() {
+    let k = kernel();
+    // A sloppy extension allocates and forgets.
+    for i in 0..10_000u64 {
+        k.heap().alloc(i).expect("collector keeps the heap alive");
+    }
+    let stats = k.heap().stats();
+    assert_eq!(stats.allocations, 10_000);
+    // Explicit collection reclaims everything unreferenced.
+    k.heap().collect();
+    assert!(k.heap().live_bytes() < 1024);
+}

@@ -27,16 +27,45 @@
 //!   one handler for a given event" — reproduced both structurally (the
 //!   guard loop is skipped) and in the cost model (a raise with a single
 //!   unguarded synchronous handler charges one inter-module call, 0.13 µs).
+//!
+//! # The snapshot raise path
+//!
+//! Raising is the hot path of the whole reproduction — every packet in the
+//! §5.3 protocol graph, every VM fault and every scheduler transition goes
+//! through [`Dispatcher::raise`] — so the read side is engineered like the
+//! paper's dispatcher: as close to a direct procedure call as the language
+//! allows. Three mechanisms keep locks and copies off the per-raise path:
+//!
+//! 1. **Cached event resolution.** Each [`Event`] handle resolves its state
+//!    through the dispatcher's global table once, then caches a weak
+//!    reference ([`OnceLock<Weak<_>>`]); later raises upgrade the weak
+//!    pointer without touching the global table. Destroyed events keep
+//!    [`DispatchError::UnknownEvent`] semantics via a destroyed flag plus
+//!    the weak upgrade failing once the table's strong reference is gone.
+//! 2. **RCU-style handler snapshots.** Handlers, guards and the reducer
+//!    live in an immutable [`RaisePlan`] behind `RwLock<Arc<RaisePlan>>`.
+//!    Writers (install/uninstall/set_reducer/…) rebuild the plan and swap
+//!    the `Arc`; raisers clone the `Arc` under a read lock — one refcount
+//!    increment, never a deep copy, and raisers never block other raisers.
+//!    Fast-path eligibility (a single synchronous unguarded unbounded
+//!    handler, no reducer) is precomputed at snapshot-build time.
+//! 3. **Atomic statistics.** [`EventStats`] counters are `AtomicU64`s, so
+//!    the fast path performs one atomic increment instead of re-locking.
+//!
+//! The virtual-time cost model is charged exactly as before (see
+//! DESIGN.md: "cost-model charges are independent of the real-time
+//! optimisation") — this machinery buys real nanoseconds, not simulated
+//! microseconds.
 
 use crate::error::DispatchError;
 use crate::identity::Identity;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use spin_sal::{Clock, MachineProfile, Nanos};
 use std::any::Any;
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
 /// A handler procedure for an event with arguments `A` and result `R`.
 pub type Handler<A, R> = Arc<dyn Fn(&A) -> R + Send + Sync>;
@@ -144,12 +173,84 @@ pub struct EventStats {
     pub async_dispatches: u64,
 }
 
-struct EventState<A, R> {
-    owner: Identity,
+/// Lock-free counters backing [`EventStats`].
+#[derive(Default)]
+struct AtomicEventStats {
+    raises: AtomicU64,
+    fast_path_raises: AtomicU64,
+    guard_evaluations: AtomicU64,
+    handlers_run: AtomicU64,
+    handlers_aborted: AtomicU64,
+    async_dispatches: AtomicU64,
+}
+
+impl AtomicEventStats {
+    fn snapshot(&self) -> EventStats {
+        EventStats {
+            raises: self.raises.load(Ordering::Relaxed),
+            fast_path_raises: self.fast_path_raises.load(Ordering::Relaxed),
+            guard_evaluations: self.guard_evaluations.load(Ordering::Relaxed),
+            handlers_run: self.handlers_run.load(Ordering::Relaxed),
+            handlers_aborted: self.handlers_aborted.load(Ordering::Relaxed),
+            async_dispatches: self.async_dispatches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The immutable per-raise snapshot: everything a raise needs, built once
+/// per mutation instead of once per raise.
+struct RaisePlan<A, R> {
+    entries: Box<[Entry<A, R>]>,
+    reducer: Option<Reducer<R>>,
+    /// `Some` iff the event qualifies for the paper's direct-call fast
+    /// path: exactly one synchronous, unguarded, unbounded handler and no
+    /// reducer. Precomputed here so the raise checks a single option.
+    fast: Option<Handler<A, R>>,
+}
+
+impl<A, R> RaisePlan<A, R> {
+    fn build(handlers: &[Entry<A, R>], reducer: &Option<Reducer<R>>) -> Arc<RaisePlan<A, R>> {
+        let fast = match handlers {
+            [only]
+                if only.guards.is_empty()
+                    && only.constraints.mode == HandlerMode::Synchronous
+                    && only.constraints.time_bound.is_none()
+                    && reducer.is_none() =>
+            {
+                Some(only.handler.clone())
+            }
+            _ => None,
+        };
+        Arc::new(RaisePlan {
+            entries: handlers.to_vec().into_boxed_slice(),
+            reducer: reducer.clone(),
+            fast,
+        })
+    }
+}
+
+/// The mutable write side of an event: mutated under a mutex by the rare
+/// install/uninstall/configure operations, then republished as a fresh
+/// [`RaisePlan`].
+struct WriteSide<A, R> {
     handlers: Vec<Entry<A, R>>,
     auth: Option<AuthFn<A>>,
     reducer: Option<Reducer<R>>,
-    stats: EventStats,
+}
+
+struct EventState<A, R> {
+    owner: Identity,
+    write: Mutex<WriteSide<A, R>>,
+    plan: RwLock<Arc<RaisePlan<A, R>>>,
+    stats: AtomicEventStats,
+    destroyed: AtomicBool,
+}
+
+impl<A, R> EventState<A, R> {
+    /// Republishes the raise plan from the (locked) write side.
+    fn republish(&self, ws: &WriteSide<A, R>) {
+        *self.plan.write() = RaisePlan::build(&ws.handlers, &ws.reducer);
+    }
 }
 
 /// A typed event. Holding an `Event` value is the right to raise it; the
@@ -158,6 +259,9 @@ pub struct Event<A, R> {
     id: u64,
     name: Arc<str>,
     dispatcher: Dispatcher,
+    /// Resolve-once cache: a weak reference to the event state so raises
+    /// skip the dispatcher's global table (and its lock + downcast).
+    cached: OnceLock<Weak<EventState<A, R>>>,
     _marker: PhantomData<fn(&A) -> R>,
 }
 
@@ -167,6 +271,7 @@ impl<A, R> Clone for Event<A, R> {
             id: self.id,
             name: self.name.clone(),
             dispatcher: self.dispatcher.clone(),
+            cached: self.cached.clone(),
             _marker: PhantomData,
         }
     }
@@ -188,7 +293,7 @@ struct DispatcherInner {
     events: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
     next_event: AtomicU64,
     next_handler: AtomicU64,
-    async_runner: Mutex<AsyncRunner>,
+    async_runner: RwLock<AsyncRunner>,
     clock: Clock,
     profile: Arc<MachineProfile>,
 }
@@ -207,7 +312,7 @@ impl Dispatcher {
                 events: Mutex::new(HashMap::new()),
                 next_event: AtomicU64::new(1),
                 next_handler: AtomicU64::new(1),
-                async_runner: Mutex::new(Arc::new(|f: Box<dyn FnOnce() + Send>| f())),
+                async_runner: RwLock::new(Arc::new(|f: Box<dyn FnOnce() + Send>| f())),
                 clock,
                 profile,
             }),
@@ -227,7 +332,7 @@ impl Dispatcher {
     /// Installs the runner used for asynchronous handlers (the scheduler
     /// provides one that runs the closure on a fresh kernel strand).
     pub fn set_async_runner(&self, runner: AsyncRunner) {
-        *self.inner.async_runner.lock() = runner;
+        *self.inner.async_runner.write() = runner;
     }
 
     /// Defines a new event. The returned [`EventOwner`] is the primary
@@ -240,18 +345,25 @@ impl Dispatcher {
     {
         let id = self.inner.next_event.fetch_add(1, Ordering::Relaxed);
         let name: Arc<str> = name.into();
-        let state: Arc<Mutex<EventState<A, R>>> = Arc::new(Mutex::new(EventState {
+        let state: Arc<EventState<A, R>> = Arc::new(EventState {
             owner: owner.clone(),
-            handlers: Vec::new(),
-            auth: None,
-            reducer: None,
-            stats: EventStats::default(),
-        }));
-        self.inner.events.lock().insert(id, state);
+            write: Mutex::new(WriteSide {
+                handlers: Vec::new(),
+                auth: None,
+                reducer: None,
+            }),
+            plan: RwLock::new(RaisePlan::build(&[], &None)),
+            stats: AtomicEventStats::default(),
+            destroyed: AtomicBool::new(false),
+        });
+        self.inner.events.lock().insert(id, state.clone());
+        let cached = OnceLock::new();
+        let _ = cached.set(Arc::downgrade(&state));
         let event = Event {
             id,
             name,
             dispatcher: self.clone(),
+            cached,
             _marker: PhantomData,
         };
         let owner = EventOwner {
@@ -261,10 +373,9 @@ impl Dispatcher {
         (event, owner)
     }
 
-    fn state_of<A, R>(
-        &self,
-        ev: &Event<A, R>,
-    ) -> Result<Arc<Mutex<EventState<A, R>>>, DispatchError>
+    /// Resolves an event through the global table (the slow path used once
+    /// per handle; raises afterwards go through the handle's cache).
+    fn lookup<A, R>(&self, ev: &Event<A, R>) -> Result<Arc<EventState<A, R>>, DispatchError>
     where
         A: Send + Sync + 'static,
         R: Send + 'static,
@@ -276,7 +387,7 @@ impl Dispatcher {
                 name: ev.name.to_string(),
             })?;
         any.clone()
-            .downcast::<Mutex<EventState<A, R>>>()
+            .downcast::<EventState<A, R>>()
             .map_err(|_| DispatchError::UnknownEvent {
                 name: ev.name.to_string(),
             })
@@ -298,8 +409,10 @@ impl Dispatcher {
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
-        let state = self.state_of(ev)?;
-        let auth = state.lock().auth.clone();
+        let state = ev.resolved()?;
+        // The authorizer runs outside the write lock: it is arbitrary
+        // owner code and may re-enter the dispatcher.
+        let auth = state.write.lock().auth.clone();
         let decision = match auth {
             Some(auth) => auth(&InstallRequest {
                 event: ev.name.to_string(),
@@ -325,7 +438,8 @@ impl Dispatcher {
             guards.push(g);
         }
         guards.extend(installer_guards);
-        state.lock().handlers.push(Entry {
+        let mut ws = state.write.lock();
+        ws.handlers.push(Entry {
             id,
             handler,
             guards,
@@ -333,6 +447,7 @@ impl Dispatcher {
             installer,
             is_primary: false,
         });
+        state.republish(&ws);
         Ok(id)
     }
 
@@ -348,50 +463,47 @@ impl Dispatcher {
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
-        let state = self.state_of(ev)?;
-        let mut st = state.lock();
-        let pos = st
+        let state = ev.resolved()?;
+        let mut ws = state.write.lock();
+        let pos = ws
             .handlers
             .iter()
             .position(|e| e.id == id)
             .ok_or(DispatchError::NoSuchHandler)?;
-        if st.handlers[pos].installer != *caller && st.owner != *caller {
+        if ws.handlers[pos].installer != *caller && state.owner != *caller {
             return Err(DispatchError::NotOwner);
         }
-        st.handlers.remove(pos);
+        ws.handlers.remove(pos);
+        state.republish(&ws);
         Ok(())
     }
 
     /// Raises an event: evaluates guards, runs handlers under their
     /// constraints, and reduces the synchronous results.
+    ///
+    /// This is the hot path. It performs no handler copies and takes no
+    /// mutex: one weak-pointer upgrade (cached resolution), one `Arc`
+    /// clone under a read lock (the snapshot), and atomic counter updates.
     pub fn raise<A, R>(&self, ev: &Event<A, R>, args: A) -> Result<R, DispatchError>
     where
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
-        let state = self.state_of(ev)?;
+        let state = ev.resolved()?;
         let profile = &self.inner.profile;
         let clock = &self.inner.clock;
 
-        // Snapshot under the lock, run handlers outside it (handlers may
-        // install/uninstall or re-raise).
-        let (entries, reducer) = {
-            let mut st = state.lock();
-            st.stats.raises += 1;
-            (st.handlers.clone(), st.reducer.clone())
-        };
+        // Snapshot: one refcount bump; handlers run outside any lock
+        // (they may install/uninstall or re-raise).
+        let plan = state.plan.read().clone();
+        state.stats.raises.fetch_add(1, Ordering::Relaxed);
 
         // Fast path: a single synchronous unguarded unbounded handler is a
-        // direct procedure call.
-        if entries.len() == 1
-            && entries[0].guards.is_empty()
-            && entries[0].constraints.mode == HandlerMode::Synchronous
-            && entries[0].constraints.time_bound.is_none()
-            && reducer.is_none()
-        {
+        // direct procedure call (eligibility precomputed at plan build).
+        if let Some(fast) = &plan.fast {
             clock.advance(profile.inter_module_call);
-            state.lock().stats.fast_path_raises += 1;
-            return Ok((entries[0].handler)(&args));
+            state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed);
+            return Ok(fast(&args));
         }
 
         clock.advance(profile.event_raise_base);
@@ -402,7 +514,7 @@ impl Dispatcher {
         let mut aborted = 0u64;
         let mut async_count = 0u64;
 
-        for entry in &entries {
+        for entry in plan.entries.iter() {
             let mut pass = true;
             for guard in &entry.guards {
                 clock.advance(profile.guard_eval);
@@ -421,7 +533,7 @@ impl Dispatcher {
                     // execute in a separate thread from the raiser."
                     let handler = entry.handler.clone();
                     let args = args.clone();
-                    let runner = self.inner.async_runner.lock().clone();
+                    let runner = self.inner.async_runner.read().clone();
                     async_count += 1;
                     runner(Box::new(move || {
                         let _ = handler(&args);
@@ -445,14 +557,91 @@ impl Dispatcher {
             }
         }
 
+        let stats = &state.stats;
+        stats
+            .guard_evaluations
+            .fetch_add(guard_evals, Ordering::Relaxed);
+        stats.handlers_run.fetch_add(run, Ordering::Relaxed);
+        stats.handlers_aborted.fetch_add(aborted, Ordering::Relaxed);
+        stats
+            .async_dispatches
+            .fetch_add(async_count, Ordering::Relaxed);
+
+        if results.is_empty() {
+            return Err(DispatchError::NoHandlerRan {
+                name: ev.name.to_string(),
+            });
+        }
+        Ok(match plan.reducer.as_ref() {
+            Some(reduce) => reduce(results),
+            // Default: "returns the result of the final handler executed".
+            None => results.pop().expect("non-empty checked above"),
+        })
+    }
+
+    /// The pre-snapshot raise path, kept verbatim for the
+    /// `dispatch_snapshot` ablation bench: resolves through the global
+    /// table on every raise, deep-clones the handler vector under the
+    /// event mutex, and re-locks to update statistics. Semantics and
+    /// virtual-time charges match [`Dispatcher::raise`]; real-time cost
+    /// does not — that difference is the point of the ablation.
+    #[doc(hidden)]
+    pub fn raise_locked_baseline<A, R>(&self, ev: &Event<A, R>, args: A) -> Result<R, DispatchError>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let state = self.lookup(ev)?;
+        let profile = &self.inner.profile;
+        let clock = &self.inner.clock;
+
+        let (entries, reducer) = {
+            let ws = state.write.lock();
+            state.stats.raises.fetch_add(1, Ordering::Relaxed);
+            (ws.handlers.clone(), ws.reducer.clone())
+        };
+
+        if entries.len() == 1
+            && entries[0].guards.is_empty()
+            && entries[0].constraints.mode == HandlerMode::Synchronous
+            && entries[0].constraints.time_bound.is_none()
+            && reducer.is_none()
         {
-            let mut st = state.lock();
-            st.stats.guard_evaluations += guard_evals;
-            st.stats.handlers_run += run;
-            st.stats.handlers_aborted += aborted;
-            st.stats.async_dispatches += async_count;
+            clock.advance(profile.inter_module_call);
+            {
+                // The baseline's second lock acquisition for statistics.
+                let _ws = state.write.lock();
+                state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok((entries[0].handler)(&args));
         }
 
+        clock.advance(profile.event_raise_base);
+        let args = Arc::new(args);
+        let mut results: Vec<R> = Vec::new();
+        for entry in &entries {
+            let mut pass = true;
+            for guard in &entry.guards {
+                clock.advance(profile.guard_eval);
+                state
+                    .stats
+                    .guard_evaluations
+                    .fetch_add(1, Ordering::Relaxed);
+                if !guard(&args) {
+                    pass = false;
+                    break;
+                }
+            }
+            if !pass {
+                continue;
+            }
+            if entry.constraints.mode == HandlerMode::Synchronous {
+                clock.advance(profile.handler_invoke + profile.inter_module_call);
+                let r = (entry.handler)(&args);
+                state.stats.handlers_run.fetch_add(1, Ordering::Relaxed);
+                results.push(r);
+            }
+        }
         if results.is_empty() {
             return Err(DispatchError::NoHandlerRan {
                 name: ev.name.to_string(),
@@ -460,7 +649,6 @@ impl Dispatcher {
         }
         Ok(match reducer {
             Some(reduce) => reduce(results),
-            // Default: "returns the result of the final handler executed".
             None => results.pop().expect("non-empty checked above"),
         })
     }
@@ -471,7 +659,7 @@ impl Dispatcher {
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
-        Ok(self.state_of(ev)?.lock().stats)
+        Ok(ev.resolved()?.stats.snapshot())
     }
 
     /// Number of handlers currently installed on an event.
@@ -480,7 +668,27 @@ impl Dispatcher {
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
-        Ok(self.state_of(ev)?.lock().handlers.len())
+        Ok(ev.resolved()?.plan.read().entries.len())
+    }
+
+    /// Destroys an event: later raises, installs and queries on any handle
+    /// fail with [`DispatchError::UnknownEvent`]. Only the owner identity
+    /// may destroy. The name may subsequently be redefined (fresh state,
+    /// fresh statistics).
+    pub fn destroy<A, R>(&self, ev: &Event<A, R>, caller: &Identity) -> Result<(), DispatchError>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let state = ev.resolved()?;
+        if state.owner != *caller {
+            return Err(DispatchError::NotOwner);
+        }
+        // Order matters for raisers that already hold a strong reference:
+        // the flag flips before the table's strong reference drops.
+        state.destroyed.store(true, Ordering::Release);
+        self.inner.events.lock().remove(&ev.id);
+        Ok(())
     }
 }
 
@@ -492,6 +700,30 @@ where
     /// The event's qualified name (e.g. `"IP.PacketArrived"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Resolves this handle to its event state: upgrades the cached weak
+    /// reference, falling back to the global table once per handle.
+    fn resolved(&self) -> Result<Arc<EventState<A, R>>, DispatchError> {
+        let state = match self.cached.get() {
+            Some(weak) => weak.upgrade().ok_or_else(|| self.unknown())?,
+            None => {
+                let state = self.dispatcher.lookup(self)?;
+                // Racing resolvers cache the same weak pointer; first wins.
+                let _ = self.cached.set(Arc::downgrade(&state));
+                state
+            }
+        };
+        if state.destroyed.load(Ordering::Acquire) {
+            return Err(self.unknown());
+        }
+        Ok(state)
+    }
+
+    fn unknown(&self) -> DispatchError {
+        DispatchError::UnknownEvent {
+            name: self.name.to_string(),
+        }
     }
 
     /// Raises this event through its dispatcher.
@@ -544,9 +776,10 @@ where
         handler: impl Fn(&A) -> R + Send + Sync + 'static,
     ) -> Result<HandlerId, DispatchError> {
         let disp = &self.event.dispatcher;
-        let state = disp.state_of(&self.event)?;
+        let state = self.event.resolved()?;
         let id = HandlerId(disp.inner.next_handler.fetch_add(1, Ordering::Relaxed));
-        state.lock().handlers.push(Entry {
+        let mut ws = state.write.lock();
+        ws.handlers.push(Entry {
             id,
             handler: Arc::new(handler),
             guards: Vec::new(),
@@ -554,6 +787,7 @@ where
             installer: self.token.clone(),
             is_primary: true,
         });
+        state.republish(&ws);
         Ok(id)
     }
 
@@ -562,8 +796,8 @@ where
         &self,
         auth: impl Fn(&InstallRequest) -> InstallDecision<A> + Send + Sync + 'static,
     ) -> Result<(), DispatchError> {
-        let state = self.event.dispatcher.state_of(&self.event)?;
-        state.lock().auth = Some(Arc::new(auth));
+        let state = self.event.resolved()?;
+        state.write.lock().auth = Some(Arc::new(auth));
         Ok(())
     }
 
@@ -572,20 +806,23 @@ where
         &self,
         reduce: impl Fn(Vec<R>) -> R + Send + Sync + 'static,
     ) -> Result<(), DispatchError> {
-        let state = self.event.dispatcher.state_of(&self.event)?;
-        state.lock().reducer = Some(Arc::new(reduce));
+        let state = self.event.resolved()?;
+        let mut ws = state.write.lock();
+        ws.reducer = Some(Arc::new(reduce));
+        state.republish(&ws);
         Ok(())
     }
 
     /// Removes the primary handler ("or even remove the primary handler").
     pub fn remove_primary(&self) -> Result<(), DispatchError> {
-        let state = self.event.dispatcher.state_of(&self.event)?;
-        let mut st = state.lock();
-        let before = st.handlers.len();
-        st.handlers.retain(|e| !e.is_primary);
-        if st.handlers.len() == before {
+        let state = self.event.resolved()?;
+        let mut ws = state.write.lock();
+        let before = ws.handlers.len();
+        ws.handlers.retain(|e| !e.is_primary);
+        if ws.handlers.len() == before {
             return Err(DispatchError::NoSuchHandler);
         }
+        state.republish(&ws);
         Ok(())
     }
 
@@ -594,6 +831,11 @@ where
         self.event
             .dispatcher
             .uninstall(&self.event, id, &self.token)
+    }
+
+    /// Destroys the owned event (owner right).
+    pub fn destroy(self) -> Result<(), DispatchError> {
+        self.event.dispatcher.destroy(&self.event, &self.token)
     }
 }
 
@@ -684,7 +926,7 @@ mod tests {
                 } else {
                     // Owner-imposed guard: only even arguments.
                     InstallDecision::Allow {
-                        owner_guard: Some(Arc::new(|x: &u32| x % 2 == 0)),
+                        owner_guard: Some(Arc::new(|x: &u32| x.is_multiple_of(2))),
                         constraints: None,
                     }
                 }
@@ -816,5 +1058,94 @@ mod tests {
             .set_primary(move |_| inner2.raise(()).unwrap() + 1)
             .unwrap();
         assert_eq!(outer_ev.raise(()), Ok(6));
+    }
+
+    #[test]
+    fn destroyed_events_become_unknown_on_every_handle() {
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        let other_handle = ev.clone();
+        assert_eq!(ev.raise(()), Ok(1));
+        owner.destroy().unwrap();
+        for handle in [&ev, &other_handle] {
+            assert!(matches!(
+                handle.raise(()),
+                Err(DispatchError::UnknownEvent { .. })
+            ));
+        }
+        assert!(matches!(
+            ev.install(Identity::extension("late"), |_| 2),
+            Err(DispatchError::UnknownEvent { .. })
+        ));
+        assert!(d.stats(&ev).is_err());
+    }
+
+    #[test]
+    fn destroy_requires_the_owner_identity() {
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        assert!(matches!(
+            d.destroy(&ev, &Identity::extension("rogue")),
+            Err(DispatchError::NotOwner)
+        ));
+        assert_eq!(ev.raise(()), Ok(1), "event survives a denied destroy");
+    }
+
+    #[test]
+    fn redefining_a_destroyed_name_starts_fresh() {
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        ev.raise(()).unwrap();
+        owner.destroy().unwrap();
+        let (ev2, owner2) = d.define::<(), u32>("E", Identity::kernel("k"));
+        owner2.set_primary(|_| 2).unwrap();
+        assert_eq!(ev2.raise(()), Ok(2));
+        let stats = d.stats(&ev2).unwrap();
+        assert_eq!(stats.raises, 1, "fresh statistics after redefinition");
+        assert!(ev.raise(()).is_err(), "stale handles stay unknown");
+    }
+
+    #[test]
+    fn in_flight_snapshots_are_isolated_from_writers() {
+        // A handler that installs another handler mid-raise: the in-flight
+        // raise must still see the old snapshot, the next raise the new one.
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        let ev2 = ev.clone();
+        let installed = Arc::new(AtomicUsize::new(0));
+        let installed2 = installed.clone();
+        owner
+            .set_primary(move |_| {
+                if installed2.swap(1, Ordering::Relaxed) == 0 {
+                    ev2.install(Identity::extension("late"), |_| 99).unwrap();
+                }
+                1
+            })
+            .unwrap();
+        // First raise: snapshot predates the install; the new handler does
+        // not run (the primary's result stands).
+        assert_eq!(ev.raise(()), Ok(1));
+        // Second raise: the republished snapshot includes it.
+        assert_eq!(ev.raise(()), Ok(99));
+    }
+
+    #[test]
+    fn baseline_raise_path_matches_semantics() {
+        let d = disp();
+        let (ev, owner) = d.define::<u32, u32>("E", Identity::kernel("k"));
+        owner.set_primary(|x| x + 1).unwrap();
+        assert_eq!(d.raise_locked_baseline(&ev, 1), Ok(2));
+        ev.install_guarded(
+            Identity::extension("g"),
+            |x| x.is_multiple_of(2),
+            |x| x * 10,
+        )
+        .unwrap();
+        assert_eq!(d.raise_locked_baseline(&ev, 4), Ok(40));
+        assert_eq!(d.raise_locked_baseline(&ev, 3), Ok(4));
+        assert_eq!(ev.raise(4), Ok(40), "snapshot path agrees");
     }
 }

@@ -26,7 +26,7 @@ proptest! {
             let (divisor, addend) = (*divisor, *addend);
             ev.install_guarded(
                 Identity::extension("h"),
-                move |x: &u64| x % divisor == 0,
+                move |x: &u64| x.is_multiple_of(divisor),
                 move |x: &u64| x + addend,
             ).expect("allowed");
         }

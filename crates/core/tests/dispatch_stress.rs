@@ -1,0 +1,241 @@
+//! Concurrency stress tests for the snapshot raise path.
+//!
+//! The dispatcher's read side promises that raisers never block each other
+//! and never observe a torn handler list: every raise runs against one
+//! immutable [`RaisePlan`] snapshot. These tests hammer that promise from
+//! real threads — raisers racing handler churn and racing event
+//! destruction/redefinition — and then reconcile every counter:
+//! no lost raises, no panics, statistics that add up exactly.
+
+use spin_core::{DispatchError, Dispatcher, Event, Identity};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+const RAISERS: usize = 4;
+const RAISES_PER_THREAD: u64 = 20_000;
+const CHURN_CYCLES: u64 = 2_000;
+
+/// Raisers hammer one event while a churn thread installs and uninstalls
+/// extra handlers. The primary handler is never removed, so every raise
+/// must succeed, and the statistics must reconcile exactly:
+///
+/// * `raises` == total raises issued;
+/// * the primary runs exactly once per raise (fast or slow path);
+/// * `handlers_run` (slow-path executions) == slow-path raises (primary)
+///   plus extra-handler executions.
+#[test]
+fn concurrent_raises_survive_handler_churn() {
+    let d = Dispatcher::unmetered();
+    let (ev, owner) = d.define::<u64, u64>("Stress.Churn", Identity::kernel("stress"));
+
+    let primary_runs = Arc::new(AtomicU64::new(0));
+    let extra_runs = Arc::new(AtomicU64::new(0));
+
+    let pr = primary_runs.clone();
+    owner
+        .set_primary(move |x| {
+            pr.fetch_add(1, Ordering::Relaxed);
+            *x
+        })
+        .expect("fresh event");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut raisers = Vec::new();
+    for t in 0..RAISERS {
+        let ev = ev.clone();
+        raisers.push(thread::spawn(move || {
+            let mut ok = 0u64;
+            for i in 0..RAISES_PER_THREAD {
+                let v = (t as u64) << 32 | i;
+                match ev.raise(v) {
+                    Ok(_) => ok += 1,
+                    Err(e) => panic!("raise must not fail under churn: {e:?}"),
+                }
+            }
+            ok
+        }));
+    }
+
+    let churn = {
+        let d = d.clone();
+        let ev = ev.clone();
+        let stop = stop.clone();
+        let extra = extra_runs.clone();
+        thread::spawn(move || {
+            let ident = Identity::extension("churner");
+            let mut cycles = 0u64;
+            while !stop.load(Ordering::Relaxed) && cycles < CHURN_CYCLES * 50 {
+                cycles += 1;
+                let e1 = extra.clone();
+                let id1 = ev
+                    .install(ident.clone(), move |x: &u64| {
+                        e1.fetch_add(1, Ordering::Relaxed);
+                        x + 1
+                    })
+                    .expect("install plain");
+                let e2 = extra.clone();
+                let id2 = ev
+                    .install_guarded(
+                        ident.clone(),
+                        |x: &u64| x.is_multiple_of(2),
+                        move |x: &u64| {
+                            e2.fetch_add(1, Ordering::Relaxed);
+                            x + 2
+                        },
+                    )
+                    .expect("install guarded");
+                d.uninstall(&ev, id1, &ident).expect("uninstall 1");
+                d.uninstall(&ev, id2, &ident).expect("uninstall 2");
+            }
+        })
+    };
+
+    let total_ok: u64 = raisers
+        .into_iter()
+        .map(|t| t.join().expect("no panics"))
+        .sum();
+    stop.store(true, Ordering::Relaxed);
+    churn.join().expect("churn thread must not panic");
+
+    let expected = RAISERS as u64 * RAISES_PER_THREAD;
+    assert_eq!(total_ok, expected, "no lost raises");
+
+    let stats = d.stats(&ev).expect("event alive");
+    assert_eq!(stats.raises, expected, "every raise was counted");
+    assert_eq!(
+        primary_runs.load(Ordering::Relaxed),
+        expected,
+        "the primary ran exactly once per raise"
+    );
+    // Slow-path raises each run the primary; extra handlers only ever run
+    // on the slow path (their presence disqualifies the fast path).
+    let slow_raises = stats.raises - stats.fast_path_raises;
+    assert_eq!(
+        stats.handlers_run,
+        slow_raises + extra_runs.load(Ordering::Relaxed),
+        "slow-path executions reconcile: primary per slow raise + extras"
+    );
+    assert_eq!(stats.handlers_aborted, 0);
+    assert_eq!(stats.async_dispatches, 0);
+}
+
+/// Raisers race an owner that destroys and re-defines the event. Every
+/// raise must either succeed (running the handler exactly once) or fail
+/// with `UnknownEvent` — never panic, never lose an execution. The
+/// successful-raise count observed by raisers must equal the execution
+/// count observed inside handlers.
+#[test]
+fn concurrent_raises_survive_destroy_and_redefine() {
+    const GENERATIONS: u64 = 400;
+
+    let d = Dispatcher::unmetered();
+    let runs = Arc::new(AtomicU64::new(0));
+    let ok_raises = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // The currently-live handle, republished each generation.
+    let slot: Arc<Mutex<Option<Event<u64, u64>>>> = Arc::new(Mutex::new(None));
+
+    let lifecycle = {
+        let d = d.clone();
+        let slot = slot.clone();
+        let runs = runs.clone();
+        thread::spawn(move || {
+            for generation in 0..GENERATIONS {
+                let (ev, owner) =
+                    d.define::<u64, u64>("Stress.Flicker", Identity::kernel("stress"));
+                let r = runs.clone();
+                owner
+                    .set_primary(move |_| {
+                        r.fetch_add(1, Ordering::Relaxed);
+                        generation
+                    })
+                    .expect("fresh event");
+                // Publish only after the primary exists, so a live handle
+                // never yields NoHandlerRan.
+                *slot.lock().unwrap() = Some(ev);
+                thread::yield_now();
+                *slot.lock().unwrap() = None;
+                owner.destroy().expect("owner may destroy");
+            }
+        })
+    };
+
+    let mut raisers = Vec::new();
+    for _ in 0..RAISERS {
+        let slot = slot.clone();
+        let stop = stop.clone();
+        let ok_raises = ok_raises.clone();
+        raisers.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let handle = slot.lock().unwrap().clone();
+                let Some(ev) = handle else {
+                    thread::yield_now();
+                    continue;
+                };
+                // Raise repeatedly on this handle; destruction mid-stream
+                // must surface as UnknownEvent, nothing else.
+                for i in 0..64u64 {
+                    match ev.raise(i) {
+                        Ok(_) => {
+                            ok_raises.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(DispatchError::UnknownEvent { .. }) => break,
+                        Err(e) => panic!("unexpected raise failure: {e:?}"),
+                    }
+                }
+            }
+        }));
+    }
+
+    lifecycle.join().expect("lifecycle thread must not panic");
+    stop.store(true, Ordering::Relaxed);
+    for t in raisers {
+        t.join().expect("raisers must not panic");
+    }
+
+    assert_eq!(
+        ok_raises.load(Ordering::Relaxed),
+        runs.load(Ordering::Relaxed),
+        "every successful raise ran the handler exactly once, \
+         every failed raise ran it zero times"
+    );
+    // The name is gone after the final destroy: a fresh definition starts
+    // a fresh generation with clean statistics.
+    let (ev, owner) = d.define::<u64, u64>("Stress.Flicker", Identity::kernel("stress"));
+    owner.set_primary(|_| 7).expect("fresh event");
+    assert_eq!(ev.raise(0), Ok(7));
+    assert_eq!(d.stats(&ev).expect("alive").raises, 1);
+}
+
+/// Many threads raising concurrently with no writers: pure read-side
+/// scaling. Statistics must account for every raise exactly.
+#[test]
+fn parallel_fast_path_raises_reconcile() {
+    let d = Dispatcher::unmetered();
+    let (ev, owner) = d.define::<u64, u64>("Stress.Fast", Identity::kernel("stress"));
+    owner.set_primary(|x| x * 2).expect("fresh event");
+
+    let mut threads = Vec::new();
+    for _ in 0..RAISERS {
+        let ev = ev.clone();
+        threads.push(thread::spawn(move || {
+            for i in 0..RAISES_PER_THREAD {
+                assert_eq!(ev.raise(i), Ok(i * 2));
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("no panics");
+    }
+
+    let stats = d.stats(&ev).expect("alive");
+    let expected = RAISERS as u64 * RAISES_PER_THREAD;
+    assert_eq!(stats.raises, expected);
+    assert_eq!(
+        stats.fast_path_raises, expected,
+        "a lone unguarded synchronous handler stays on the fast path"
+    );
+    assert_eq!(stats.handlers_run, 0, "fast path bypasses the slow loop");
+}

@@ -79,6 +79,12 @@ struct NodeState {
     stats: DsmStats,
 }
 
+/// Strands parked waiting for a page's inbound DATA, keyed by page index.
+type PageWaiters = HashMap<u32, Arc<KChannel<Option<Vec<u8>>>>>;
+
+/// Partial page images being reassembled, keyed by page index.
+type Reassembly = HashMap<u32, Vec<Option<Vec<u8>>>>;
+
 /// One node of the two-node DSM.
 pub struct DsmNode {
     stack: NetStack,
@@ -91,9 +97,9 @@ pub struct DsmNode {
     peer: IpAddr,
     state: Arc<Mutex<NodeState>>,
     /// Waiters for inbound DATA, keyed by page index.
-    waiters: Arc<Mutex<HashMap<u32, Arc<KChannel<Option<Vec<u8>>>>>>>,
+    waiters: Arc<Mutex<PageWaiters>>,
     /// Partial page images being reassembled, keyed by page index.
-    reassembly: Arc<Mutex<HashMap<u32, Vec<Option<Vec<u8>>>>>>,
+    reassembly: Arc<Mutex<Reassembly>>,
     /// Waiters for invalidation acknowledgements.
     inval_waiters: Arc<Mutex<HashMap<u32, Arc<KChannel<()>>>>>,
 }

@@ -186,7 +186,7 @@ impl FileSystem {
                 match st.free_blocks.pop() {
                     Some(b) => blocks.push(b),
                     None => {
-                        st.free_blocks.extend(blocks.drain(..));
+                        st.free_blocks.append(&mut blocks);
                         return Err(FsError::NoSpace);
                     }
                 }

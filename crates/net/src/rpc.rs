@@ -41,12 +41,15 @@ const TAG_CALL: u8 = 0;
 const TAG_REPLY: u8 = 1;
 const TAG_NO_PROC: u8 = 2;
 
+/// In-flight calls awaiting replies, keyed by call id.
+type PendingCalls = HashMap<u64, Arc<KChannel<(u8, Bytes)>>>;
+
 /// The RPC package bound to one host's stack.
 #[derive(Clone)]
 pub struct Rpc {
     stack: NetStack,
     procedures: Arc<Mutex<HashMap<String, Procedure>>>,
-    pending: Arc<Mutex<HashMap<u64, Arc<KChannel<(u8, Bytes)>>>>>,
+    pending: Arc<Mutex<PendingCalls>>,
     next_id: Arc<AtomicU64>,
 }
 
@@ -141,15 +144,13 @@ impl Rpc {
                     .schedule_at(exec.clock().now() + RPC_TIMEOUT, move |_| {
                         e2.unblock(waiter)
                     });
-                let got = loop {
-                    if let Some(r) = ch.try_recv() {
-                        break Some(r);
-                    }
-                    // Either the reply or the timeout wakes us.
-                    ctx.block();
-                    match ch.try_recv() {
-                        Some(r) => break Some(r),
-                        None => break None, // timeout fired
+                let got = match ch.try_recv() {
+                    Some(r) => Some(r),
+                    None => {
+                        // Either the reply or the timeout wakes us; an
+                        // empty channel after waking means timeout.
+                        ctx.block();
+                        ch.try_recv()
                     }
                 };
                 exec.timers().cancel(timer);

@@ -25,14 +25,14 @@ use crate::pkt::{
     ETHERTYPE_IPV4,
 };
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use spin_core::{Dispatcher, Event, Identity};
 use spin_sal::board::vectors;
 use spin_sal::devices::nic::Nic;
 use spin_sal::{Host, Nanos, WireEndpoint};
 use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which attached medium a packet used.
@@ -44,10 +44,18 @@ pub enum Medium {
 }
 
 /// The simulation-wide IP → attachment registry (static ARP).
+///
+/// Read-mostly: every transmitted packet resolves, registrations happen at
+/// host setup. Like the dispatcher's raise plan, the table is an immutable
+/// snapshot behind `RwLock<Arc<_>>`: resolvers share a read lock (never
+/// blocking each other), registrars rebuild-and-swap.
 #[derive(Clone, Default)]
 pub struct AddressMap {
-    entries: Arc<Mutex<HashMap<IpAddr, (Medium, WireEndpoint)>>>,
+    entries: Arc<RwLock<Arc<AddrTable>>>,
 }
+
+/// The immutable routing snapshot published by [`AddressMap`].
+type AddrTable = HashMap<IpAddr, (Medium, WireEndpoint)>;
 
 impl AddressMap {
     /// An empty map.
@@ -55,14 +63,17 @@ impl AddressMap {
         Self::default()
     }
 
-    /// Registers an address.
+    /// Registers an address (rebuilds and swaps the snapshot).
     pub fn register(&self, ip: IpAddr, medium: Medium, endpoint: WireEndpoint) {
-        self.entries.lock().insert(ip, (medium, endpoint));
+        let mut slot = self.entries.write();
+        let mut next = HashMap::clone(&slot);
+        next.insert(ip, (medium, endpoint));
+        *slot = Arc::new(next);
     }
 
-    /// Resolves an address.
+    /// Resolves an address (per-packet hot path; shared read access).
     pub fn resolve(&self, ip: IpAddr) -> Option<(Medium, WireEndpoint)> {
-        self.entries.lock().get(&ip).copied()
+        self.entries.read().get(&ip).copied()
     }
 }
 
@@ -138,22 +149,30 @@ pub struct NetEvents {
 }
 
 /// Edges of the Figure 5 graph, recorded as extensions install handlers.
+///
+/// Snapshot-published like [`AddressMap`]: readers grab the current `Arc`
+/// and work on it with no lock held; writers rebuild-and-swap.
 #[derive(Clone, Default)]
 pub struct Topology {
-    edges: Arc<Mutex<Vec<(String, String)>>>,
+    edges: Arc<RwLock<Arc<EdgeList>>>,
 }
+
+/// The immutable edge snapshot published by [`Topology`].
+type EdgeList = Vec<(String, String)>;
 
 impl Topology {
     /// Records "`event` is handled by `handler`".
     pub fn note(&self, event: &str, handler: &str) {
-        self.edges
-            .lock()
-            .push((event.to_string(), handler.to_string()));
+        let mut slot = self.edges.write();
+        let mut next = Vec::clone(&slot);
+        next.push((event.to_string(), handler.to_string()));
+        *slot = Arc::new(next);
     }
 
     /// All recorded edges, sorted.
     pub fn edges(&self) -> Vec<(String, String)> {
-        let mut e = self.edges.lock().clone();
+        let snapshot = self.edges.read().clone();
+        let mut e = Vec::clone(&snapshot);
         e.sort();
         e.dedup();
         e
@@ -187,6 +206,32 @@ pub struct NetStats {
     pub parse_errors: u64,
 }
 
+/// Lock-free counters backing [`NetStats`]: updated per frame on the
+/// receive and transmit paths, so no mutex.
+#[derive(Default)]
+struct AtomicNetStats {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+impl AtomicNetStats {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Pingers parked on (ident, seq), woken by the matching echo reply.
+type PingWaiters = HashMap<(u16, u16), Arc<KChannel<Nanos>>>;
+
 struct NetInner {
     host: Host,
     exec: Arc<Executor>,
@@ -194,9 +239,9 @@ struct NetInner {
     my_ips: HashMap<Medium, IpAddr>,
     events: NetEvents,
     topology: Topology,
-    ping_waiters: Mutex<HashMap<(u16, u16), Arc<KChannel<Nanos>>>>,
+    ping_waiters: Mutex<PingWaiters>,
     ping_seq: AtomicU16,
-    stats: Arc<Mutex<NetStats>>,
+    stats: Arc<AtomicNetStats>,
     proto_thread: StrandId,
 }
 
@@ -283,7 +328,7 @@ impl NetStack {
             (Medium::T3, host.t3.clone()),
         ];
         let ev2 = events.clone();
-        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let stats = Arc::new(AtomicNetStats::default());
         let stats2 = stats.clone();
         let proto_thread =
             exec.spawn_on(host.id, &format!("netin-{}", host.id.0), 12, move |ctx| {
@@ -292,11 +337,10 @@ impl NetStack {
                     for (medium, nic) in &nics {
                         while let Some(frame) = nic.receive() {
                             any = true;
-                            {
-                                let mut s = stats2.lock();
-                                s.frames_in += 1;
-                                s.bytes_in += frame.payload.len() as u64;
-                            }
+                            stats2.frames_in.fetch_add(1, Ordering::Relaxed);
+                            stats2
+                                .bytes_in
+                                .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
                             let ev = match medium {
                                 Medium::Ethernet => &ev2.ether_arrived,
                                 Medium::Atm => &ev2.atm_arrived,
@@ -537,11 +581,11 @@ impl NetStack {
             .encode(&ip_bytes),
             Medium::Atm | Medium::T3 => ip_bytes,
         };
-        {
-            let mut s = self.inner.stats.lock();
-            s.frames_out += 1;
-            s.bytes_out += frame.len() as u64;
-        }
+        let stats = &self.inner.stats;
+        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         nic.send(endpoint, frame)
             .map_err(|e| NetError::TooLarge(format!("{e:?}")))
     }
@@ -620,7 +664,7 @@ impl NetStack {
 
     /// Stack counters.
     pub fn stats(&self) -> NetStats {
-        *self.inner.stats.lock()
+        self.inner.stats.snapshot()
     }
 }
 

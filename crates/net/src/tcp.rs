@@ -239,23 +239,18 @@ impl TcpConn {
     /// Receives the next in-order chunk; `None` once the peer has closed
     /// and all data is drained.
     pub fn recv(&self, ctx: &StrandCtx) -> Option<Bytes> {
-        loop {
-            if let Some(b) = self.incoming.try_recv() {
-                return Some(b);
-            }
-            {
-                let st = self.state.lock();
-                if st.fin_received || st.state == TcpState::Closed {
-                    // Drain anything that raced in.
-                    return self.incoming.try_recv();
-                }
-            }
-            // Block until the protocol thread delivers or the peer closes.
-            match self.incoming.recv(ctx) {
-                Some(b) => return Some(b),
-                None => return None,
+        if let Some(b) = self.incoming.try_recv() {
+            return Some(b);
+        }
+        {
+            let st = self.state.lock();
+            if st.fin_received || st.state == TcpState::Closed {
+                // Drain anything that raced in.
+                return self.incoming.try_recv();
             }
         }
+        // Block until the protocol thread delivers or the peer closes.
+        self.incoming.recv(ctx)
     }
 
     /// Receives exactly `n` bytes (concatenating chunks).

@@ -97,7 +97,7 @@ impl VideoServer {
         let strand = exec.spawn("video-server", move |ctx| {
             let file_size = fs_size(&fs, &path);
             for frame in 0..frames {
-                let offset = (frame as u64 * frame_size as u64) % file_size.max(1);
+                let offset = (frame * frame_size as u64) % file_size.max(1);
                 let data = fs
                     .read_at(ctx, &path, offset, frame_size)
                     .unwrap_or_else(|_| vec![0u8; frame_size]);

@@ -105,7 +105,7 @@ proptest! {
             dst_port: dport,
             seq,
             ack,
-            flags: TcpFlags { syn: seq % 2 == 0, ack: ack % 2 == 0, fin: window % 2 == 0, rst: false },
+            flags: TcpFlags { syn: seq.is_multiple_of(2), ack: ack.is_multiple_of(2), fin: window.is_multiple_of(2), rst: false },
             window,
         };
         let (h2, p2) = TcpHeader::decode(&h.encode(&payload)).unwrap();

@@ -17,7 +17,7 @@
 use parking_lot::{Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Virtual nanoseconds since simulation boot.
@@ -38,6 +38,9 @@ pub struct Clock {
 struct ClockInner {
     now: AtomicU64,
     hook: RwLock<Option<AdvanceHook>>,
+    /// Mirrors `hook.is_some()` so the per-charge path skips the lock
+    /// entirely when no executor hook is installed.
+    has_hook: AtomicBool,
 }
 
 impl Clock {
@@ -61,8 +64,10 @@ impl Clock {
             return;
         }
         self.inner.now.fetch_add(ns, Ordering::AcqRel);
-        if let Some(hook) = self.inner.hook.read().as_ref() {
-            hook(ns);
+        if self.inner.has_hook.load(Ordering::Acquire) {
+            if let Some(hook) = self.inner.hook.read().as_ref() {
+                hook(ns);
+            }
         }
     }
 
@@ -86,12 +91,16 @@ impl Clock {
 
     /// Installs the executor's advance hook, replacing any previous hook.
     pub fn set_advance_hook(&self, hook: AdvanceHook) {
-        *self.inner.hook.write() = Some(hook);
+        let mut slot = self.inner.hook.write();
+        *slot = Some(hook);
+        self.inner.has_hook.store(true, Ordering::Release);
     }
 
     /// Removes the advance hook.
     pub fn clear_advance_hook(&self) {
-        *self.inner.hook.write() = None;
+        let mut slot = self.inner.hook.write();
+        self.inner.has_hook.store(false, Ordering::Release);
+        *slot = None;
     }
 }
 

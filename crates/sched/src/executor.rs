@@ -351,12 +351,12 @@ impl Executor {
 
     fn make_ready(st: &mut ExecState, id: StrandId) {
         if let Some(info) = st.strands.get_mut(&id) {
-            if info.state == RunState::Blocked || info.state == RunState::Ready {
-                if info.state == RunState::Blocked {
-                    info.state = RunState::Ready;
-                    let prio = info.priority;
-                    st.policy.enqueue(id, prio);
-                }
+            // Already-Ready strands stay queued; anything else (Running,
+            // Finished) is not resurrectable here.
+            if info.state == RunState::Blocked {
+                info.state = RunState::Ready;
+                let prio = info.priority;
+                st.policy.enqueue(id, prio);
             }
         }
     }

@@ -402,7 +402,7 @@ mod tests {
         let ch3 = ch.clone();
         e.spawn("slow-consumer", move |ctx| {
             ctx.sleep(1_000);
-            while let Some(_) = ch3.recv(ctx) {
+            while ch3.recv(ctx).is_some() {
                 ctx.sleep(1_000);
             }
         });

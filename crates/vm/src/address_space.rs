@@ -55,13 +55,16 @@ struct CowShare {
 }
 
 /// The UNIX address-space extension.
+/// Copy-on-write shares keyed by (context, virtual page).
+type CowMap = HashMap<(ContextId, u64), Arc<Mutex<CowShare>>>;
+
 #[derive(Clone)]
 pub struct UnixAsExtension {
     trans: TranslationService,
     phys: PhysAddrService,
     virt: VirtAddrService,
     mem: PhysMem,
-    cow: Arc<Mutex<HashMap<(ContextId, u64), Arc<Mutex<CowShare>>>>>,
+    cow: Arc<Mutex<CowMap>>,
     /// Copies made by fault handlers, kept live by the extension.
     private_pages: Arc<Mutex<Vec<Arc<PhysRegion>>>>,
 }

@@ -68,6 +68,9 @@ pub enum FaultKind {
     ProtectionFault,
 }
 
+/// The owner capability of one fault event.
+type FaultOwner = EventOwner<FaultInfo, FaultAction>;
+
 /// The three fault events, exported as a bundle.
 #[derive(Clone)]
 pub struct TranslationEvents {
@@ -98,11 +101,7 @@ pub struct TranslationService {
     events: TranslationEvents,
     /// Keeps the primary-implementation capabilities alive (and private).
     #[allow(dead_code)]
-    owners: Arc<(
-        EventOwner<FaultInfo, FaultAction>,
-        EventOwner<FaultInfo, FaultAction>,
-        EventOwner<FaultInfo, FaultAction>,
-    )>,
+    owners: Arc<(FaultOwner, FaultOwner, FaultOwner)>,
 }
 
 impl TranslationService {

@@ -85,9 +85,8 @@ fn main() {
 
     println!("console output: {:?}", host.console.output());
     println!(
-        "virtual time elapsed: {:.1} µs on the {} profile",
+        "virtual time elapsed: {:.1} µs on the DEC Alpha AXP 3000/400 profile",
         board.clock.now() as f64 / 1000.0,
-        "DEC Alpha AXP 3000/400"
     );
 
     assert_eq!(host.console.output(), "Intruder Alert -- second alert");

@@ -61,9 +61,6 @@ fn main() {
     );
 
     assert_eq!(ss.frames_sent, frames);
-    assert!(
-        cs.bytes >= 2 * frames as u64 * 12_500,
-        "both streams delivered"
-    );
+    assert!(cs.bytes >= 2 * frames * 12_500, "both streams delivered");
     println!("video system OK");
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 gate (ROADMAP.md) plus lint and format
+# checks. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q (all crates)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

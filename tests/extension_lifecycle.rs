@@ -89,7 +89,7 @@ fn event_owner_policies_compose_with_extension_guards() {
                 InstallDecision::Deny
             } else {
                 InstallDecision::Allow {
-                    owner_guard: Some(Arc::new(|x: &u64| x % 2 == 0)),
+                    owner_guard: Some(Arc::new(|x: &u64| x.is_multiple_of(2))),
                     constraints: None,
                 }
             }

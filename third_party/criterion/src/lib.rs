@@ -1,0 +1,258 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Measures wall-clock ns/iter with a warm-up phase followed by timed
+//! batches, and prints one line per benchmark in criterion's familiar
+//! `name  time: [...]` shape. No statistical machinery beyond mean over
+//! timed batches and min/max batch means — adequate for the order-of-
+//! magnitude claims the repository's benches substantiate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness root.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            name,
+            measurement: Duration::from_millis(400),
+            warm_up: Duration::from_millis(150),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            id,
+            Duration::from_millis(400),
+            Duration::from_millis(150),
+            f,
+        );
+    }
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the timed measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{id}", self.name),
+            self.measurement,
+            self.warm_up,
+            f,
+        );
+    }
+
+    /// Benchmarks `f` with a displayed input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.id),
+            self.measurement,
+            self.warm_up,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to time the hot code.
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    /// (total ns, total iters, min batch mean, max batch mean)
+    outcome: Option<(u128, u64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f` over repeated calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also calibrates the per-batch iteration count.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_batch = (warm_iters / 20).max(1);
+
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        let (mut min_mean, mut max_mean) = (f64::INFINITY, f64::NEG_INFINITY);
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos();
+            let mean = ns as f64 / per_batch as f64;
+            min_mean = min_mean.min(mean);
+            max_mean = max_mean.max(mean);
+            total_ns += ns;
+            total_iters += per_batch;
+        }
+        self.outcome = Some((total_ns, total_iters, min_mean, max_mean));
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        let (mut min_mean, mut max_mean) = (f64::INFINITY, f64::NEG_INFINITY);
+        let deadline = Instant::now() + self.measurement;
+        let mut remaining = (warm_iters * 3).max(1);
+        while Instant::now() < deadline && remaining > 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let ns = t0.elapsed().as_nanos();
+            min_mean = min_mean.min(ns as f64);
+            max_mean = max_mean.max(ns as f64);
+            total_ns += ns;
+            total_iters += 1;
+            remaining -= 1;
+        }
+        self.outcome = Some((total_ns, total_iters, min_mean, max_mean));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement: Duration,
+    warm_up: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        measurement,
+        warm_up,
+        outcome: None,
+    };
+    f(&mut b);
+    match b.outcome {
+        Some((total_ns, iters, min, max)) if iters > 0 => {
+            let mean = total_ns as f64 / iters as f64;
+            println!(
+                "{label:<44} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            );
+        }
+        _ => println!("{label:<44} time: [no measurement]"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(2));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter_with_setup(|| vec![0u8; n as usize], |v| v.len())
+        });
+        g.finish();
+    }
+}

@@ -201,12 +201,67 @@ fn bench_gc(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ablation (DESIGN.md #6): the cost of *being observable*. The obs hook
+/// points compile to one relaxed atomic load when no hook is installed
+/// (`OnceLock::get`), one load plus a counter bump when wired with the
+/// recorder off, and additionally a ring push when recording. The
+/// unwired/wired-off gap is the price every dispatch pays for the
+/// subsystem existing; it must be noise-level for the cost-model
+/// invariant to be honest in wall-clock terms too.
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    g.measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150));
+
+    let raise_bench =
+        |g: &mut criterion::BenchmarkGroup<'_>, name: &str, obs: Option<spin_obs::Obs>| {
+            let d = Dispatcher::unmetered();
+            if let Some(obs) = &obs {
+                d.set_obs(obs.domain("dispatcher"));
+            }
+            let (ev, owner) = d.define::<u64, u64>("probe", Identity::kernel("b"));
+            owner.set_primary(|x| x + 1).expect("fresh");
+            g.bench_function(name, |b| b.iter(|| ev.raise(black_box(1)).expect("ok")));
+        };
+    raise_bench(&mut g, "raise/unwired", None);
+    let off = spin_obs::Obs::new(65536);
+    off.set_recording(false);
+    raise_bench(&mut g, "raise/wired_recorder_off", Some(off));
+    raise_bench(
+        &mut g,
+        "raise/recording_64k",
+        Some(spin_obs::Obs::new(65536)),
+    );
+    // Capacity 1 maximizes drop-oldest churn: the worst-case ring cost.
+    raise_bench(&mut g, "raise/recording_cap1", Some(spin_obs::Obs::new(1)));
+
+    // The raw hook primitives, isolated from dispatch.
+    let obs = spin_obs::Obs::new(65536);
+    let hook = obs.domain("net");
+    g.bench_function("hook/counter_bump", |b| {
+        b.iter(|| {
+            hook.counters
+                .packets_sent
+                .fetch_add(black_box(1), std::sync::atomic::Ordering::Relaxed)
+        })
+    });
+    g.bench_function("hook/trace_push", |b| {
+        b.iter(|| hook.trace(spin_obs::TraceKind::PacketTx, black_box(60), 0))
+    });
+    obs.set_recording(false);
+    g.bench_function("hook/trace_gated_off", |b| {
+        b.iter(|| hook.trace(spin_obs::TraceKind::PacketTx, black_box(60), 0))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_dispatch,
     bench_dispatch_snapshot,
     bench_linking,
     bench_capabilities,
-    bench_gc
+    bench_gc,
+    bench_obs
 );
 criterion_main!(benches);

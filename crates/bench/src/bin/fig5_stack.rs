@@ -4,6 +4,7 @@
 //! ICMP/Ping, UDP, TCP, RPC, active messages, HTTP, the forwarders and
 //! the video path — and prints the resulting event → handler topology.
 
+use spin_bench::JsonReport;
 use spin_fs::HybridBySize;
 use spin_fs::{BufferCache, FileSystem, NoCachePolicy, WebCache};
 use spin_net::{
@@ -46,4 +47,21 @@ fn main() {
          separately scheduled protocol thread; handlers pull them toward the\n\
          application-specific endpoints within the kernel (§5.3)."
     );
+    let edges = rig.b.topology().edges();
+    let mut report = JsonReport::new(
+        "fig5_stack",
+        "Figure 5: protocol stack event graph",
+        "handlers_per_event",
+    )
+    .text("topology", &rig.b.topology().render())
+    .number("edges", edges.len() as f64);
+    // One row per event: how many handlers hang off it (sorted, so the
+    // JSON diffs stably).
+    let mut events: Vec<&String> = edges.iter().map(|(e, _)| e).collect();
+    events.dedup();
+    for event in events {
+        let n = edges.iter().filter(|(e, _)| e == event).count();
+        report = report.row(event, None, n as f64);
+    }
+    report.write_if_requested();
 }

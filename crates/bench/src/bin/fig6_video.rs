@@ -11,6 +11,7 @@
 //! protocol traversal).
 
 use spin_baseline::Osf1Model;
+use spin_bench::JsonReport;
 use spin_fs::{BufferCache, FileSystem, LruPolicy};
 use spin_net::{Medium, TwoHosts, VideoClient, VideoServer};
 use spin_sal::{HostId, MachineProfile};
@@ -71,6 +72,11 @@ fn main() {
     );
     println!("{}", "-".repeat(46));
     let mut last = (0.0, 0.0);
+    let mut report = JsonReport::new(
+        "fig6_video",
+        "Figure 6: video server CPU utilization vs client streams",
+        "percent_cpu",
+    );
     for clients in [2u32, 4, 6, 8, 10, 12, 14, 15] {
         let spin = spin_utilization(clients);
         let osf = osf1_utilization(&model, clients);
@@ -78,6 +84,9 @@ fn main() {
             "{clients:>8} {spin:>12.1} {osf:>14.1} {:>8.2}",
             osf / spin.max(0.01)
         );
+        report = report
+            .row(&format!("SPIN: {clients} streams"), None, spin)
+            .row(&format!("DEC OSF/1: {clients} streams"), None, osf);
         last = (spin, osf);
     }
     println!("{}", "-".repeat(46));
@@ -87,4 +96,7 @@ fn main() {
         15 * 3,
         last.1 / last.0.max(0.01)
     );
+    report
+        .number("saturation_ratio", last.1 / last.0.max(0.01))
+        .write_if_requested();
 }

@@ -6,7 +6,7 @@
 //! in the arrival of some UDP packet but all 50 guards evaluate to false.
 //! When all 50 guards evaluate to true, latency rises to 637 µs."
 
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_core::Identity;
 use spin_net::{udp_round_trip, Medium, TwoHosts, UdpPacket};
 use spin_sal::Nanos;
@@ -51,4 +51,19 @@ fn main() {
         "Dispatch is linear in installed guards/handlers; no guard-folding\n\
          optimizations are applied, matching the paper's reported status."
     );
+    JsonReport::new(
+        "s1_dispatcher_scaling",
+        "§5.5: dispatcher scaling under guard load",
+        "µs",
+    )
+    .rows(&rows)
+    .number(
+        "per_guard_us",
+        us(false_guards.saturating_sub(base)) / 50.0 / 2.0,
+    )
+    .number(
+        "per_handler_us",
+        us(true_guards.saturating_sub(false_guards)) / 50.0 / 2.0,
+    )
+    .write_if_requested();
 }

@@ -6,7 +6,7 @@
 //! microbenchmark set with the collector enabled vs disabled and show the
 //! deltas, then stress the collector to report its safety-net behaviour.
 
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_core::{Dispatcher, Identity};
 use spin_rt::{GcError, KernelHeap};
 use spin_sal::{Clock, MachineProfile};
@@ -96,4 +96,14 @@ fn main() {
     }
     assert!(failed);
     println!("With the collector disabled the same workload fails safe with HeapFull.");
+    JsonReport::new(
+        "s2_gc_impact",
+        "§5.5: collector impact on microbenchmarks",
+        "µs",
+    )
+    .rows(&rows)
+    .number("collections_during_on_pass", collections_during as f64)
+    .number("safety_net_collections", s.collections as f64)
+    .number("safety_net_bytes_freed", s.bytes_freed as f64)
+    .write_if_requested();
 }

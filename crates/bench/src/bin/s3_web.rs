@@ -8,7 +8,7 @@
 
 use parking_lot::Mutex;
 use spin_baseline::Osf1Model;
-use spin_bench::{render_table, Row};
+use spin_bench::{render_table, JsonReport, Row};
 use spin_fs::{BufferCache, FileSystem, HybridBySize, NoCachePolicy, WebCache};
 use spin_net::{http_get, HttpServer, Medium, TcpStack, TwoHosts};
 use spin_sal::MachineProfile;
@@ -72,4 +72,7 @@ fn main() {
         "\nThe SPIN server controls its own hybrid cache (LRU small / no-cache large)\n\
          over an uncached file system: full policy control with no double buffering."
     );
+    JsonReport::new("s3_web", "§5.4: HTTP transaction latency", "ms")
+        .rows(&rows)
+        .write_if_requested();
 }

@@ -6,7 +6,7 @@
 //! component it implements. Object-size proxies come from the compiled
 //! rlibs when a `target/` build exists.
 
-use spin_bench::count_dir_lines;
+use spin_bench::{count_dir_lines, JsonReport};
 use std::path::Path;
 
 fn rlib_size(name: &str) -> Option<u64> {
@@ -54,6 +54,7 @@ fn main() {
     println!("{}", "-".repeat(80));
     let mut total = 0;
     let mut core_total = 0;
+    let mut report = JsonReport::new("table1_sizes", "Table 1: system component sizes", "lines");
     for (dir, label, paper) in components {
         let lines = count_dir_lines(Path::new(dir));
         total += lines;
@@ -73,6 +74,7 @@ fn main() {
             paper.map_or("-".to_string(), |p: usize| p.to_string()),
             obj.map_or("-".to_string(), |o| o.to_string()),
         );
+        report = report.row(label, paper.map(|p| p as f64), lines as f64);
     }
     println!("{}", "-".repeat(80));
     println!(
@@ -84,4 +86,12 @@ fn main() {
         "\nThe paper's sal was a diff of the DEC OSF/1 source tree (57% of the kernel);\n\
          ours is a from-scratch simulation, so relative proportions differ by design."
     );
+    report
+        .row(
+            "core services combined (paper `core`)",
+            Some(PAPER_CORE_LINES as f64),
+            core_total as f64,
+        )
+        .row("total", Some(PAPER_TOTAL as f64), total as f64)
+        .write_if_requested();
 }

@@ -5,7 +5,7 @@
 //! simulated paths; OSF/1's and Mach's come from the structural models.
 
 use spin_baseline::{MachModel, Osf1Model};
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_core::{Dispatcher, Identity, Kernel};
 use spin_sal::{Clock, MachineProfile, SimBoard};
 use spin_sched::{measure_xas_call, Executor};
@@ -78,4 +78,11 @@ fn main() {
         render_table("Table 2: protected communication overhead", "µs", &rows)
     );
     println!("\nNeither DEC OSF/1 nor Mach support protected in-kernel communication.");
+    JsonReport::new(
+        "table2_comm",
+        "Table 2: protected communication overhead",
+        "µs",
+    )
+    .rows(&rows)
+    .write_if_requested();
 }

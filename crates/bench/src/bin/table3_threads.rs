@@ -5,7 +5,7 @@
 //! integrated). SPIN rows are measured; baselines are modelled.
 
 use spin_baseline::{MachModel, Osf1Model};
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_sal::{MachineProfile, SimBoard};
 use spin_sched::{
     measure_fork_join, measure_kernel_fork_join, measure_kernel_ping_pong, measure_ping_pong,
@@ -87,4 +87,11 @@ fn main() {
         "{}",
         render_table("Table 3: thread management overhead", "µs", &rows)
     );
+    JsonReport::new(
+        "table3_threads",
+        "Table 3: thread management overhead",
+        "µs",
+    )
+    .rows(&rows)
+    .write_if_requested();
 }

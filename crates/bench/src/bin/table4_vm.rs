@@ -6,7 +6,7 @@
 //! are measured on the simulated VM; baselines are modelled.
 
 use spin_baseline::{MachModel, Osf1Model};
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_sal::MachineProfile;
 use spin_vm::VmWorkbench;
 use std::sync::Arc;
@@ -50,4 +50,11 @@ fn main() {
         render_table("Table 4: virtual memory operation overheads", "µs", &rows)
     );
     println!("\nNeither DEC OSF/1 nor Mach provide an interface for querying page state (Dirty).");
+    JsonReport::new(
+        "table4_vm",
+        "Table 4: virtual memory operation overheads",
+        "µs",
+    )
+    .rows(&rows)
+    .write_if_requested();
 }

@@ -6,7 +6,7 @@
 //! modelled user-level crossings and copies.
 
 use spin_baseline::Osf1Model;
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_net::{reliable_bandwidth, udp_round_trip, Medium, TwoHosts};
 use spin_sal::MachineProfile;
 use std::sync::Arc;
@@ -46,6 +46,7 @@ fn main() {
         "{}",
         render_table("Table 5a: UDP/IP round-trip latency", "µs", &rows)
     );
+    let latency_rows = rows;
 
     let rows = vec![
         Row::new(
@@ -66,4 +67,12 @@ fn main() {
         render_table("Table 5b: receive bandwidth", "Mb/s", &rows)
     );
     println!("\nThe FORE cards' programmed I/O caps usable ATM bandwidth near 53 Mb/s (§5).");
+    JsonReport::new(
+        "table5_net",
+        "Table 5: network latency and bandwidth",
+        "µs latency / Mb/s bandwidth",
+    )
+    .rows(&latency_rows)
+    .rows(&rows)
+    .write_if_requested();
 }

@@ -7,7 +7,7 @@
 
 use parking_lot::Mutex;
 use spin_baseline::Osf1Model;
-use spin_bench::{render_table, us, Row};
+use spin_bench::{render_table, us, JsonReport, Row};
 use spin_net::{Forwarder, Medium, TcpStack, ThreeHosts};
 use spin_sal::{MachineProfile, Nanos};
 use std::sync::Arc;
@@ -136,4 +136,11 @@ fn main() {
     );
     println!("\nThe OSF/1 user-level splice also violates TCP end-to-end semantics (§5.3);");
     println!("SPIN's in-stack forwarder forwards SYN/FIN/RST and preserves them.");
+    JsonReport::new(
+        "table6_forward",
+        "Table 6: 16-byte round trip through a protocol forwarder",
+        "µs",
+    )
+    .rows(&rows)
+    .write_if_requested();
 }

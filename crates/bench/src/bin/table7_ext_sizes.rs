@@ -7,7 +7,7 @@
 //! count: "SPIN extensions tend to require an amount of code commensurate
 //! with their functionality."
 
-use spin_bench::count_code_lines;
+use spin_bench::{count_code_lines, JsonReport};
 
 fn module_lines(path: &str) -> usize {
     std::fs::read_to_string(path)
@@ -51,6 +51,7 @@ fn main() {
         "extension", "paper lines", "our lines"
     );
     println!("{}", "-".repeat(54));
+    let mut report = JsonReport::new("table7_ext_sizes", "Table 7: extension sizes", "lines");
     for (name, paper, files) in rows {
         let ours: usize = files.iter().map(|f| module_lines(f)).sum();
         let paper_s = if paper == 0 {
@@ -59,6 +60,8 @@ fn main() {
             paper.to_string()
         };
         println!("{:<26} {:>12} {:>12}", name, paper_s, ours);
+        let paper = if paper == 0 { None } else { Some(paper as f64) };
+        report = report.row(name, paper, ours as f64);
     }
     println!(
         "\nRows in parentheses are extensions this reproduction implements beyond the\n\
@@ -66,4 +69,5 @@ fn main() {
          is a one-line register_syscalls call here, matching the paper's 19 lines in\n\
          spirit: conceptually simple extensions have simple implementations."
     );
+    report.write_if_requested();
 }

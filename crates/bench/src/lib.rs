@@ -81,6 +81,130 @@ pub fn us(ns: u64) -> f64 {
     ns as f64 / 1000.0
 }
 
+/// True when the binary was invoked with `--json`: emit `BENCH_<name>.json`
+/// beside the human table.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-roundtrip float formatting (Rust's `Display` for `f64`) keeps
+/// the JSON deterministic for golden diffs.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Machine-readable companion to [`render_table`]: accumulates the same
+/// rows (plus free-form scalar fields) and writes `BENCH_<name>.json` when
+/// the binary was run with `--json`.
+pub struct JsonReport {
+    name: String,
+    title: String,
+    units: String,
+    rows: Vec<(String, Option<f64>, f64)>,
+    extras: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// A report named `name` (the file becomes `BENCH_<name>.json`).
+    pub fn new(name: &str, title: &str, units: &str) -> JsonReport {
+        JsonReport {
+            name: name.to_string(),
+            title: title.to_string(),
+            units: units.to_string(),
+            rows: Vec::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Appends the table's rows.
+    pub fn rows(mut self, rows: &[Row]) -> JsonReport {
+        for r in rows {
+            self.rows.push((r.label.clone(), r.paper, r.measured));
+        }
+        self
+    }
+
+    /// Appends one row.
+    pub fn row(mut self, label: &str, paper: Option<f64>, measured: f64) -> JsonReport {
+        self.rows.push((label.to_string(), paper, measured));
+        self
+    }
+
+    /// Appends a top-level numeric field.
+    pub fn number(mut self, key: &str, value: f64) -> JsonReport {
+        self.extras.push((key.to_string(), json_f64(value)));
+        self
+    }
+
+    /// Appends a top-level string field.
+    pub fn text(mut self, key: &str, value: &str) -> JsonReport {
+        self.extras
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"title\": \"{}\",", json_escape(&self.title));
+        let _ = writeln!(out, "  \"units\": \"{}\",", json_escape(&self.units));
+        for (key, value) in &self.extras {
+            let _ = writeln!(out, "  \"{}\": {},", json_escape(key), value);
+        }
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, (label, paper, measured)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let paper = paper.map_or("null".to_string(), json_f64);
+            let _ = writeln!(
+                out,
+                "    {{ \"label\": \"{}\", \"paper\": {}, \"measured\": {} }}{}",
+                json_escape(label),
+                paper,
+                json_f64(*measured),
+                comma
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory if the
+    /// process was invoked with `--json`; no-op otherwise.
+    pub fn write_if_requested(self) {
+        if !json_requested() {
+            return;
+        }
+        let path = format!("BENCH_{}.json", self.name);
+        std::fs::write(&path, self.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
 /// Counts non-comment, non-blank source lines in a Rust file (the paper's
 /// Table 1/7 "lines" column "does not include comments").
 pub fn count_code_lines(content: &str) -> usize {
@@ -133,6 +257,20 @@ mod tests {
     fn code_lines_exclude_comments_and_blanks() {
         let src = "// comment\n\nfn main() {\n    /* block\n       comment */\n    let x = 1;\n}\n";
         assert_eq!(count_code_lines(src), 3);
+    }
+
+    #[test]
+    fn json_report_renders_rows_and_extras() {
+        let j = JsonReport::new("demo", "Demo table", "µs")
+            .rows(&[Row::new("op", 10.0, 12.5), Row::extra("other", 5.0)])
+            .number("rounds", 16.0)
+            .text("note", "a \"quoted\" note")
+            .render();
+        assert!(j.contains("\"benchmark\": \"demo\""));
+        assert!(j.contains("\"paper\": 10, \"measured\": 12.5"));
+        assert!(j.contains("\"paper\": null, \"measured\": 5"));
+        assert!(j.contains("\"rounds\": 16"));
+        assert!(j.contains("\\\"quoted\\\""));
     }
 
     #[test]

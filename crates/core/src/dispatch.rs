@@ -60,6 +60,7 @@
 use crate::error::DispatchError;
 use crate::identity::Identity;
 use parking_lot::{Mutex, RwLock};
+use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, MachineProfile, Nanos};
 use std::any::Any;
 use std::collections::HashMap;
@@ -296,6 +297,10 @@ struct DispatcherInner {
     async_runner: RwLock<AsyncRunner>,
     clock: Clock,
     profile: Arc<MachineProfile>,
+    /// Observability hook (dispatcher domain): absent until wired, and the
+    /// per-raise fast path is then a single atomic load. Nothing recorded
+    /// through it charges virtual time.
+    obs: OnceLock<ObsHook>,
 }
 
 /// The central dispatcher.
@@ -315,6 +320,7 @@ impl Dispatcher {
                 async_runner: RwLock::new(Arc::new(|f: Box<dyn FnOnce() + Send>| f())),
                 clock,
                 profile,
+                obs: OnceLock::new(),
             }),
         }
     }
@@ -333,6 +339,13 @@ impl Dispatcher {
     /// provides one that runs the closure on a fresh kernel strand).
     pub fn set_async_runner(&self, runner: AsyncRunner) {
         *self.inner.async_runner.write() = runner;
+    }
+
+    /// Wires the observability subsystem: raises, guard outcomes and
+    /// handler runs are traced and accounted to the dispatcher domain.
+    /// One-shot; charges zero virtual time.
+    pub fn set_obs(&self, hook: ObsHook) {
+        let _ = self.inner.obs.set(hook);
     }
 
     /// Defines a new event. The returned [`EventOwner`] is the primary
@@ -497,12 +510,20 @@ impl Dispatcher {
         // (they may install/uninstall or re-raise).
         let plan = state.plan.read().clone();
         state.stats.raises.fetch_add(1, Ordering::Relaxed);
+        let obs = self.inner.obs.get();
+        if let Some(obs) = obs {
+            obs.counters.events_raised.fetch_add(1, Ordering::Relaxed);
+            obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
+        }
 
         // Fast path: a single synchronous unguarded unbounded handler is a
         // direct procedure call (eligibility precomputed at plan build).
         if let Some(fast) = &plan.fast {
             clock.advance(profile.inter_module_call);
             state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = obs {
+                obs.counters.handlers_run.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(fast(&args));
         }
 
@@ -519,7 +540,11 @@ impl Dispatcher {
             for guard in &entry.guards {
                 clock.advance(profile.guard_eval);
                 guard_evals += 1;
-                if !guard(&args) {
+                let ok = guard(&args);
+                if let Some(obs) = obs {
+                    obs.trace(TraceKind::GuardEval, ev.id, u64::from(ok));
+                }
+                if !ok {
                     pass = false;
                     break;
                 }
@@ -544,6 +569,9 @@ impl Dispatcher {
                     let t0 = clock.now();
                     let r = (entry.handler)(&args);
                     run += 1;
+                    if let Some(obs) = obs {
+                        obs.trace(TraceKind::HandlerRun, ev.id, entry.id.0);
+                    }
                     let elapsed = clock.now().saturating_sub(t0);
                     match entry.constraints.time_bound {
                         Some(bound) if elapsed > bound => {
@@ -566,6 +594,14 @@ impl Dispatcher {
         stats
             .async_dispatches
             .fetch_add(async_count, Ordering::Relaxed);
+        if let Some(obs) = obs {
+            obs.counters
+                .guards_evaluated
+                .fetch_add(guard_evals, Ordering::Relaxed);
+            obs.counters
+                .handlers_run
+                .fetch_add(run + async_count, Ordering::Relaxed);
+        }
 
         if results.is_empty() {
             return Err(DispatchError::NoHandlerRan {

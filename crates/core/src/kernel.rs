@@ -22,11 +22,12 @@ use crate::identity::Identity;
 use crate::nameserver::NameServer;
 use crate::objfile::{ObjectFile, Provenance};
 use parking_lot::Mutex;
+use spin_obs::{Obs, ObsHook, TraceKind};
 use spin_rt::KernelHeap;
 use spin_sal::Host;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Arguments of a system-call trap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,9 @@ struct KernelInner {
     trap_owner: EventOwner<Syscall, SysResult>,
     asserted_safe: AtomicU64,
     extensions: Mutex<Vec<Domain>>,
+    /// Observability hook (kernel domain): absent until wired via
+    /// [`Kernel::install_obs`]; the trap path then pays one atomic load.
+    obs: OnceLock<ObsHook>,
 }
 
 /// One booted SPIN kernel.
@@ -85,8 +89,53 @@ impl Kernel {
                 trap_owner,
                 asserted_safe: AtomicU64::new(0),
                 extensions: Mutex::new(Vec::new()),
+                obs: OnceLock::new(),
             }),
         }
+    }
+
+    /// Wires the observability subsystem into the kernel, dogfooding the
+    /// paper's machinery on the way:
+    ///
+    /// * the dispatcher and the trap path get their accounting hooks;
+    /// * trace records are stamped with this host's virtual clock;
+    /// * an `Obs.Snapshot` event is defined whose primary handler renders
+    ///   the Prometheus accounting text — any holder of the returned
+    ///   [`Event`] (e.g. the in-kernel `/metrics` HTTP extension) raises
+    ///   it like any other kernel procedure;
+    /// * an `ObsService` domain exporting the subsystem handle and the
+    ///   snapshot event is registered with the nameserver, so extensions
+    ///   import observability exactly like every other kernel interface.
+    ///
+    /// Returns the `Obs.Snapshot` event handle. Idempotent wiring: hooks
+    /// are one-shot, but each call defines a fresh snapshot event.
+    pub fn install_obs(&self, obs: &Obs) -> Event<(), String> {
+        let clock = self.inner.host.clock.clone();
+        obs.set_time_source(Arc::new(move || clock.now()));
+        self.inner.dispatcher.set_obs(obs.domain("dispatcher"));
+        self.inner.heap.set_obs(obs.domain("gc"));
+        let _ = self.inner.obs.set(obs.domain("kernel"));
+
+        let (snapshot, snap_owner) = self
+            .inner
+            .dispatcher
+            .define::<(), String>("Obs.Snapshot", Identity::kernel("obs"));
+        let render_obs = obs.clone();
+        snap_owner
+            .set_primary(move |_| render_obs.render_prometheus())
+            .expect("fresh Obs.Snapshot event");
+
+        let iface = crate::interface::Interface::new("ObsService")
+            .export("obs", Arc::new(obs.clone()))
+            .export("snapshot", Arc::new(snapshot.clone()));
+        let domain = Domain::create_from_module("ObsService", vec![iface]);
+        // Re-wiring (tests boot several kernels against one obs) keeps the
+        // first registration.
+        let _ = self
+            .inner
+            .nameserver
+            .register("ObsService", domain, Identity::kernel("obs"));
+        snapshot
     }
 
     /// The simulated hardware this kernel runs on.
@@ -175,6 +224,10 @@ impl Kernel {
     pub fn syscall(&self, number: u64, args: [u64; 6]) -> SysResult {
         let profile = &self.inner.host.profile;
         let clock = &self.inner.host.clock;
+        if let Some(obs) = self.inner.obs.get() {
+            obs.counters.syscalls.fetch_add(1, Ordering::Relaxed);
+            obs.trace(TraceKind::SyscallTrap, number, 0);
+        }
         clock.advance(profile.trap_entry);
         let result = self
             .inner

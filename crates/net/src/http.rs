@@ -10,9 +10,10 @@
 use crate::pkt::IpAddr;
 use crate::stack::NetStack;
 use crate::tcp::{TcpConn, TcpStack};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use spin_fs::{FileSystem, WebCache};
 use spin_sched::StrandCtx;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Server counters.
@@ -24,10 +25,19 @@ pub struct HttpStats {
     pub bad_requests: u64,
 }
 
+/// A dynamic in-kernel handler for one path: renders the response body.
+pub type RouteHandler = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The immutable route snapshot published by the server (snapshot-swap
+/// like the dispatcher's plans: readers never hold a lock while a handler
+/// runs).
+type RouteTable = HashMap<String, RouteHandler>;
+
 /// The in-kernel web server.
 pub struct HttpServer {
     stats: Arc<Mutex<HttpStats>>,
     cache: Arc<WebCache>,
+    routes: RwLock<Arc<RouteTable>>,
 }
 
 impl HttpServer {
@@ -43,6 +53,7 @@ impl HttpServer {
         let server = Arc::new(HttpServer {
             stats: Arc::new(Mutex::new(HttpStats::default())),
             cache,
+            routes: RwLock::new(Arc::new(HashMap::new())),
         });
         stack.topology().note("TCP.PktArrived", "HTTP");
         let listener = tcp.listen(port);
@@ -78,6 +89,23 @@ impl HttpServer {
                 return;
             }
         };
+        // Dynamic routes take precedence over files — in-kernel extensions
+        // (the `/metrics` endpoint) splice in here.
+        let handler = self.routes.read().get(&path).cloned();
+        if let Some(handler) = handler {
+            let body = handler();
+            self.stats.lock().ok += 1;
+            let header = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            let _ = conn.send(ctx, header.as_bytes());
+            if !body.is_empty() {
+                let _ = conn.send(ctx, body.as_bytes());
+            }
+            conn.close(ctx);
+            return;
+        }
         // The hybrid object cache fronts the (uncached) file system.
         let exists = fs.size_of(&path).is_ok();
         if !exists {
@@ -96,6 +124,15 @@ impl HttpServer {
             let _ = conn.send(ctx, &body);
         }
         conn.close(ctx);
+    }
+
+    /// Installs a dynamic handler for `path` (rebuild-and-swap; replaces
+    /// any previous handler on the same path).
+    pub fn route(&self, path: &str, handler: impl Fn() -> String + Send + Sync + 'static) {
+        let mut slot = self.routes.write();
+        let mut next = HashMap::clone(&slot);
+        next.insert(path.to_string(), Arc::new(handler));
+        *slot = Arc::new(next);
     }
 
     /// Server counters.

@@ -20,6 +20,7 @@ pub mod debugger;
 pub mod forward;
 pub mod http;
 pub mod measure;
+pub mod metrics;
 pub mod netfs;
 pub mod pkt;
 pub mod rpc;
@@ -33,6 +34,7 @@ pub use debugger::{DebugClient, NetDebugger, DEBUG_PORT};
 pub use forward::{ForwardStats, Forwarder};
 pub use http::{http_get, HttpServer, HttpStats};
 pub use measure::{reliable_bandwidth, udp_round_trip};
+pub use metrics::install_metrics;
 pub use netfs::{NetFsClient, NetFsError, NetFsServer};
 pub use pkt::{proto, IpAddr};
 pub use rpc::{Rpc, RpcError, RPC_PORT};

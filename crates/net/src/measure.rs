@@ -7,7 +7,7 @@
 //! "reliable bandwidth" implies.
 
 use crate::stack::{Medium, NetStack};
-use parking_lot::Mutex;
+use spin_obs::Histogram;
 use spin_sal::Nanos;
 use spin_sched::{Executor, KChannel};
 use std::sync::Arc;
@@ -17,6 +17,17 @@ const ECHO_PORT: u16 = 7;
 /// Data/ack ports used by the bandwidth harness.
 const DATA_PORT: u16 = 5001;
 const ACK_PORT: u16 = 5002;
+
+/// The histogram backing a harness: parked in the stack's obs accounting
+/// registry when the rig is wired (so `/metrics` exposes it), standalone
+/// otherwise. Either way the samples are exact (count/sum), so means
+/// derived from it are byte-identical to the old scalar bookkeeping.
+fn harness_histogram(stack: &NetStack, name: &str) -> Arc<Histogram> {
+    match stack.obs() {
+        Some(hook) => hook.obs().accounting().histogram(name),
+        None => Arc::new(Histogram::new()),
+    }
+}
 
 /// Measures the average UDP round-trip time for `payload` bytes over
 /// `medium`, from the stack `client` to `server`, with `rounds` trips.
@@ -42,23 +53,30 @@ pub fn udp_round_trip(
     let dst = server.ip_on(medium);
     let clock = exec.clock().clone();
     let client2 = client.clone();
-    let result = Arc::new(Mutex::new(0u64));
-    let r2 = result.clone();
+    // Per-round samples land in a histogram; consecutive round times
+    // telescope, so `sum / count` equals the old whole-run average.
+    let hist = harness_histogram(client, &format!("net.rtt_ns.{medium:?}"));
+    // The registry histogram is cumulative across runs; this call's mean
+    // comes from the delta.
+    let (count0, sum0) = (hist.count(), hist.sum());
+    let h2 = hist.clone();
     exec.spawn("rtt-driver", move |ctx| {
         let data = vec![0u8; payload];
         // Warm-up round.
         client2.udp_send(6000, dst, ECHO_PORT, &data).unwrap();
         reply_ch.recv(ctx);
-        let t0 = clock.now();
+        let mut prev = clock.now();
         for _ in 0..rounds {
             client2.udp_send(6000, dst, ECHO_PORT, &data).unwrap();
             reply_ch.recv(ctx);
+            let now = clock.now();
+            h2.record(now - prev);
+            prev = now;
         }
-        *r2.lock() = (clock.now() - t0) / rounds as u64;
     });
     exec.run_until_idle();
-    let r = *result.lock();
-    r
+    let n = hist.count() - count0;
+    (hist.sum() - sum0).checked_div(n).unwrap_or(0)
 }
 
 /// Measures reliable receive bandwidth in Mb/s: `packets` packets of
@@ -73,13 +91,14 @@ pub fn reliable_bandwidth(
     window: u32,
 ) -> f64 {
     let src_ip = sender.ip_on(medium);
-    // Receiver: ack every packet by sequence number.
+    // Receiver: ack every packet by sequence number; delivered payload
+    // sizes land in a histogram (count × sum replace the old byte tally).
     let recv2 = receiver.clone();
-    let received = Arc::new(Mutex::new(0u64));
+    let received = harness_histogram(receiver, &format!("net.bw_recv_bytes.{medium:?}"));
     let rc2 = received.clone();
     receiver
         .udp_bind(DATA_PORT, "sink", move |p| {
-            *rc2.lock() += p.payload.len() as u64;
+            rc2.record(p.payload.len() as u64);
             let seq = &p.payload[..4];
             let _ = recv2.udp_send(DATA_PORT, src_ip, ACK_PORT, seq);
         })
@@ -92,7 +111,8 @@ pub fn reliable_bandwidth(
     let dst = receiver.ip_on(medium);
     let clock = exec.clock().clone();
     let sender2 = sender.clone();
-    let elapsed = Arc::new(Mutex::new(0u64));
+    let elapsed = harness_histogram(sender, &format!("net.bw_elapsed_ns.{medium:?}"));
+    let sum0 = elapsed.sum();
     let e2 = elapsed.clone();
     exec.spawn("bw-driver", move |ctx| {
         let t0 = clock.now();
@@ -113,10 +133,10 @@ pub fn reliable_bandwidth(
             acks.recv(ctx);
             acked += 1;
         }
-        *e2.lock() = clock.now() - t0;
+        e2.record(clock.now() - t0);
     });
     exec.run_until_idle();
-    let ns = *elapsed.lock();
+    let ns = elapsed.sum() - sum0;
     let bits = packets as f64 * packet_size as f64 * 8.0;
     bits * 1e9 / ns as f64 / 1e6
 }

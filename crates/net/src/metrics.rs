@@ -1,0 +1,24 @@
+//! The `/metrics` in-kernel extension: splices the observability
+//! subsystem onto the in-kernel web server, the same way the HTTP
+//! extension itself splices the stack onto the file system (§5.4).
+//!
+//! Serving a scrape is ordinary kernel work and pays ordinary costs: the
+//! page is produced by raising the kernel's `Obs.Snapshot` event through
+//! the dispatcher (charged like any event) and shipped through the full
+//! TCP path. Only the *collection* of the numbers is free — the
+//! spin-obs cost-model invariant.
+
+use crate::http::HttpServer;
+use spin_core::Event;
+use std::sync::Arc;
+
+/// Installs the `/metrics` route on `server`. `snapshot` is the
+/// `Obs.Snapshot` event returned by `Kernel::install_obs` (importable
+/// from the `ObsService` domain by any extension).
+pub fn install_metrics(server: &Arc<HttpServer>, snapshot: Event<(), String>) {
+    server.route("/metrics", move || {
+        snapshot
+            .raise(())
+            .unwrap_or_else(|e| format!("# Obs.Snapshot failed: {e:?}\n"))
+    });
+}

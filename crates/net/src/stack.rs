@@ -27,6 +27,7 @@ use crate::pkt::{
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use spin_core::{Dispatcher, Event, Identity};
+use spin_obs::{ObsHook, TraceKind};
 use spin_sal::board::vectors;
 use spin_sal::devices::nic::Nic;
 use spin_sal::{Host, Nanos, WireEndpoint};
@@ -242,6 +243,9 @@ struct NetInner {
     ping_waiters: Mutex<PingWaiters>,
     ping_seq: AtomicU16,
     stats: Arc<AtomicNetStats>,
+    /// Observability hook (net domain): absent until wired; the per-frame
+    /// paths then pay one atomic load each.
+    obs: Arc<std::sync::OnceLock<ObsHook>>,
     proto_thread: StrandId,
 }
 
@@ -330,6 +334,8 @@ impl NetStack {
         let ev2 = events.clone();
         let stats = Arc::new(AtomicNetStats::default());
         let stats2 = stats.clone();
+        let obs: Arc<std::sync::OnceLock<ObsHook>> = Arc::new(std::sync::OnceLock::new());
+        let obs2 = Arc::clone(&obs);
         let proto_thread =
             exec.spawn_on(host.id, &format!("netin-{}", host.id.0), 12, move |ctx| {
                 loop {
@@ -341,6 +347,19 @@ impl NetStack {
                             stats2
                                 .bytes_in
                                 .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                            if let Some(obs) = obs2.get() {
+                                obs.counters
+                                    .packets_received
+                                    .fetch_add(1, Ordering::Relaxed);
+                                obs.counters
+                                    .bytes_received
+                                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                                obs.trace(
+                                    TraceKind::PacketRx,
+                                    frame.payload.len() as u64,
+                                    *medium as u64,
+                                );
+                            }
                             let ev = match medium {
                                 Medium::Ethernet => &ev2.ether_arrived,
                                 Medium::Atm => &ev2.atm_arrived,
@@ -374,6 +393,7 @@ impl NetStack {
             ping_waiters: Mutex::new(HashMap::new()),
             ping_seq: AtomicU16::new(1),
             stats,
+            obs,
             proto_thread,
         });
         let stack = NetStack { inner };
@@ -517,6 +537,18 @@ impl NetStack {
         topo.note("ICMP.PktArrived", "Ping");
     }
 
+    /// Wires the observability subsystem: frames crossing this stack are
+    /// accounted to the net domain. One-shot; charges zero virtual time.
+    pub fn set_obs(&self, hook: ObsHook) {
+        let _ = self.inner.obs.set(hook);
+    }
+
+    /// The wired observability hook, if any (measurement harnesses park
+    /// their histograms in its accounting registry).
+    pub fn obs(&self) -> Option<&ObsHook> {
+        self.inner.obs.get()
+    }
+
     /// The event bundle (for extensions).
     pub fn events(&self) -> &NetEvents {
         &self.inner.events
@@ -586,6 +618,13 @@ impl NetStack {
         stats
             .bytes_out
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if let Some(obs) = self.inner.obs.get() {
+            obs.counters.packets_sent.fetch_add(1, Ordering::Relaxed);
+            obs.counters
+                .bytes_sent
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            obs.trace(TraceKind::PacketTx, frame.len() as u64, medium as u64);
+        }
         nic.send(endpoint, frame)
             .map_err(|e| NetError::TooLarge(format!("{e:?}")))
     }

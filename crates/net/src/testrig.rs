@@ -77,6 +77,18 @@ impl TwoHosts {
     pub fn b_ip(&self, medium: Medium) -> IpAddr {
         self.b.ip_on(medium)
     }
+
+    /// Wires an observability subsystem across the whole rig: trace
+    /// records stamp the shared board clock, the executor accounts to the
+    /// sched domain, both stacks to the net domain.
+    pub fn wire_obs(&self, obs: &spin_obs::Obs) {
+        let clock = self.board.clock.clone();
+        obs.set_time_source(Arc::new(move || clock.now()));
+        self.exec.set_obs(obs.domain("sched"));
+        self.a.set_obs(obs.domain("net"));
+        self.b.set_obs(obs.domain("net"));
+        self.dispatcher.set_obs(obs.domain("dispatcher"));
+    }
 }
 
 /// A three-workstation rig (client, forwarder, server) for the Table 6
@@ -135,5 +147,17 @@ impl ThreeHosts {
             b,
             c,
         }
+    }
+
+    /// Wires an observability subsystem across the whole rig (see
+    /// [`TwoHosts::wire_obs`]).
+    pub fn wire_obs(&self, obs: &spin_obs::Obs) {
+        let clock = self.board.clock.clone();
+        obs.set_time_source(Arc::new(move || clock.now()));
+        self.exec.set_obs(obs.domain("sched"));
+        for stack in [&self.a, &self.b, &self.c] {
+            stack.set_obs(obs.domain("net"));
+        }
+        self.dispatcher.set_obs(obs.domain("dispatcher"));
     }
 }

@@ -1,0 +1,327 @@
+//! The flight recorder: a fixed-capacity, lock-free MPSC ring of trace
+//! records.
+//!
+//! Producers are the kernel's hook points (dispatcher raises, context
+//! switches, VM faults, GC pauses, packet rx/tx, syscall traps); the single
+//! consumer is whoever drains the recorder for a dump. The ring **drops
+//! oldest** under overflow: producers never wait and never fail, and the
+//! recorder keeps the most recent `capacity` records — exactly what a
+//! flight recorder is for. Every overwritten record is tallied in an exact
+//! [`Ring::dropped`] counter.
+//!
+//! Publication uses a per-slot seqlock: a producer claims a position with
+//! one `fetch_add` on the write cursor, marks the slot in-progress, stores
+//! the record words with relaxed stores, and publishes with a release store
+//! of the position-derived sequence. The consumer validates the sequence
+//! before *and* after reading, so a record overwritten mid-read is detected
+//! and counted as dropped rather than returned torn. All of this is plain
+//! atomics — no locks on the producer path, no `unsafe` anywhere.
+
+use crate::account::DomainId;
+use crate::Nanos;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// An event was raised through the dispatcher (`a` = event id,
+    /// `b` = handlers on the snapshot plan).
+    EventRaise = 0,
+    /// A handler ran (`a` = event id, `b` = handler id).
+    HandlerRun = 1,
+    /// A guard was evaluated (`a` = event id, `b` = 1 if it passed).
+    GuardEval = 2,
+    /// The executor switched to a strand (`a` = strand id).
+    ContextSwitch = 3,
+    /// A VM fault was delivered (`a` = faulting virtual address,
+    /// `b` = fault class).
+    VmFault = 4,
+    /// A garbage collection completed (`a` = live bytes surviving,
+    /// `b` = objects copied).
+    GcPause = 5,
+    /// A frame arrived from the wire (`a` = frame bytes).
+    PacketRx = 6,
+    /// A frame was transmitted (`a` = frame bytes).
+    PacketTx = 7,
+    /// A syscall trapped into the kernel (`a` = syscall number).
+    SyscallTrap = 8,
+}
+
+impl TraceKind {
+    /// Stable label used by the dump and JSON renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::EventRaise => "event_raise",
+            TraceKind::HandlerRun => "handler_run",
+            TraceKind::GuardEval => "guard_eval",
+            TraceKind::ContextSwitch => "context_switch",
+            TraceKind::VmFault => "vm_fault",
+            TraceKind::GcPause => "gc_pause",
+            TraceKind::PacketRx => "packet_rx",
+            TraceKind::PacketTx => "packet_tx",
+            TraceKind::SyscallTrap => "syscall_trap",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<TraceKind> {
+        Some(match v {
+            0 => TraceKind::EventRaise,
+            1 => TraceKind::HandlerRun,
+            2 => TraceKind::GuardEval,
+            3 => TraceKind::ContextSwitch,
+            4 => TraceKind::VmFault,
+            5 => TraceKind::GcPause,
+            6 => TraceKind::PacketRx,
+            7 => TraceKind::PacketTx,
+            8 => TraceKind::SyscallTrap,
+            _ => return None,
+        })
+    }
+}
+
+/// One flight-recorder entry: what happened, where, and at what virtual
+/// time. `a`/`b` are kind-specific arguments (see [`TraceKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at which the record was written.
+    pub time: Nanos,
+    /// The originating domain.
+    pub domain: DomainId,
+    /// What happened.
+    pub kind: TraceKind,
+    /// First kind-specific argument.
+    pub a: u64,
+    /// Second kind-specific argument.
+    pub b: u64,
+}
+
+/// Sequence value marking a slot as mid-write.
+const WRITING: u64 = u64::MAX;
+
+#[derive(Default)]
+struct Slot {
+    /// `pos + 1` once the record for position `pos` is fully published;
+    /// [`WRITING`] while a producer is storing; 0 if never written.
+    seq: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+/// The lock-free drop-oldest ring. See the module docs for the protocol.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    cap: u64,
+    /// Next position to claim; grows without bound. `pos % cap` is the slot.
+    write: AtomicU64,
+    /// Next position the consumer will read.
+    read: AtomicU64,
+    /// Records lost to overwrite (or detected torn), tallied exactly.
+    dropped: AtomicU64,
+    /// Serializes consumers; producers never take it.
+    drain_lock: Mutex<()>,
+}
+
+impl Ring {
+    /// Creates a ring holding up to `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Ring {
+        let cap = capacity.max(1);
+        Ring {
+            slots: (0..cap).map(|_| Slot::default()).collect(),
+            cap: cap as u64,
+            write: AtomicU64::new(0),
+            read: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            drain_lock: Mutex::new(()),
+        }
+    }
+
+    /// Capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Appends a record; never blocks, never fails. Overwrites the oldest
+    /// pending record when full.
+    pub fn push(&self, rec: TraceRecord) {
+        let pos = self.write.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.cap) as usize];
+        slot.seq.store(WRITING, Ordering::Release);
+        slot.words[0].store(rec.time, Ordering::Relaxed);
+        slot.words[1].store(
+            u64::from(rec.domain.0) | (rec.kind as u64) << 32,
+            Ordering::Relaxed,
+        );
+        slot.words[2].store(rec.a, Ordering::Relaxed);
+        slot.words[3].store(rec.b, Ordering::Relaxed);
+        slot.seq.store(pos + 1, Ordering::Release);
+    }
+
+    /// Total records ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.write.load(Ordering::Acquire)
+    }
+
+    /// Records pending for the next drain (saturated at capacity).
+    pub fn len(&self) -> usize {
+        let end = self.write.load(Ordering::Acquire);
+        let read = self.read.load(Ordering::Acquire);
+        (end - read.max(end.saturating_sub(self.cap))) as usize
+    }
+
+    /// Whether a drain would return nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact count of records lost to overwrite, including records that
+    /// will be skipped by the next drain because they were already
+    /// overwritten.
+    pub fn dropped(&self) -> u64 {
+        let end = self.write.load(Ordering::Acquire);
+        let read = self.read.load(Ordering::Acquire);
+        let lo = end.saturating_sub(self.cap);
+        self.dropped.load(Ordering::Acquire) + lo.saturating_sub(read)
+    }
+
+    /// Removes and returns every pending record, oldest first.
+    ///
+    /// Records overwritten before they could be read — and the rare record
+    /// caught mid-overwrite by the seqlock validation — are counted in
+    /// [`Ring::dropped`] instead of being returned.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let _guard = self.drain_lock.lock();
+        let end = self.write.load(Ordering::Acquire);
+        let read = self.read.load(Ordering::Acquire);
+        let start = read.max(end.saturating_sub(self.cap));
+        self.dropped.fetch_add(start - read, Ordering::AcqRel);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for pos in start..end {
+            match self.read_slot(pos) {
+                Some(rec) => out.push(rec),
+                None => {
+                    self.dropped.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        self.read.store(end, Ordering::Release);
+        out
+    }
+
+    /// Seqlock-validated read of position `pos`; `None` if the slot no
+    /// longer (or does not yet stably) hold that position's record.
+    fn read_slot(&self, pos: u64) -> Option<TraceRecord> {
+        let slot = &self.slots[(pos % self.cap) as usize];
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None;
+        }
+        let time = slot.words[0].load(Ordering::Relaxed);
+        let tag = slot.words[1].load(Ordering::Relaxed);
+        let a = slot.words[2].load(Ordering::Relaxed);
+        let b = slot.words[3].load(Ordering::Relaxed);
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None;
+        }
+        Some(TraceRecord {
+            time,
+            domain: DomainId((tag & 0xffff_ffff) as u32),
+            kind: TraceKind::from_u8((tag >> 32) as u8)?,
+            a,
+            b,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord {
+            time: i * 10,
+            domain: DomainId(i as u32 % 7),
+            kind: TraceKind::EventRaise,
+            a: i,
+            b: i * 2,
+        }
+    }
+
+    #[test]
+    fn drain_returns_records_in_push_order() {
+        let ring = Ring::new(8);
+        for i in 0..5 {
+            ring.push(rec(i));
+        }
+        let got = ring.drain();
+        assert_eq!(got.len(), 5);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(*r, rec(i as u64));
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_with_exact_count() {
+        let ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(rec(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6); // observable before the drain
+        let got = ring.drain();
+        assert_eq!(
+            got,
+            vec![rec(6), rec(7), rec(8), rec(9)],
+            "the newest records survive"
+        );
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let ring = Ring::new(1);
+        for i in 0..3 {
+            ring.push(rec(i));
+        }
+        assert_eq!(ring.drain(), vec![rec(2)]);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_when_capacity_suffices() {
+        let ring = std::sync::Arc::new(Ring::new(64 * 1024));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        ring.push(TraceRecord {
+                            time: i,
+                            domain: DomainId(t),
+                            kind: TraceKind::PacketRx,
+                            a: i,
+                            b: u64::from(t),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let got = ring.drain();
+        assert_eq!(got.len(), 4000);
+        assert_eq!(ring.dropped(), 0);
+        // Per-producer order is preserved even though producers interleave.
+        for t in 0..4u32 {
+            let mine: Vec<u64> = got
+                .iter()
+                .filter(|r| r.domain == DomainId(t))
+                .map(|r| r.a)
+                .collect();
+            assert_eq!(mine, (0..1000).collect::<Vec<_>>());
+        }
+    }
+}

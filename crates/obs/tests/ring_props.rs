@@ -1,0 +1,100 @@
+//! Property tests for the flight recorder ring: drains preserve record
+//! order, overflow drops the *oldest* records, and the `dropped` counter
+//! is exact under any interleaving of pushes and drains.
+
+use proptest::prelude::*;
+use spin_obs::{DomainId, Ring, TraceKind, TraceRecord};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push `n` sequentially-numbered records.
+    Push { n: usize },
+    /// Drain everything pending.
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<usize>().prop_map(|n| Op::Push { n: n % 300 }),
+        Just(Op::Drain),
+    ]
+}
+
+fn rec(i: u64) -> TraceRecord {
+    TraceRecord {
+        time: i,
+        domain: DomainId((i % 5) as u32),
+        kind: TraceKind::EventRaise,
+        a: i,
+        b: !i,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn drain_order_and_exact_drop_accounting(
+        cap in 1usize..200,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let ring = Ring::new(cap);
+        let mut pushed: u64 = 0;
+        let mut seen: u64 = 0; // everything below this was returned or dropped
+        let mut returned: u64 = 0;
+
+        for op in ops {
+            match op {
+                Op::Push { n } => {
+                    for _ in 0..n {
+                        ring.push(rec(pushed));
+                        pushed += 1;
+                    }
+                }
+                Op::Drain => {
+                    let got = ring.drain();
+                    // Oldest-first, gapless, ending at the write cursor:
+                    // exactly the newest `min(pending, cap)` records.
+                    let expect_start = seen.max(pushed.saturating_sub(cap as u64));
+                    let expect: Vec<u64> = (expect_start..pushed).collect();
+                    let got_ids: Vec<u64> = got.iter().map(|r| r.a).collect();
+                    prop_assert_eq!(&got_ids, &expect);
+                    // Payloads survive intact.
+                    for r in &got {
+                        prop_assert_eq!(*r, rec(r.a));
+                    }
+                    returned += got.len() as u64;
+                    seen = pushed;
+                    // Nothing pending: every record was returned or counted
+                    // dropped, exactly.
+                    prop_assert!(ring.is_empty());
+                    prop_assert_eq!(returned + ring.dropped(), pushed);
+                }
+            }
+        }
+        // Terminal accounting: pushed == returned + dropped + pending.
+        let pending = ring.len() as u64;
+        prop_assert_eq!(returned + ring.dropped() + pending, pushed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-shot overflow: push `n` into capacity `cap`, drain once.
+    #[test]
+    fn overflow_keeps_newest_with_exact_dropped(cap in 1usize..128, n in 0u64..500) {
+        let ring = Ring::new(cap);
+        for i in 0..n {
+            ring.push(rec(i));
+        }
+        let expect_dropped = n.saturating_sub(cap as u64);
+        prop_assert_eq!(ring.dropped(), expect_dropped);
+        let got = ring.drain();
+        let got_ids: Vec<u64> = got.iter().map(|r| r.a).collect();
+        let expect: Vec<u64> = (expect_dropped..n).collect();
+        prop_assert_eq!(got_ids, expect);
+        prop_assert_eq!(ring.dropped(), expect_dropped);
+        prop_assert_eq!(ring.pushed(), n);
+    }
+}

@@ -209,6 +209,9 @@ impl<T: Trace> AmbiguousPin<T> {
 #[derive(Clone)]
 pub struct KernelHeap {
     state: Arc<Mutex<HeapState>>,
+    /// Observability hook (gc domain): absent until wired, and the alloc
+    /// path never consults it — only completed collections report.
+    obs: Arc<std::sync::OnceLock<spin_obs::ObsHook>>,
 }
 
 impl Default for KernelHeap {
@@ -226,6 +229,7 @@ impl KernelHeap {
     /// A heap bounded at `capacity_bytes` of live data.
     pub fn with_capacity(capacity_bytes: usize) -> Self {
         KernelHeap {
+            obs: Arc::new(std::sync::OnceLock::new()),
             state: Arc::new(Mutex::new(HeapState {
                 pages: HashMap::new(),
                 next_page: 0,
@@ -245,6 +249,13 @@ impl KernelHeap {
     /// during the tests"). Explicit [`KernelHeap::collect`] still works.
     pub fn set_enabled(&self, enabled: bool) {
         self.state.lock().enabled = enabled;
+    }
+
+    /// Wires the observability subsystem: completed collections are traced
+    /// and accounted to the gc domain. One-shot; charges zero virtual
+    /// time.
+    pub fn set_obs(&self, hook: spin_obs::ObsHook) {
+        let _ = self.obs.set(hook);
     }
 
     /// Allocates a new object, collecting first if the heap is full and the
@@ -559,6 +570,21 @@ impl KernelHeap {
         st.stats.objects_promoted += cstats.objects_promoted;
         st.stats.bytes_freed += cstats.bytes_freed;
         st.stats.pages_pinned += cstats.pages_pinned;
+        if let Some(obs) = self.obs.get() {
+            use std::sync::atomic::Ordering;
+            obs.counters.gc_collections.fetch_add(1, Ordering::Relaxed);
+            obs.counters
+                .gc_bytes_surviving
+                .fetch_add(cstats.live_bytes_after, Ordering::Relaxed);
+            obs.counters
+                .pages_held
+                .store(st.pages.len() as u64, Ordering::Relaxed);
+            obs.trace(
+                spin_obs::TraceKind::GcPause,
+                cstats.live_bytes_after,
+                cstats.objects_copied,
+            );
+        }
         cstats
     }
 }

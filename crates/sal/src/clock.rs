@@ -26,6 +26,13 @@ pub type Nanos = u64;
 /// Observer invoked after every clock advance with the amount charged.
 pub type AdvanceHook = Box<dyn Fn(Nanos) + Send + Sync>;
 
+/// Handle to an installed advance hook, usable for removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdvanceHookId(u64);
+
+/// Subscribers to clock charges: (id, hook) in installation order.
+type HookList = Vec<(AdvanceHookId, Arc<dyn Fn(Nanos) + Send + Sync>)>;
+
 /// The shared virtual clock.
 ///
 /// Cheap to clone (`Arc` inside); reads are lock-free.
@@ -37,9 +44,13 @@ pub struct Clock {
 #[derive(Default)]
 struct ClockInner {
     now: AtomicU64,
-    hook: RwLock<Option<AdvanceHook>>,
-    /// Mirrors `hook.is_some()` so the per-charge path skips the lock
-    /// entirely when no executor hook is installed.
+    /// Snapshot-published subscriber list: writers rebuild-and-swap, the
+    /// charge path clones one `Arc` and calls hooks outside the lock (a
+    /// hook may deschedule the calling thread to effect preemption).
+    hooks: RwLock<Arc<HookList>>,
+    next_hook: AtomicU64,
+    /// Mirrors `!hooks.is_empty()` so the per-charge path skips the lock
+    /// entirely when no subscriber is installed.
     has_hook: AtomicBool,
 }
 
@@ -65,7 +76,8 @@ impl Clock {
         }
         self.inner.now.fetch_add(ns, Ordering::AcqRel);
         if self.inner.has_hook.load(Ordering::Acquire) {
-            if let Some(hook) = self.inner.hook.read().as_ref() {
+            let hooks = self.inner.hooks.read().clone();
+            for (_, hook) in hooks.iter() {
                 hook(ns);
             }
         }
@@ -89,18 +101,50 @@ impl Clock {
         }
     }
 
-    /// Installs the executor's advance hook, replacing any previous hook.
+    /// Subscribes `hook` to every charge, alongside any existing hooks.
+    ///
+    /// Hooks run in installation order after the time is added. The
+    /// returned id removes exactly this subscription via
+    /// [`Clock::remove_advance_hook`].
+    pub fn add_advance_hook(&self, hook: AdvanceHook) -> AdvanceHookId {
+        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed));
+        let mut slot = self.inner.hooks.write();
+        let mut list: HookList = (**slot).clone();
+        list.push((id, Arc::from(hook)));
+        *slot = Arc::new(list);
+        self.inner.has_hook.store(true, Ordering::Release);
+        id
+    }
+
+    /// Removes one subscription. Returns `true` if it was still installed.
+    pub fn remove_advance_hook(&self, id: AdvanceHookId) -> bool {
+        let mut slot = self.inner.hooks.write();
+        let mut list: HookList = (**slot).clone();
+        let before = list.len();
+        list.retain(|(hid, _)| *hid != id);
+        let removed = list.len() != before;
+        if list.is_empty() {
+            self.inner.has_hook.store(false, Ordering::Release);
+        }
+        *slot = Arc::new(list);
+        removed
+    }
+
+    /// Installs `hook` as the *only* subscriber, replacing any previous
+    /// hooks. Single-subscriber convenience kept for tests and simple rigs;
+    /// components that must coexist use [`Clock::add_advance_hook`].
     pub fn set_advance_hook(&self, hook: AdvanceHook) {
-        let mut slot = self.inner.hook.write();
-        *slot = Some(hook);
+        let mut slot = self.inner.hooks.write();
+        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed));
+        *slot = Arc::new(vec![(id, Arc::from(hook))]);
         self.inner.has_hook.store(true, Ordering::Release);
     }
 
-    /// Removes the advance hook.
+    /// Removes every advance hook.
     pub fn clear_advance_hook(&self) {
-        let mut slot = self.inner.hook.write();
+        let mut slot = self.inner.hooks.write();
         self.inner.has_hook.store(false, Ordering::Release);
-        *slot = None;
+        *slot = Arc::new(Vec::new());
     }
 }
 
@@ -225,6 +269,58 @@ mod tests {
         c.advance(0); // zero charges do not invoke the hook
         c.advance(12);
         assert_eq!(total.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn two_subscribers_both_observe_every_charge() {
+        // Regression: the hook slot used to be replace-only, so a second
+        // subscriber (the observability layer) silently evicted the
+        // executor's quantum accounting.
+        let c = Clock::new();
+        let exec_total = Arc::new(AtomicU64::new(0));
+        let obs_total = Arc::new(AtomicU64::new(0));
+        let (e2, o2) = (exec_total.clone(), obs_total.clone());
+        let exec_id = c.add_advance_hook(Box::new(move |ns| {
+            e2.fetch_add(ns, Ordering::Relaxed);
+        }));
+        let obs_id = c.add_advance_hook(Box::new(move |ns| {
+            o2.fetch_add(ns, Ordering::Relaxed);
+        }));
+        for ns in [30, 0, 12, 1, 999] {
+            c.advance(ns);
+        }
+        assert_eq!(exec_total.load(Ordering::Relaxed), 1042);
+        assert_eq!(obs_total.load(Ordering::Relaxed), 1042);
+
+        // Removal is per-subscription: the survivor keeps observing.
+        assert!(c.remove_advance_hook(obs_id));
+        assert!(!c.remove_advance_hook(obs_id));
+        c.advance(8);
+        assert_eq!(exec_total.load(Ordering::Relaxed), 1050);
+        assert_eq!(obs_total.load(Ordering::Relaxed), 1042);
+        assert!(c.remove_advance_hook(exec_id));
+        c.advance(5); // no subscribers: single relaxed-flag check, no calls
+        assert_eq!(exec_total.load(Ordering::Relaxed), 1050);
+    }
+
+    #[test]
+    fn set_advance_hook_replaces_all_subscribers() {
+        let c = Clock::new();
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (a2, b2) = (a.clone(), b.clone());
+        c.add_advance_hook(Box::new(move |ns| {
+            a2.fetch_add(ns, Ordering::Relaxed);
+        }));
+        c.set_advance_hook(Box::new(move |ns| {
+            b2.fetch_add(ns, Ordering::Relaxed);
+        }));
+        c.advance(7);
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+        assert_eq!(b.load(Ordering::Relaxed), 7);
+        c.clear_advance_hook();
+        c.advance(7);
+        assert_eq!(b.load(Ordering::Relaxed), 7);
     }
 
     #[test]

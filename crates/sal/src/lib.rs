@@ -36,7 +36,7 @@ pub mod trap;
 pub mod wire;
 
 pub use board::{Host, HostId, SimBoard};
-pub use clock::{Clock, Nanos, TimerQueue};
+pub use clock::{AdvanceHookId, Clock, Nanos, TimerQueue};
 pub use cost::{cycles, MachineProfile, CYCLE_NS};
 pub use irq::{Irq, IrqController, IrqVector};
 pub use mem::{FrameId, PhysMem};

@@ -21,11 +21,12 @@
 //! timeline.
 
 use parking_lot::{Condvar, Mutex};
+use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, HostId, IrqController, MachineProfile, Nanos, TimerQueue};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a strand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -167,6 +168,9 @@ pub struct Executor {
     quantum_used: AtomicU64,
     preempt_pending: AtomicBool,
     hooks: Mutex<Hooks>,
+    /// Observability hook (scheduler domain): absent until wired, and the
+    /// per-charge/per-switch fast path is then a single atomic load.
+    obs: OnceLock<ObsHook>,
 }
 
 impl Executor {
@@ -190,10 +194,13 @@ impl Executor {
             quantum_used: AtomicU64::new(0),
             preempt_pending: AtomicBool::new(false),
             hooks: Mutex::new(Hooks::default()),
+            obs: OnceLock::new(),
         });
         // Charge the running strand and arm preemption at quantum expiry.
+        // Subscribes alongside other clock observers (the obs accounting
+        // layer) rather than replacing them.
         let weak = Arc::downgrade(&exec);
-        clock.set_advance_hook(Box::new(move |ns| {
+        clock.add_advance_hook(Box::new(move |ns| {
             if let Some(exec) = weak.upgrade() {
                 exec.on_advance(ns);
             }
@@ -257,7 +264,17 @@ impl Executor {
         h.resume = Some(resume);
     }
 
+    /// Wires the observability subsystem: virtual CPU charges and context
+    /// switches are accounted to the scheduler domain. One-shot; charges
+    /// zero virtual time.
+    pub fn set_obs(&self, hook: ObsHook) {
+        let _ = self.obs.set(hook);
+    }
+
     fn on_advance(&self, ns: Nanos) {
+        if let Some(obs) = self.obs.get() {
+            obs.counters.cpu_ns.fetch_add(ns, Ordering::Relaxed);
+        }
         let mut st = self.state.lock();
         if let Some(cur) = st.current {
             let host = st.strands.get(&cur).map(|i| i.host);
@@ -453,6 +470,12 @@ impl Executor {
                     }
                     self.quantum_used.store(0, Ordering::Relaxed);
                     self.preempt_pending.store(false, Ordering::Relaxed);
+                    if let Some(obs) = self.obs.get() {
+                        obs.counters
+                            .context_switches
+                            .fetch_add(1, Ordering::Relaxed);
+                        obs.trace(TraceKind::ContextSwitch, id.0, 0);
+                    }
                     let baton = {
                         let mut st = self.state.lock();
                         st.switches += 1;

@@ -16,6 +16,7 @@ use crate::proc::{Fd, Pid, Proc, ProcState};
 use parking_lot::Mutex;
 use spin_core::{Identity, Kernel};
 use spin_fs::{FileSystem, FsError};
+use spin_obs::{ObsHook, TraceKind};
 use spin_sal::Protection;
 use spin_sched::{Executor, StrandCtx};
 use spin_vm::{UnixAsExtension, VmError};
@@ -59,6 +60,22 @@ struct ServerState {
     procs: HashMap<Pid, Proc>,
 }
 
+/// Stable call numbers used when tracing server calls (the `a` word of a
+/// `SyscallTrap` record from the unix domain).
+pub mod calls {
+    pub const FORK: u64 = 1;
+    pub const EXIT: u64 = 2;
+    pub const WAITPID: u64 = 3;
+    pub const SBRK: u64 = 4;
+    pub const OPEN: u64 = 5;
+    pub const CLOSE: u64 = 6;
+    pub const DUP: u64 = 7;
+    pub const PIPE: u64 = 8;
+    pub const WRITE: u64 = 9;
+    pub const READ: u64 = 10;
+    pub const LSEEK: u64 = 11;
+}
+
 /// The UNIX server.
 #[derive(Clone)]
 pub struct UnixServer {
@@ -67,6 +84,9 @@ pub struct UnixServer {
     fs: FileSystem,
     state: Arc<Mutex<ServerState>>,
     next_pid: Arc<AtomicU32>,
+    /// Observability hook (unix domain): absent until wired; server calls
+    /// then pay one atomic load each.
+    obs: Arc<std::sync::OnceLock<ObsHook>>,
 }
 
 impl UnixServer {
@@ -86,6 +106,7 @@ impl UnixServer {
                 procs: HashMap::new(),
             })),
             next_pid: Arc::new(AtomicU32::new(1)),
+            obs: Arc::new(std::sync::OnceLock::new()),
         };
         // getpid(pid) and brk-query are pure register calls; install them
         // in the server's band as the paper's server does.
@@ -114,6 +135,21 @@ impl UnixServer {
         server
     }
 
+    /// Wires the observability subsystem: server calls are accounted to
+    /// the unix domain. One-shot; charges zero virtual time.
+    pub fn set_obs(&self, hook: ObsHook) {
+        let _ = self.obs.set(hook);
+    }
+
+    /// Accounts one server call (see [`calls`]) to the unix domain.
+    #[inline]
+    fn note(&self, call: u64, pid: Pid) {
+        if let Some(obs) = self.obs.get() {
+            obs.counters.syscalls.fetch_add(1, Ordering::Relaxed);
+            obs.trace(TraceKind::SyscallTrap, call, pid.0 as u64);
+        }
+    }
+
     /// Creates the initial process (the paper's server boots `init`).
     pub fn spawn_init(&self) -> Pid {
         let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
@@ -128,6 +164,7 @@ impl UnixServer {
     /// `fork`: a child with a copy-on-write image of the parent and
     /// duplicated descriptors.
     pub fn fork(&self, parent: Pid) -> Result<Pid, UnixError> {
+        self.note(calls::FORK, parent);
         let child_pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         let (child_space, fds) = {
             let st = self.state.lock();
@@ -151,6 +188,7 @@ impl UnixServer {
 
     /// `exit`: become a zombie and wake any waiting parent.
     pub fn exit(&self, pid: Pid, status: i32) {
+        self.note(calls::EXIT, pid);
         let (waiters, fds) = {
             let mut st = self.state.lock();
             let (parent, fds) = match st.procs.get_mut(&pid) {
@@ -184,6 +222,7 @@ impl UnixServer {
 
     /// `waitpid(-1)`: blocks until any child of `parent` exits; reaps it.
     pub fn waitpid(&self, ctx: &StrandCtx, parent: Pid) -> Result<(Pid, i32), UnixError> {
+        self.note(calls::WAITPID, parent);
         loop {
             {
                 let mut st = self.state.lock();
@@ -219,6 +258,7 @@ impl UnixServer {
     /// `brk`-style allocation: extends the process image by `pages`,
     /// returning the base address.
     pub fn sbrk(&self, pid: Pid, pages: u64) -> Result<u64, UnixError> {
+        self.note(calls::SBRK, pid);
         let space = {
             let st = self.state.lock();
             st.procs
@@ -258,6 +298,7 @@ impl UnixServer {
 
     /// `open` (creating if absent).
     pub fn open(&self, pid: Pid, path: &str) -> Result<i32, UnixError> {
+        self.note(calls::OPEN, pid);
         if self.fs.size_of(path).is_err() {
             self.fs.create(path)?;
         }
@@ -271,6 +312,7 @@ impl UnixServer {
 
     /// `close`.
     pub fn close(&self, pid: Pid, fd: i32) -> Result<(), UnixError> {
+        self.note(calls::CLOSE, pid);
         let f = {
             let mut st = self.state.lock();
             let p = st.procs.get_mut(&pid).ok_or(UnixError::NoSuchProcess)?;
@@ -282,6 +324,7 @@ impl UnixServer {
 
     /// `dup`.
     pub fn dup(&self, pid: Pid, fd: i32) -> Result<i32, UnixError> {
+        self.note(calls::DUP, pid);
         let mut st = self.state.lock();
         let p = st.procs.get_mut(&pid).ok_or(UnixError::NoSuchProcess)?;
         let f = p.fds.get(&fd).ok_or(UnixError::BadFd)?.clone();
@@ -295,6 +338,7 @@ impl UnixServer {
 
     /// `pipe`: returns (read fd, write fd).
     pub fn pipe(&self, pid: Pid) -> Result<(i32, i32), UnixError> {
+        self.note(calls::PIPE, pid);
         let pipe = Pipe::new(self.exec.clone());
         let mut st = self.state.lock();
         let p = st.procs.get_mut(&pid).ok_or(UnixError::NoSuchProcess)?;
@@ -311,6 +355,7 @@ impl UnixServer {
         fd: i32,
         data: &[u8],
     ) -> Result<usize, UnixError> {
+        self.note(calls::WRITE, pid);
         let f = {
             let st = self.state.lock();
             st.procs
@@ -352,6 +397,7 @@ impl UnixServer {
         fd: i32,
         max: usize,
     ) -> Result<Vec<u8>, UnixError> {
+        self.note(calls::READ, pid);
         let f = {
             let st = self.state.lock();
             st.procs
@@ -380,6 +426,7 @@ impl UnixServer {
 
     /// `lseek` (absolute).
     pub fn lseek(&self, pid: Pid, fd: i32, pos: u64) -> Result<(), UnixError> {
+        self.note(calls::LSEEK, pid);
         let mut st = self.state.lock();
         match st.procs.get_mut(&pid).and_then(|p| p.fds.get_mut(&fd)) {
             Some(Fd::File { offset, .. }) => {

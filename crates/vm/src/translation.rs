@@ -19,10 +19,12 @@ use crate::phys::{PhysError, PhysRegion};
 use crate::virt::VirtRegion;
 use parking_lot::Mutex;
 use spin_core::{Dispatcher, Event, EventOwner, Identity};
+use spin_obs::{ObsHook, TraceKind};
 use spin_sal::mmu::{Access, ContextId, MmuFault, Pte};
 use spin_sal::{Clock, FrameId, MachineProfile, Mmu, Protection, PAGE_SHIFT};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 
 /// Information passed to fault handlers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +104,9 @@ pub struct TranslationService {
     /// Keeps the primary-implementation capabilities alive (and private).
     #[allow(dead_code)]
     owners: Arc<(FaultOwner, FaultOwner, FaultOwner)>,
+    /// Observability hook (vm domain): absent until wired, and the fault
+    /// path then pays one atomic load. Charges zero virtual time.
+    obs: Arc<OnceLock<ObsHook>>,
 }
 
 impl TranslationService {
@@ -144,12 +149,19 @@ impl TranslationService {
                 protection_fault: prot,
             },
             owners: Arc::new((pnp_o, bad_o, prot_o)),
+            obs: Arc::new(OnceLock::new()),
         }
     }
 
     /// The fault events (for extension handler installation).
     pub fn events(&self) -> &TranslationEvents {
         &self.events
+    }
+
+    /// Wires the observability subsystem: delivered faults are traced and
+    /// accounted to the vm domain. One-shot; charges zero virtual time.
+    pub fn set_obs(&self, hook: ObsHook) {
+        let _ = self.obs.set(hook);
     }
 
     /// `Translation.Create`: a new addressing context.
@@ -366,6 +378,10 @@ impl TranslationService {
                     let info = FaultInfo { ctx, va, access };
                     if attempt == 1 {
                         return Err(VmError::Unresolved { info, kind });
+                    }
+                    if let Some(obs) = self.obs.get() {
+                        obs.counters.vm_faults.fetch_add(1, Ordering::Relaxed);
+                        obs.trace(TraceKind::VmFault, va, kind as u64);
                     }
                     // Enter the kernel trap path and dispatch to handlers.
                     self.clock

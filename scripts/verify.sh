@@ -13,6 +13,31 @@ cargo test -q
 echo "==> cargo test --workspace -q (all crates)"
 cargo test --workspace -q
 
+echo "==> obs cost-model invariant (recorder on/off, capacity 1/64k)"
+cargo test -q -p spin-bench --test obs_invariance
+
+echo "==> bench smoke: --json emission + virtual-time goldens"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+for bin in table1_sizes table2_comm fig5_stack; do
+    (cd "$SMOKE_DIR" && cargo run -q --manifest-path "$OLDPWD/Cargo.toml" \
+        -p spin-bench --bin "$bin" -- --json > /dev/null)
+    test -s "$SMOKE_DIR/BENCH_$bin.json" || {
+        echo "verify: $bin emitted no BENCH_$bin.json" >&2
+        exit 1
+    }
+done
+# table1 counts source lines (drifts with every commit): smoke-only.
+# table2_comm and fig5_stack are pure virtual-time / topology output and
+# must match the checked-in goldens byte-for-byte — this is the cost-model
+# invariant gate: instrumentation must never move a reported number.
+for bin in table2_comm fig5_stack; do
+    diff -u "scripts/goldens/BENCH_$bin.json" "$SMOKE_DIR/BENCH_$bin.json" || {
+        echo "verify: $bin diverged from scripts/goldens/BENCH_$bin.json" >&2
+        exit 1
+    }
+done
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -255,6 +255,76 @@ fn bench_obs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ablation (DESIGN.md #7): the cost of *being containable*. Every
+/// synchronous handler invocation now runs under `catch_unwind`, and the
+/// fault-injection hook point costs one relaxed atomic load when a plan
+/// is wired but disabled, a seeded hash draw when armed at zero rates,
+/// and nothing at all when unwired. The fault-path-off raise overhead —
+/// the unwired/wired-disabled gap — is the price every dispatch pays for
+/// containment existing; EXPERIMENTS.md records it.
+fn bench_fault(c: &mut Criterion) {
+    use spin_fault::{FaultPlan, SiteConfig, SITE_DISPATCH};
+
+    let mut g = c.benchmark_group("fault");
+    g.measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150));
+
+    let raise_bench =
+        |g: &mut criterion::BenchmarkGroup<'_>, name: &str, plan: Option<FaultPlan>| {
+            let d = Dispatcher::unmetered();
+            if let Some(p) = &plan {
+                d.set_fault_hook(p.hook(SITE_DISPATCH));
+            }
+            let (ev, owner) = d.define::<u64, u64>("probe", Identity::kernel("b"));
+            owner.set_primary(|x| x + 1).expect("fresh");
+            g.bench_function(name, |b| b.iter(|| ev.raise(black_box(1)).expect("ok")));
+        };
+    raise_bench(&mut g, "raise/unwired", None);
+    let disabled = FaultPlan::new(0);
+    disabled.set_enabled(false);
+    raise_bench(&mut g, "raise/wired_disabled", Some(disabled));
+    // Armed with no rates configured: the full decision path, no firing.
+    raise_bench(&mut g, "raise/armed_zero_rates", Some(FaultPlan::new(0)));
+
+    // The contained-fault slow case: a handler that panics on every
+    // raise, with the breaker sinking (but never tripping on) the fault.
+    {
+        let d = Dispatcher::unmetered();
+        let _c = spin_core::Containment::install(
+            &d,
+            None,
+            spin_core::ContainmentPolicy {
+                strikes: u32::MAX,
+                window: u64::MAX,
+                trips_to_quarantine: u32::MAX,
+            },
+        );
+        let (ev, owner) = d.define::<u64, u64>("faulty", Identity::kernel("b"));
+        owner.set_primary(|x| x + 1).expect("fresh");
+        ev.install(Identity::extension("buggy"), |_| -> u64 { panic!("bug") })
+            .expect("ok");
+        // The default panic hook would print a backtrace per contained
+        // panic; silence it for the duration of this measurement.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        g.bench_function("raise/contained_panic", |b| {
+            b.iter(|| ev.raise(black_box(1)).expect("primary result survives"))
+        });
+        std::panic::set_hook(prev_hook);
+    }
+
+    // The raw draw primitives, isolated from dispatch.
+    let disabled = FaultPlan::new(0);
+    disabled.set_enabled(false);
+    let off_hook = disabled.hook(SITE_DISPATCH);
+    g.bench_function("hook/draw_disabled", |b| b.iter(|| off_hook.draw()));
+    let armed = FaultPlan::new(0);
+    armed.configure(SITE_DISPATCH, SiteConfig::default());
+    let on_hook = armed.hook(SITE_DISPATCH);
+    g.bench_function("hook/draw_armed_zero_rates", |b| b.iter(|| on_hook.draw()));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_dispatch,
@@ -262,6 +332,7 @@ criterion_group!(
     bench_linking,
     bench_capabilities,
     bench_gc,
-    bench_obs
+    bench_obs,
+    bench_fault
 );
 criterion_main!(benches);

@@ -56,15 +56,30 @@
 //! DESIGN.md: "cost-model charges are independent of the real-time
 //! optimisation") — this machinery buys real nanoseconds, not simulated
 //! microseconds.
+//!
+//! # Fault containment
+//!
+//! Language safety is not liveness: a type-safe handler can still panic.
+//! Every handler invocation (fast path included) runs unwind-isolated
+//! behind `catch_unwind`; a panic becomes a typed
+//! [`HandlerFault`](crate::fault::HandlerFault) delivered to the
+//! dispatcher's fault sink (see [`crate::fault::Containment`]), the
+//! faulted result is skipped, sibling handlers still run, and the handler
+//! is demoted off the direct-call fast path for good (its entry carries a
+//! sticky fault flag consulted at plan-build time). Time-bound aborts are
+//! reported through the same sink. None of this charges virtual time.
 
 use crate::error::DispatchError;
+use crate::fault::{DeadlineExceeded, FaultKind, FaultSink, HandlerFault};
 use crate::identity::Identity;
 use parking_lot::{Mutex, RwLock};
+use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, MachineProfile, Nanos};
 use std::any::Any;
 use std::collections::HashMap;
 use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 
@@ -77,9 +92,21 @@ pub type Guard<A> = Arc<dyn Fn(&A) -> bool + Send + Sync>;
 /// Combines the results of all executed synchronous handlers.
 pub type Reducer<R> = Arc<dyn Fn(Vec<R>) -> R + Send + Sync>;
 
+/// One asynchronous handler invocation, handed to the [`AsyncRunner`].
+pub struct AsyncInvocation {
+    /// The contained handler body: runs the handler, catches panics and
+    /// settles fault/abort accounting. The runner just calls it.
+    pub run: Box<dyn FnOnce() + Send>,
+    /// The handler's `time_bound`, if any. A runner that can preempt (the
+    /// scheduler's) should abort the invocation once this much virtual
+    /// time has passed; the abort is classified and counted by `run`
+    /// itself when the unwind carries a [`DeadlineExceeded`] payload.
+    pub time_bound: Option<Nanos>,
+}
+
 /// Runs asynchronous handler invocations (injected by the scheduler so this
 /// crate does not depend on it; the default runs inline).
-pub type AsyncRunner = Arc<dyn Fn(Box<dyn FnOnce() + Send>) + Send + Sync>;
+pub type AsyncRunner = Arc<dyn Fn(AsyncInvocation) + Send + Sync>;
 
 /// How and under what trust a handler executes (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +175,11 @@ struct Entry<A, R> {
     constraints: Constraints,
     installer: Identity,
     is_primary: bool,
+    /// Sticky "has ever panicked" flag. Shared (via `Arc`) between the
+    /// write side and every plan snapshot, so a fault observed mid-raise
+    /// is seen by the next plan build and demotes the handler off the
+    /// fast path.
+    fault_flag: Arc<AtomicBool>,
 }
 
 impl<A, R> Clone for Entry<A, R> {
@@ -159,6 +191,7 @@ impl<A, R> Clone for Entry<A, R> {
             constraints: self.constraints,
             installer: self.installer.clone(),
             is_primary: self.is_primary,
+            fault_flag: self.fault_flag.clone(),
         }
     }
 }
@@ -172,6 +205,10 @@ pub struct EventStats {
     pub handlers_run: u64,
     pub handlers_aborted: u64,
     pub async_dispatches: u64,
+    /// Handler invocations that panicked and were contained (sync and
+    /// async). Aborts for exceeding `time_bound` are counted separately
+    /// in `handlers_aborted`.
+    pub handler_faults: u64,
 }
 
 /// Lock-free counters backing [`EventStats`].
@@ -183,6 +220,7 @@ struct AtomicEventStats {
     handlers_run: AtomicU64,
     handlers_aborted: AtomicU64,
     async_dispatches: AtomicU64,
+    handler_faults: AtomicU64,
 }
 
 impl AtomicEventStats {
@@ -194,6 +232,7 @@ impl AtomicEventStats {
             handlers_run: self.handlers_run.load(Ordering::Relaxed),
             handlers_aborted: self.handlers_aborted.load(Ordering::Relaxed),
             async_dispatches: self.async_dispatches.load(Ordering::Relaxed),
+            handler_faults: self.handler_faults.load(Ordering::Relaxed),
         }
     }
 }
@@ -216,7 +255,10 @@ impl<A, R> RaisePlan<A, R> {
                 if only.guards.is_empty()
                     && only.constraints.mode == HandlerMode::Synchronous
                     && only.constraints.time_bound.is_none()
-                    && reducer.is_none() =>
+                    && reducer.is_none()
+                    // A handler that has ever faulted is permanently
+                    // demoted to the guarded slow path.
+                    && !only.fault_flag.load(Ordering::Relaxed) =>
             {
                 Some(only.handler.clone())
             }
@@ -251,6 +293,64 @@ impl<A, R> EventState<A, R> {
     /// Republishes the raise plan from the (locked) write side.
     fn republish(&self, ws: &WriteSide<A, R>) {
         *self.plan.write() = RaisePlan::build(&ws.handlers, &ws.reducer);
+    }
+}
+
+/// Type-erased event state: what the dispatcher's global table stores.
+/// Besides downcasting back to the typed state, it carries the
+/// operations quarantine needs to act across events of unknown types.
+trait AnyEventState: Send + Sync {
+    fn as_any(self: Arc<Self>) -> Arc<dyn Any + Send + Sync>;
+    /// Removes every handler installed by `who`; returns how many.
+    fn purge_installer(&self, who: &Identity) -> usize;
+    /// Removes one handler by id.
+    fn remove_handler(&self, id: HandlerId) -> bool;
+}
+
+impl<A, R> AnyEventState for EventState<A, R>
+where
+    A: Send + Sync + 'static,
+    R: Send + 'static,
+{
+    fn as_any(self: Arc<Self>) -> Arc<dyn Any + Send + Sync> {
+        self
+    }
+
+    fn purge_installer(&self, who: &Identity) -> usize {
+        let mut ws = self.write.lock();
+        let before = ws.handlers.len();
+        ws.handlers.retain(|e| e.installer != *who);
+        let removed = before - ws.handlers.len();
+        if removed > 0 {
+            self.republish(&ws);
+        }
+        removed
+    }
+
+    fn remove_handler(&self, id: HandlerId) -> bool {
+        let mut ws = self.write.lock();
+        match ws.handlers.iter().position(|e| e.id == id) {
+            Some(pos) => {
+                ws.handlers.remove(pos);
+                self.republish(&ws);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message for the
+/// [`HandlerFault`] record.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(p) = payload.downcast_ref::<spin_fault::InjectedPanic>() {
+        format!("injected panic at site {}", p.site)
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -291,7 +391,7 @@ pub struct EventOwner<A, R> {
 }
 
 struct DispatcherInner {
-    events: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    events: Mutex<HashMap<u64, Arc<dyn AnyEventState>>>,
     next_event: AtomicU64,
     next_handler: AtomicU64,
     async_runner: RwLock<AsyncRunner>,
@@ -301,6 +401,12 @@ struct DispatcherInner {
     /// per-raise fast path is then a single atomic load. Nothing recorded
     /// through it charges virtual time.
     obs: OnceLock<ObsHook>,
+    /// Deterministic fault-injection hook (`core.dispatch` site): absent
+    /// until wired; a disabled plan's draw is one relaxed load.
+    faults: OnceLock<FaultHook>,
+    /// Invoked — outside every dispatcher lock — for each contained
+    /// handler panic and time-bound abort.
+    fault_sink: RwLock<Option<FaultSink>>,
 }
 
 /// The central dispatcher.
@@ -317,10 +423,12 @@ impl Dispatcher {
                 events: Mutex::new(HashMap::new()),
                 next_event: AtomicU64::new(1),
                 next_handler: AtomicU64::new(1),
-                async_runner: RwLock::new(Arc::new(|f: Box<dyn FnOnce() + Send>| f())),
+                async_runner: RwLock::new(Arc::new(|inv: AsyncInvocation| (inv.run)())),
                 clock,
                 profile,
                 obs: OnceLock::new(),
+                faults: OnceLock::new(),
+                fault_sink: RwLock::new(None),
             }),
         }
     }
@@ -348,6 +456,39 @@ impl Dispatcher {
         let _ = self.inner.obs.set(hook);
     }
 
+    /// Wires deterministic fault injection (the `core.dispatch` site):
+    /// draws happen inside each handler's containment region, so injected
+    /// panics surface as ordinary handler faults. One-shot; charges zero
+    /// virtual time and, while the plan is disabled, costs one relaxed
+    /// atomic load per handler invocation.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        let _ = self.inner.faults.set(hook);
+    }
+
+    /// Installs the sink notified of every contained handler fault
+    /// (panic or time-bound abort). Called with no dispatcher locks held,
+    /// so the sink may uninstall handlers, purge installers or re-raise.
+    /// Replaces any previous sink.
+    pub fn set_fault_sink(&self, sink: FaultSink) {
+        *self.inner.fault_sink.write() = Some(sink);
+    }
+
+    /// Removes every handler installed by `who`, across all events, via
+    /// the usual rebuild-and-swap republish. Returns how many handlers
+    /// were dropped. This is the quarantine primitive.
+    pub fn purge_installer(&self, who: &Identity) -> usize {
+        let states: Vec<Arc<dyn AnyEventState>> =
+            self.inner.events.lock().values().cloned().collect();
+        states.iter().map(|s| s.purge_installer(who)).sum()
+    }
+
+    /// Removes one handler by its id on the event with the given raw id
+    /// (no typed handle needed — used by the circuit breaker).
+    pub(crate) fn remove_handler_by_id(&self, event_id: u64, id: HandlerId) -> bool {
+        let state = self.inner.events.lock().get(&event_id).cloned();
+        state.is_some_and(|s| s.remove_handler(id))
+    }
+
     /// Defines a new event. The returned [`EventOwner`] is the primary
     /// implementation module's capability; the [`Event`] is the raisable,
     /// exportable value.
@@ -369,7 +510,10 @@ impl Dispatcher {
             stats: AtomicEventStats::default(),
             destroyed: AtomicBool::new(false),
         });
-        self.inner.events.lock().insert(id, state.clone());
+        self.inner
+            .events
+            .lock()
+            .insert(id, state.clone() as Arc<dyn AnyEventState>);
         let cached = OnceLock::new();
         let _ = cached.set(Arc::downgrade(&state));
         let event = Event {
@@ -400,6 +544,7 @@ impl Dispatcher {
                 name: ev.name.to_string(),
             })?;
         any.clone()
+            .as_any()
             .downcast::<EventState<A, R>>()
             .map_err(|_| DispatchError::UnknownEvent {
                 name: ev.name.to_string(),
@@ -459,6 +604,7 @@ impl Dispatcher {
             constraints,
             installer,
             is_primary: false,
+            fault_flag: Arc::new(AtomicBool::new(false)),
         });
         state.republish(&ws);
         Ok(id)
@@ -509,22 +655,65 @@ impl Dispatcher {
         // Snapshot: one refcount bump; handlers run outside any lock
         // (they may install/uninstall or re-raise).
         let plan = state.plan.read().clone();
+        // Re-check after snapshotting: `destroy` flips the flag before it
+        // clears the plan, so a raise racing a destroy settles to
+        // `UnknownEvent` — never a stale result, never `NoHandlerRan`
+        // from the cleared plan.
+        if state.destroyed.load(Ordering::Acquire) {
+            return Err(ev.unknown());
+        }
         state.stats.raises.fetch_add(1, Ordering::Relaxed);
         let obs = self.inner.obs.get();
         if let Some(obs) = obs {
             obs.counters.events_raised.fetch_add(1, Ordering::Relaxed);
             obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
         }
+        let faults = self.inner.faults.get();
 
         // Fast path: a single synchronous unguarded unbounded handler is a
         // direct procedure call (eligibility precomputed at plan build).
+        // Still unwind-isolated: the first panic demotes the handler off
+        // this path for good.
         if let Some(fast) = &plan.fast {
             clock.advance(profile.inter_module_call);
             state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed);
-            if let Some(obs) = obs {
-                obs.counters.handlers_run.fetch_add(1, Ordering::Relaxed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                match faults.and_then(|h| h.draw()) {
+                    Some(Injection::Panic) => faults.expect("drawn").fire_panic(),
+                    Some(Injection::Delay(ns)) => clock.advance(ns),
+                    Some(Injection::Fail) | None => {}
+                }
+                fast(&args)
+            }));
+            match outcome {
+                Ok(r) => {
+                    if let Some(obs) = obs {
+                        obs.counters.handlers_run.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(r);
+                }
+                Err(payload) => {
+                    state.stats.handler_faults.fetch_add(1, Ordering::Relaxed);
+                    let entry = &plan.entries[0];
+                    entry.fault_flag.store(true, Ordering::Relaxed);
+                    // Demote immediately: rebuild the plan so the very
+                    // next raise takes the slow path.
+                    {
+                        let ws = state.write.lock();
+                        state.republish(&ws);
+                    }
+                    self.deliver_fault(
+                        ev,
+                        entry,
+                        FaultKind::Panic {
+                            message: panic_message(payload.as_ref()),
+                        },
+                    );
+                    return Err(DispatchError::NoHandlerRan {
+                        name: ev.name.to_string(),
+                    });
+                }
             }
-            return Ok(fast(&args));
         }
 
         clock.advance(profile.event_raise_base);
@@ -534,6 +723,7 @@ impl Dispatcher {
         let mut run = 0u64;
         let mut aborted = 0u64;
         let mut async_count = 0u64;
+        let mut faulted = 0u64;
 
         for entry in plan.entries.iter() {
             let mut pass = true;
@@ -556,30 +746,55 @@ impl Dispatcher {
                 HandlerMode::Asynchronous => {
                     // "A handler may be asynchronous, which causes it to
                     // execute in a separate thread from the raiser."
-                    let handler = entry.handler.clone();
-                    let args = args.clone();
                     let runner = self.inner.async_runner.read().clone();
                     async_count += 1;
-                    runner(Box::new(move || {
-                        let _ = handler(&args);
-                    }));
+                    runner(self.async_invocation(ev, &state, entry, &args));
                 }
                 HandlerMode::Synchronous => {
                     clock.advance(profile.handler_invoke + profile.inter_module_call);
                     let t0 = clock.now();
-                    let r = (entry.handler)(&args);
-                    run += 1;
-                    if let Some(obs) = obs {
-                        obs.trace(TraceKind::HandlerRun, ev.id, entry.id.0);
-                    }
-                    let elapsed = clock.now().saturating_sub(t0);
-                    match entry.constraints.time_bound {
-                        Some(bound) if elapsed > bound => {
-                            // Aborted: the result is discarded, and only
-                            // the misbehaving handler's client is affected.
-                            aborted += 1;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        match faults.and_then(|h| h.draw()) {
+                            Some(Injection::Panic) => faults.expect("drawn").fire_panic(),
+                            Some(Injection::Delay(ns)) => clock.advance(ns),
+                            Some(Injection::Fail) | None => {}
                         }
-                        _ => results.push(r),
+                        (entry.handler)(&args)
+                    }));
+                    match outcome {
+                        Ok(r) => {
+                            run += 1;
+                            if let Some(obs) = obs {
+                                obs.trace(TraceKind::HandlerRun, ev.id, entry.id.0);
+                            }
+                            let elapsed = clock.now().saturating_sub(t0);
+                            match entry.constraints.time_bound {
+                                Some(bound) if elapsed > bound => {
+                                    // Aborted: the result is discarded, and only
+                                    // the misbehaving handler's client is affected.
+                                    aborted += 1;
+                                    self.deliver_fault(
+                                        ev,
+                                        entry,
+                                        FaultKind::TimeBound { bound, elapsed },
+                                    );
+                                }
+                                _ => results.push(r),
+                            }
+                        }
+                        Err(payload) => {
+                            // Contained: the faulted result is skipped and
+                            // sibling handlers still run.
+                            faulted += 1;
+                            entry.fault_flag.store(true, Ordering::Relaxed);
+                            self.deliver_fault(
+                                ev,
+                                entry,
+                                FaultKind::Panic {
+                                    message: panic_message(payload.as_ref()),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -594,6 +809,7 @@ impl Dispatcher {
         stats
             .async_dispatches
             .fetch_add(async_count, Ordering::Relaxed);
+        stats.handler_faults.fetch_add(faulted, Ordering::Relaxed);
         if let Some(obs) = obs {
             obs.counters
                 .guards_evaluated
@@ -613,6 +829,98 @@ impl Dispatcher {
             // Default: "returns the result of the final handler executed".
             None => results.pop().expect("non-empty checked above"),
         })
+    }
+
+    /// Notifies the fault sink (if any) of a contained fault. Runs with
+    /// no dispatcher locks held; reads, but never advances, the clock.
+    fn deliver_fault<A, R>(&self, ev: &Event<A, R>, entry: &Entry<A, R>, kind: FaultKind) {
+        let sink = self.inner.fault_sink.read().clone();
+        if let Some(sink) = sink {
+            sink(&HandlerFault {
+                event: ev.name.to_string(),
+                event_id: ev.id,
+                handler: entry.id,
+                installer: entry.installer.clone(),
+                kind,
+                at: self.inner.clock.now(),
+            });
+        }
+    }
+
+    /// Builds the contained closure for one asynchronous invocation: the
+    /// handler runs under `catch_unwind` on whatever strand the runner
+    /// chooses, and fault/abort accounting is settled here after the
+    /// fact — whether the runner preempted the handler at its deadline
+    /// (the unwind carries [`DeadlineExceeded`]) or let it finish late.
+    fn async_invocation<A, R>(
+        &self,
+        ev: &Event<A, R>,
+        state: &Arc<EventState<A, R>>,
+        entry: &Entry<A, R>,
+        args: &Arc<A>,
+    ) -> AsyncInvocation
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let handler = entry.handler.clone();
+        let args = args.clone();
+        let clock = self.inner.clock.clone();
+        let state = state.clone();
+        let sink = self.inner.fault_sink.read().clone();
+        let fault_flag = entry.fault_flag.clone();
+        let bound = entry.constraints.time_bound;
+        let event = ev.name.to_string();
+        let event_id = ev.id;
+        let handler_id = entry.id;
+        let installer = entry.installer.clone();
+        AsyncInvocation {
+            time_bound: bound,
+            run: Box::new(move || {
+                let t0 = clock.now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = handler(&args);
+                }));
+                let elapsed = clock.now().saturating_sub(t0);
+                let fault = match outcome {
+                    Ok(()) => match bound {
+                        Some(b) if elapsed > b => {
+                            // Finished, but late (async results are never
+                            // reduced, so there is nothing to discard).
+                            state.stats.handlers_aborted.fetch_add(1, Ordering::Relaxed);
+                            Some(FaultKind::TimeBound { bound: b, elapsed })
+                        }
+                        _ => None,
+                    },
+                    Err(payload) if payload.downcast_ref::<DeadlineExceeded>().is_some() => {
+                        // The executor unwound the strand at its deadline:
+                        // an abort, not an organic fault.
+                        state.stats.handlers_aborted.fetch_add(1, Ordering::Relaxed);
+                        Some(FaultKind::TimeBound {
+                            bound: bound.unwrap_or(0),
+                            elapsed,
+                        })
+                    }
+                    Err(payload) => {
+                        state.stats.handler_faults.fetch_add(1, Ordering::Relaxed);
+                        fault_flag.store(true, Ordering::Relaxed);
+                        Some(FaultKind::Panic {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                };
+                if let (Some(kind), Some(sink)) = (fault, sink) {
+                    sink(&HandlerFault {
+                        event,
+                        event_id,
+                        handler: handler_id,
+                        installer,
+                        kind,
+                        at: clock.now(),
+                    });
+                }
+            }),
+        }
     }
 
     /// The pre-snapshot raise path, kept verbatim for the
@@ -721,8 +1029,18 @@ impl Dispatcher {
             return Err(DispatchError::NotOwner);
         }
         // Order matters for raisers that already hold a strong reference:
-        // the flag flips before the table's strong reference drops.
+        // the flag flips first, then the published plan is cleared, then
+        // the table's strong reference drops. A raise that snapshots the
+        // cleared plan is guaranteed to observe the flag (its re-check
+        // runs after the snapshot), so racing raises settle to
+        // `UnknownEvent` — never a result from a destroyed event's plan.
         state.destroyed.store(true, Ordering::Release);
+        {
+            let mut ws = state.write.lock();
+            ws.handlers.clear();
+            ws.reducer = None;
+            state.republish(&ws);
+        }
         self.inner.events.lock().remove(&ev.id);
         Ok(())
     }
@@ -822,6 +1140,7 @@ where
             constraints: Constraints::default(),
             installer: self.token.clone(),
             is_primary: true,
+            fault_flag: Arc::new(AtomicBool::new(false)),
         });
         state.republish(&ws);
         Ok(id)
@@ -1060,6 +1379,120 @@ mod tests {
         // The runaway result is discarded; the primary's result stands.
         assert_eq!(ev.raise(()), Ok(1));
         assert_eq!(d.stats(&ev).unwrap().handlers_aborted, 1);
+    }
+
+    #[test]
+    fn panicking_handler_is_contained_and_siblings_still_run() {
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        ev.install(Identity::extension("buggy"), |_| -> u32 {
+            panic!("extension bug")
+        })
+        .unwrap();
+        let sibling_ran = Arc::new(AtomicUsize::new(0));
+        let s2 = sibling_ran.clone();
+        ev.install(Identity::extension("sibling"), move |_| {
+            s2.fetch_add(1, Ordering::Relaxed);
+            7
+        })
+        .unwrap();
+        assert_eq!(ev.raise(()), Ok(7), "the sibling's result stands");
+        assert_eq!(sibling_ran.load(Ordering::Relaxed), 1);
+        let stats = d.stats(&ev).unwrap();
+        assert_eq!(stats.handler_faults, 1);
+        assert_eq!(stats.handlers_run, 2, "primary and sibling completed");
+        assert_eq!(stats.handlers_aborted, 0);
+    }
+
+    #[test]
+    fn fault_sink_receives_typed_handler_faults() {
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("Svc.Event", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        let log: Arc<Mutex<Vec<HandlerFault>>> = Arc::new(Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        d.set_fault_sink(Arc::new(move |f: &HandlerFault| l2.lock().push(f.clone())));
+        let id = ev
+            .install(Identity::extension("buggy"), |_| -> u32 {
+                panic!("division by zero")
+            })
+            .unwrap();
+        assert_eq!(ev.raise(()), Ok(1));
+        let faults = log.lock();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].event, "Svc.Event");
+        assert_eq!(faults[0].handler, id);
+        assert_eq!(faults[0].installer.name(), "buggy");
+        match &faults[0].kind {
+            FaultKind::Panic { message } => assert_eq!(message, "division by zero"),
+            other => panic!("expected a panic fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_fast_path_panic_demotes_the_handler_for_good() {
+        let d = disp();
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = calls.clone();
+        owner
+            .set_primary(move |_| -> u32 {
+                c2.fetch_add(1, Ordering::Relaxed);
+                panic!("primary bug")
+            })
+            .unwrap();
+        // First raise rides the fast path and the panic is contained there.
+        assert!(matches!(
+            ev.raise(()),
+            Err(DispatchError::NoHandlerRan { .. })
+        ));
+        let s1 = d.stats(&ev).unwrap();
+        assert_eq!(s1.fast_path_raises, 1);
+        assert_eq!(s1.handler_faults, 1);
+        // The handler has faulted once, so it is demoted: later raises take
+        // the slow path (still contained, still invoked).
+        assert!(matches!(
+            ev.raise(()),
+            Err(DispatchError::NoHandlerRan { .. })
+        ));
+        let s2 = d.stats(&ev).unwrap();
+        assert_eq!(s2.fast_path_raises, 1, "no fast-path raise after demotion");
+        assert_eq!(s2.handler_faults, 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_attributed() {
+        let d = disp();
+        let plan = spin_fault::FaultPlan::new(42);
+        d.set_fault_hook(plan.hook(spin_fault::SITE_DISPATCH));
+        plan.configure(
+            spin_fault::SITE_DISPATCH,
+            spin_fault::SiteConfig::panic_always(),
+        );
+        let (ev, owner) = d.define::<(), u32>("E", Identity::kernel("k"));
+        owner.set_primary(|_| 1).unwrap();
+        let log: Arc<Mutex<Vec<HandlerFault>>> = Arc::new(Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        d.set_fault_sink(Arc::new(move |f: &HandlerFault| l2.lock().push(f.clone())));
+        assert!(ev.raise(()).is_err(), "every handler invocation faults");
+        assert_eq!(plan.injected_panics(), 1);
+        let faults = log.lock();
+        assert_eq!(faults.len(), 1);
+        match &faults[0].kind {
+            FaultKind::Panic { message } => {
+                assert!(
+                    message.contains("core.dispatch"),
+                    "the injected panic names its site: {message}"
+                );
+            }
+            other => panic!("expected a panic fault, got {other:?}"),
+        }
+        // Injection off: the same event dispatches cleanly (the faulted
+        // primary was demoted but still runs on the slow path).
+        plan.set_enabled(false);
+        assert_eq!(ev.raise(()), Ok(1));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::capability::ExternTable;
 use crate::dispatch::{Dispatcher, Event, EventOwner, HandlerId};
 use crate::domain::Domain;
 use crate::error::{CoreError, DispatchError};
+use crate::fault::{Containment, ContainmentPolicy};
 use crate::identity::Identity;
 use crate::nameserver::NameServer;
 use crate::objfile::{ObjectFile, Provenance};
@@ -136,6 +137,15 @@ impl Kernel {
             .nameserver
             .register("ObsService", domain, Identity::kernel("obs"));
         snapshot
+    }
+
+    /// Installs the standard fault-containment policy: the circuit
+    /// breaker becomes the dispatcher's fault sink and quarantine is
+    /// armed against this kernel's nameserver, so a repeatedly faulting
+    /// extension loses its handlers *and* its exported interfaces. See
+    /// [`Containment`] for the supervision story (`Core.DomainFault`).
+    pub fn install_fault_containment(&self, policy: ContainmentPolicy) -> Arc<Containment> {
+        Containment::install(&self.inner.dispatcher, Some(&self.inner.nameserver), policy)
     }
 
     /// The simulated hardware this kernel runs on.

@@ -26,6 +26,7 @@ pub mod capability;
 pub mod dispatch;
 pub mod domain;
 pub mod error;
+pub mod fault;
 pub mod identity;
 pub mod interface;
 pub mod kernel;
@@ -34,11 +35,15 @@ pub mod objfile;
 
 pub use capability::{ExternRef, ExternTable};
 pub use dispatch::{
-    Constraints, Dispatcher, Event, EventOwner, EventStats, Guard, Handler, HandlerId, HandlerMode,
-    InstallDecision, InstallRequest, Reducer,
+    AsyncInvocation, Constraints, Dispatcher, Event, EventOwner, EventStats, Guard, Handler,
+    HandlerId, HandlerMode, InstallDecision, InstallRequest, Reducer,
 };
 pub use domain::Domain;
 pub use error::{CoreError, DispatchError};
+pub use fault::{
+    Containment, ContainmentPolicy, DeadlineExceeded, DomainFaultInfo, FaultKind, FaultSink,
+    HandlerFault,
+};
 pub use identity::{Identity, IdentityKind};
 pub use interface::{Interface, Symbol};
 pub use kernel::{Kernel, SysResult, Syscall, ENOSYS};

@@ -113,6 +113,24 @@ impl NameServer {
         }
     }
 
+    /// Removes every registration exported by `exporter` and returns the
+    /// revoked names, sorted. This is the quarantine primitive: a domain
+    /// that has tripped its failure budget loses its exported interfaces
+    /// so no further imports can bind to it.
+    pub fn revoke_exports(&self, exporter: &Identity) -> Vec<String> {
+        let mut names = self.names.lock();
+        let mut revoked: Vec<String> = names
+            .iter()
+            .filter(|(_, r)| r.exporter == *exporter)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in &revoked {
+            names.remove(name);
+        }
+        revoked.sort();
+        revoked
+    }
+
     /// All registered names, sorted (diagnostics).
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.names.lock().keys().cloned().collect();

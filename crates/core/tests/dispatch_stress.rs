@@ -209,6 +209,58 @@ fn concurrent_raises_survive_destroy_and_redefine() {
     assert_eq!(d.stats(&ev).expect("alive").raises, 1);
 }
 
+/// Regression test for the raise/destroy race. `destroy` clears the
+/// event's handler plan, so a raiser that snapshots the plan while the
+/// destroy is mid-flight could observe an empty plan and misreport
+/// `NoHandlerRan` — as if the (still-installed) primary had declined to
+/// run. The fix re-checks the destroyed flag *after* snapshotting:
+/// because `destroy` flips the flag before it clears the plan, a raise
+/// that loses the race settles to `UnknownEvent`.
+///
+/// Here every generation has a primary installed for its whole lifetime,
+/// so `NoHandlerRan` is impossible under correct semantics: each raise
+/// must yield exactly `Ok(generation)` or `UnknownEvent`.
+#[test]
+fn raises_racing_destroy_never_misreport_no_handler_ran() {
+    const GENERATIONS: u64 = 600;
+
+    let d = Dispatcher::unmetered();
+
+    for generation in 0..GENERATIONS {
+        let (ev, owner) = d.define::<u64, u64>("Stress.Teardown", Identity::kernel("stress"));
+        owner.set_primary(move |_| generation).expect("fresh event");
+
+        let barrier = Arc::new(std::sync::Barrier::new(RAISERS + 1));
+        let mut raisers = Vec::new();
+        for _ in 0..RAISERS {
+            let ev = ev.clone();
+            let barrier = barrier.clone();
+            raisers.push(thread::spawn(move || {
+                barrier.wait();
+                loop {
+                    match ev.raise(0) {
+                        Ok(v) => assert_eq!(v, generation, "stale plan from a prior generation"),
+                        Err(DispatchError::UnknownEvent { name }) => {
+                            assert_eq!(name, "Stress.Teardown");
+                            break;
+                        }
+                        Err(e) => {
+                            panic!("a raise racing destroy must settle to UnknownEvent, got {e:?}")
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Release the raisers and tear the event down under their feet.
+        barrier.wait();
+        owner.destroy().expect("owner may destroy");
+        for t in raisers {
+            t.join().expect("raisers must not panic");
+        }
+    }
+}
+
 /// Many threads raising concurrently with no writers: pure read-side
 /// scaling. Statistics must account for every raise exactly.
 #[test]

@@ -17,7 +17,9 @@ use crate::stack::{NetStack, TcpSegment, UdpPacket};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use spin_core::Identity;
+use spin_sal::Nanos;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Forwarding statistics.
@@ -26,6 +28,78 @@ pub struct ForwardStats {
     pub forwarded: u64,
     pub replies: u64,
     pub flows: u64,
+    /// Deterministic retransmissions of forwarded segments whose transmit
+    /// failed (degraded-mode operation under fault injection or routing
+    /// loss). Zero on a healthy wire.
+    pub retries: u64,
+}
+
+/// First retry delay for a failed forwarded transmission (virtual time).
+const FWD_RETRY_BASE: Nanos = 1_000_000;
+
+/// Ceiling on the backed-off retry delay.
+const FWD_RETRY_CAP: Nanos = 8_000_000;
+
+/// Retransmissions attempted before a forwarded segment is dropped.
+const FWD_RETRY_MAX: u32 = 4;
+
+/// Transmits, retrying on failure with capped exponential backoff on the
+/// virtual timers. Each retry is counted in [`ForwardStats::retries`] and,
+/// when observability is wired, the net domain's `retries` counter. The
+/// caller (a packet handler) is never blocked: retries run from timer
+/// callbacks on the shared timeline, so runs stay deterministic.
+fn transmit_with_retry(
+    stack: &NetStack,
+    state: &Arc<Mutex<FlowTable>>,
+    dst: IpAddr,
+    protocol: u8,
+    payload: Bytes,
+) {
+    if stack.transmit(dst, protocol, payload.clone()).is_ok() {
+        return;
+    }
+    schedule_retry(
+        stack.clone(),
+        state.clone(),
+        dst,
+        protocol,
+        payload,
+        1,
+        FWD_RETRY_BASE,
+    );
+}
+
+fn schedule_retry(
+    stack: NetStack,
+    state: Arc<Mutex<FlowTable>>,
+    dst: IpAddr,
+    protocol: u8,
+    payload: Bytes,
+    attempt: u32,
+    delay: Nanos,
+) {
+    if attempt > FWD_RETRY_MAX {
+        return; // budget exhausted: drop, as a datagram service may
+    }
+    state.lock().stats.retries += 1;
+    if let Some(obs) = stack.obs() {
+        obs.counters.retries.fetch_add(1, Ordering::Relaxed);
+    }
+    let at = stack.executor().clock().now() + delay;
+    let stack2 = stack.clone();
+    stack.executor().timers().schedule_at(at, move |_| {
+        if stack2.transmit(dst, protocol, payload.clone()).is_err() {
+            schedule_retry(
+                stack2.clone(),
+                state,
+                dst,
+                protocol,
+                payload,
+                attempt + 1,
+                (delay * 2).min(FWD_RETRY_CAP),
+            );
+        }
+    });
 }
 
 struct FlowTable {
@@ -83,7 +157,7 @@ impl Forwarder {
                         st.translate((p.ip.src, p.header.src_port))
                     };
                     let datagram = UdpHeader::encode(rewritten, port, &p.payload);
-                    let _ = stack2.transmit(target, proto::UDP, datagram);
+                    transmit_with_retry(&stack2, &st2, target, proto::UDP, datagram);
                 },
             )
             .expect("install UDP forwarder (out)");
@@ -110,7 +184,7 @@ impl Forwarder {
                         }
                     };
                     let datagram = UdpHeader::encode(port, client.1, &p.payload);
-                    let _ = stack3.transmit(client.0, proto::UDP, datagram);
+                    transmit_with_retry(&stack3, &st3, client.0, proto::UDP, datagram);
                 },
             )
             .expect("install UDP forwarder (back)");
@@ -145,7 +219,13 @@ impl Forwarder {
                     };
                     let mut h = s.header;
                     h.src_port = rewritten;
-                    let _ = stack2.transmit(target, proto::TCP, reencode(&h, &s.payload));
+                    transmit_with_retry(
+                        &stack2,
+                        &st2,
+                        target,
+                        proto::TCP,
+                        reencode(&h, &s.payload),
+                    );
                 },
             )
             .expect("install TCP forwarder (out)");
@@ -173,7 +253,13 @@ impl Forwarder {
                     let mut h = s.header;
                     h.src_port = port;
                     h.dst_port = client.1;
-                    let _ = stack3.transmit(client.0, proto::TCP, reencode(&h, &s.payload));
+                    transmit_with_retry(
+                        &stack3,
+                        &st3,
+                        client.0,
+                        proto::TCP,
+                        reencode(&h, &s.payload),
+                    );
                 },
             )
             .expect("install TCP forwarder (back)");
@@ -227,6 +313,25 @@ mod tests {
         assert_eq!(s.forwarded, 1);
         assert_eq!(s.replies, 1);
         assert_eq!(s.flows, 1);
+    }
+
+    #[test]
+    fn failed_forwards_retry_with_a_bounded_budget() {
+        // Forward to an unroutable target: every transmit fails, so the
+        // forwarder retries exactly FWD_RETRY_MAX times and then drops.
+        let rig = ThreeHosts::new();
+        let nowhere = IpAddr::new(10, 99, 99, 99);
+        let fwd = Forwarder::install_udp(&rig.b, 7, nowhere);
+        let a = rig.a.clone();
+        let b_ip = rig.b.ip_on(Medium::Ethernet);
+        rig.exec.spawn("client", move |_| {
+            a.udp_send(5555, b_ip, 7, b"black hole").unwrap();
+        });
+        rig.exec.run_until_idle();
+        let s = fwd.stats();
+        assert_eq!(s.forwarded, 1);
+        assert_eq!(s.replies, 0);
+        assert_eq!(s.retries, FWD_RETRY_MAX as u64, "budget fully consumed");
     }
 
     #[test]

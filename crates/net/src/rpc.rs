@@ -4,6 +4,12 @@
 //! calling strand until the reply, and retransmit on timeout (the usual
 //! at-least-once datagram RPC). Both stub directions run entirely in the
 //! kernel, as in the paper.
+//!
+//! Degraded-mode operation: retransmissions back off exponentially on the
+//! virtual clock up to a configurable cap ([`RpcConfig`]), so a lossy or
+//! fault-injected wire converges instead of hammering. Every retransmit
+//! is counted in [`RpcStats`] and, when observability is wired on the
+//! stack, in the net domain's `retries` counter.
 
 use crate::pkt::IpAddr;
 use crate::stack::NetStack;
@@ -24,6 +30,45 @@ const RPC_TIMEOUT: Nanos = 100_000_000;
 
 /// Retries before giving up.
 const RPC_RETRIES: u32 = 3;
+
+/// Retry and backoff policy for [`Rpc::call`]. All timing is virtual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcConfig {
+    /// Reply timeout for the first attempt.
+    pub base_timeout: Nanos,
+    /// Cap on the per-attempt timeout as backoff doubles it.
+    pub max_timeout: Nanos,
+    /// Total attempts (the first transmission plus retransmissions).
+    pub attempts: u32,
+}
+
+impl Default for RpcConfig {
+    fn default() -> RpcConfig {
+        RpcConfig {
+            base_timeout: RPC_TIMEOUT,
+            max_timeout: 4 * RPC_TIMEOUT,
+            attempts: RPC_RETRIES,
+        }
+    }
+}
+
+/// Cumulative call/retry counters for one [`Rpc`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Retransmissions (attempts beyond each call's first).
+    pub retries: u64,
+    /// Calls that exhausted every attempt.
+    pub timeouts: u64,
+}
+
+#[derive(Default)]
+struct AtomicRpcStats {
+    calls: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+}
 
 /// RPC errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,22 +96,40 @@ pub struct Rpc {
     procedures: Arc<Mutex<HashMap<String, Procedure>>>,
     pending: Arc<Mutex<PendingCalls>>,
     next_id: Arc<AtomicU64>,
+    config: RpcConfig,
+    stats: Arc<AtomicRpcStats>,
 }
 
 impl Rpc {
-    /// Installs the package (binds the RPC port).
+    /// Installs the package (binds the RPC port) with the default policy.
     pub fn install(stack: &NetStack) -> Result<Rpc, DispatchError> {
+        Rpc::install_with(stack, RpcConfig::default())
+    }
+
+    /// Installs the package with an explicit retry/backoff policy.
+    pub fn install_with(stack: &NetStack, config: RpcConfig) -> Result<Rpc, DispatchError> {
         let rpc = Rpc {
             stack: stack.clone(),
             procedures: Arc::new(Mutex::new(HashMap::new())),
             pending: Arc::new(Mutex::new(HashMap::new())),
             next_id: Arc::new(AtomicU64::new(1)),
+            config,
+            stats: Arc::new(AtomicRpcStats::default()),
         };
         let rpc2 = rpc.clone();
         stack.udp_bind(RPC_PORT, "RPC", move |p| {
             rpc2.on_datagram(p.ip.src, &p.payload);
         })?;
         Ok(rpc)
+    }
+
+    /// Cumulative call/retry counters.
+    pub fn stats(&self) -> RpcStats {
+        RpcStats {
+            calls: self.stats.calls.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+        }
     }
 
     /// Registers a named procedure.
@@ -134,16 +197,25 @@ impl Rpc {
         let request = b.freeze();
 
         let exec = self.stack.executor().clone();
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let result = (|| {
-            for _ in 0..RPC_RETRIES {
+            let mut timeout = self.config.base_timeout;
+            for attempt in 0..self.config.attempts {
+                if attempt > 0 {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = self.stack.obs() {
+                        obs.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 let _ = self.stack.udp_send(RPC_PORT, dst, RPC_PORT, &request);
                 let waiter = ctx.id();
                 let e2 = exec.clone();
                 let timer = exec
                     .timers()
-                    .schedule_at(exec.clock().now() + RPC_TIMEOUT, move |_| {
-                        e2.unblock(waiter)
-                    });
+                    .schedule_at(exec.clock().now() + timeout, move |_| e2.unblock(waiter));
+                // Capped exponential backoff: each retransmission waits
+                // twice as long, up to the configured ceiling.
+                timeout = (timeout * 2).min(self.config.max_timeout);
                 let got = match ch.try_recv() {
                     Some(r) => Some(r),
                     None => {
@@ -164,6 +236,7 @@ impl Rpc {
                     None => continue, // retransmit
                 }
             }
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
             Err(RpcError::Timeout)
         })();
         self.pending.lock().remove(&id);
@@ -216,6 +289,77 @@ mod tests {
             got.lock().clone().unwrap(),
             Err(RpcError::NoProcedure("nope".to_string()))
         );
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_and_are_counted() {
+        let rig = TwoHosts::new();
+        let a = Rpc::install_with(
+            &rig.a,
+            RpcConfig {
+                base_timeout: 100_000_000,
+                max_timeout: 400_000_000,
+                attempts: 4,
+            },
+        )
+        .unwrap();
+        let b = Rpc::install(&rig.b).unwrap();
+        // Drop the first two requests: the call succeeds on attempt 3,
+        // after 100 ms + 200 ms of backed-off waiting.
+        rig.board.ethernet.set_drop_filter(|i| i < 2);
+        b.register("echo", |args| args.to_vec());
+        let dst = rig.b_ip(Medium::Ethernet);
+        let clock = rig.exec.clock().clone();
+        let elapsed = Arc::new(Mutex::new(0u64));
+        let e2 = elapsed.clone();
+        let a2 = a.clone();
+        rig.exec.spawn("caller", move |ctx| {
+            let t0 = clock.now();
+            a2.call(ctx, dst, "echo", b"degraded").unwrap();
+            *e2.lock() = clock.now() - t0;
+        });
+        rig.exec.run_until_idle();
+        let stats = a.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.retries, 2, "two retransmissions before success");
+        assert_eq!(stats.timeouts, 0);
+        // The caller wakes at each attempt's timer: 100 ms, then 200 ms,
+        // then 400 ms for the successful third attempt — 700 ms total.
+        // (A fixed 100 ms timeout would have finished at 300 ms.)
+        let e = *elapsed.lock();
+        assert!(
+            e >= 700_000_000,
+            "backoff doubled the second and third waits, got {e}"
+        );
+        assert!(e < 800_000_000, "the call converged, got {e}");
+    }
+
+    #[test]
+    fn exhausted_attempts_time_out_and_are_counted() {
+        let rig = TwoHosts::new();
+        let a = Rpc::install_with(
+            &rig.a,
+            RpcConfig {
+                base_timeout: 10_000_000,
+                max_timeout: 20_000_000,
+                attempts: 3,
+            },
+        )
+        .unwrap();
+        let _b = Rpc::install(&rig.b).unwrap();
+        rig.board.ethernet.set_drop_filter(|_| true); // dead wire
+        let dst = rig.b_ip(Medium::Ethernet);
+        let got = Arc::new(Mutex::new(None));
+        let g2 = got.clone();
+        let a2 = a.clone();
+        rig.exec.spawn("caller", move |ctx| {
+            *g2.lock() = Some(a2.call(ctx, dst, "echo", b"x"));
+        });
+        rig.exec.run_until_idle();
+        assert_eq!(got.lock().clone().unwrap(), Err(RpcError::Timeout));
+        let stats = a.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.timeouts, 1);
     }
 
     #[test]

@@ -246,6 +246,11 @@ struct NetInner {
     /// Observability hook (net domain): absent until wired; the per-frame
     /// paths then pay one atomic load each.
     obs: Arc<std::sync::OnceLock<ObsHook>>,
+    /// Fault-injection hook (`net.stack` site), drawn per transmitted
+    /// frame: `Fail` drops the frame as [`NetError::Faulted`], `Delay`
+    /// stalls the sender on the virtual clock, `Panic` unwinds (contained
+    /// by the dispatcher when transmitting from a handler).
+    faults: Arc<std::sync::OnceLock<spin_fault::FaultHook>>,
     proto_thread: StrandId,
 }
 
@@ -394,6 +399,7 @@ impl NetStack {
             ping_seq: AtomicU16::new(1),
             stats,
             obs,
+            faults: Arc::new(std::sync::OnceLock::new()),
             proto_thread,
         });
         let stack = NetStack { inner };
@@ -543,6 +549,12 @@ impl NetStack {
         let _ = self.inner.obs.set(hook);
     }
 
+    /// Wires the deterministic fault-injection plan's `net.stack` site.
+    /// One-shot; absent hooks cost nothing on the transmit path.
+    pub fn set_fault_hook(&self, hook: spin_fault::FaultHook) {
+        let _ = self.inner.faults.set(hook);
+    }
+
     /// The wired observability hook, if any (measurement harnesses park
     /// their histograms in its accounting registry).
     pub fn obs(&self) -> Option<&ObsHook> {
@@ -596,6 +608,14 @@ impl NetStack {
     /// Transmits without consulting `SendPacket` (used by handlers that
     /// have already claimed the packet, e.g. multicast fan-out).
     pub fn transmit(&self, dst: IpAddr, protocol: u8, segment: Bytes) -> Result<(), NetError> {
+        if let Some(h) = self.inner.faults.get() {
+            match h.draw() {
+                Some(spin_fault::Injection::Panic) => h.fire_panic(),
+                Some(spin_fault::Injection::Delay(ns)) => self.inner.exec.clock().advance(ns),
+                Some(spin_fault::Injection::Fail) => return Err(NetError::Faulted { dst }),
+                None => {}
+            }
+        }
         let (medium, endpoint) = self
             .inner
             .addrs
@@ -710,8 +730,15 @@ impl NetStack {
 /// Errors from the network stack.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
-    NoRoute { dst: IpAddr },
+    NoRoute {
+        dst: IpAddr,
+    },
     TooLarge(String),
+    /// The transmission was dropped by the fault-injection plan
+    /// (degraded-mode testing; never occurs with injection disabled).
+    Faulted {
+        dst: IpAddr,
+    },
 }
 
 #[cfg(test)]

@@ -71,11 +71,17 @@ pub struct DomainCounters {
     pub packets_received: AtomicU64,
     /// Syscalls trapped.
     pub syscalls: AtomicU64,
+    /// Handler faults (contained panics, time-bound aborts) attributed
+    /// to this domain by the containment layer.
+    pub faults: AtomicU64,
+    /// Deterministic retries performed on this domain's behalf (RPC
+    /// retransmits, forwarder transmit retries).
+    pub retries: AtomicU64,
 }
 
 impl DomainCounters {
     /// Snapshot as `(metric name, value)` pairs, in a stable order.
-    pub fn snapshot(&self) -> [(&'static str, u64); 14] {
+    pub fn snapshot(&self) -> [(&'static str, u64); 16] {
         let ld = |c: &AtomicU64| c.load(Ordering::Acquire);
         [
             ("cpu_virtual_ns", ld(&self.cpu_ns)),
@@ -92,6 +98,8 @@ impl DomainCounters {
             ("packets_sent", ld(&self.packets_sent)),
             ("packets_received", ld(&self.packets_received)),
             ("syscalls", ld(&self.syscalls)),
+            ("faults", ld(&self.faults)),
+            ("retries", ld(&self.retries)),
         ]
     }
 

@@ -212,6 +212,12 @@ pub struct KernelHeap {
     /// Observability hook (gc domain): absent until wired, and the alloc
     /// path never consults it — only completed collections report.
     obs: Arc<std::sync::OnceLock<spin_obs::ObsHook>>,
+    /// Fault-injection hook (`rt.heap` site), drawn at the top of every
+    /// allocation. `Fail` manifests as [`GcError::HeapFull`] — a heap at
+    /// capacity — and `Panic` unwinds (contained by the dispatcher when
+    /// the allocating code runs inside a handler). `Delay` is ignored:
+    /// the heap has no clock, and allocation charges no virtual time.
+    faults: Arc<std::sync::OnceLock<spin_fault::FaultHook>>,
 }
 
 impl Default for KernelHeap {
@@ -230,6 +236,7 @@ impl KernelHeap {
     pub fn with_capacity(capacity_bytes: usize) -> Self {
         KernelHeap {
             obs: Arc::new(std::sync::OnceLock::new()),
+            faults: Arc::new(std::sync::OnceLock::new()),
             state: Arc::new(Mutex::new(HeapState {
                 pages: HashMap::new(),
                 next_page: 0,
@@ -258,9 +265,22 @@ impl KernelHeap {
         let _ = self.obs.set(hook);
     }
 
+    /// Wires the deterministic fault-injection plan's `rt.heap` site.
+    /// One-shot; absent hooks cost nothing on the alloc path.
+    pub fn set_fault_hook(&self, hook: spin_fault::FaultHook) {
+        let _ = self.faults.set(hook);
+    }
+
     /// Allocates a new object, collecting first if the heap is full and the
     /// collector is enabled.
     pub fn alloc<T: Trace>(&self, value: T) -> Result<Gc<T>, GcError> {
+        if let Some(h) = self.faults.get() {
+            match h.draw() {
+                Some(spin_fault::Injection::Panic) => h.fire_panic(),
+                Some(spin_fault::Injection::Fail) => return Err(GcError::HeapFull),
+                Some(spin_fault::Injection::Delay(_)) | None => {}
+            }
+        }
         let size = std::mem::size_of::<T>() + HEADER_BYTES;
         {
             let st = self.state.lock();

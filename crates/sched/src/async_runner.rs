@@ -8,19 +8,31 @@
 //! strand.
 
 use crate::executor::Executor;
-use spin_core::Dispatcher;
+use spin_core::{AsyncInvocation, Dispatcher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Wires `dispatcher`'s asynchronous handler execution onto `exec`.
 /// Returns a counter of dispatched asynchronous invocations.
+///
+/// An invocation carrying a `time_bound` constraint arms the strand's
+/// virtual-time deadline before the handler starts: the executor's safe
+/// points then unwind the handler with `DeadlineExceeded` once the bound
+/// is consumed, and the dispatcher's containment wrapper (inside
+/// `inv.run`) catches the unwind and counts the handler as aborted.
 pub fn install_async_runner(exec: &Arc<Executor>, dispatcher: &Dispatcher) -> Arc<AtomicU64> {
     let count = Arc::new(AtomicU64::new(0));
     let c2 = count.clone();
     let exec = exec.clone();
-    dispatcher.set_async_runner(Arc::new(move |f: Box<dyn FnOnce() + Send>| {
+    dispatcher.set_async_runner(Arc::new(move |inv: AsyncInvocation| {
         c2.fetch_add(1, Ordering::Relaxed);
-        exec.spawn("async-handler", move |_ctx| f());
+        let clock = exec.clock().clone();
+        exec.spawn("async-handler", move |ctx| {
+            if let Some(bound) = inv.time_bound {
+                ctx.set_deadline(clock.now().saturating_add(bound));
+            }
+            (inv.run)();
+        });
     }));
     count
 }
@@ -76,6 +88,58 @@ mod tests {
             "the raiser was isolated from the handler"
         );
         assert_eq!(dispatched.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn async_handlers_past_their_time_bound_are_aborted_mid_flight() {
+        let board = SimBoard::new();
+        let exec = Executor::new(
+            board.clock.clone(),
+            board.timers.clone(),
+            board.profile.clone(),
+        );
+        let disp = spin_core::Dispatcher::new(board.clock.clone(), board.profile.clone());
+        install_async_runner(&exec, &disp);
+        let (ev, owner) = disp.define::<(), ()>("E", Identity::kernel("k"));
+        owner.set_primary(|_| ()).unwrap();
+        owner
+            .set_auth(|_| InstallDecision::Allow {
+                owner_guard: None,
+                constraints: Some(Constraints {
+                    mode: HandlerMode::Asynchronous,
+                    time_bound: Some(2_000_000), // 2 ms budget
+                }),
+            })
+            .unwrap();
+        let progressed = Arc::new(AtomicU64::new(0));
+        let p2 = progressed.clone();
+        let e2 = exec.clone();
+        ev.install(Identity::extension("runaway"), move |_| {
+            let ctx = e2.current_ctx().expect("async handlers run on strands");
+            for _ in 0..1000 {
+                ctx.work(1_000_000); // 1 ms per round: the deadline unwinds it
+                p2.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+        let ev2 = ev.clone();
+        exec.spawn("raiser", move |_| {
+            let _ = ev2.raise(());
+        });
+        assert_eq!(
+            exec.run_until_idle(),
+            crate::executor::IdleOutcome::AllComplete
+        );
+        let stats = disp.stats(&ev).unwrap();
+        assert_eq!(stats.handlers_aborted, 1, "the runaway handler was cut off");
+        assert_eq!(
+            stats.handler_faults, 0,
+            "a deadline unwind is an abort, not a fault"
+        );
+        assert!(
+            progressed.load(Ordering::Relaxed) < 1000,
+            "the handler was stopped mid-flight, not after it returned"
+        );
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! timeline.
 
 use parking_lot::{Condvar, Mutex};
+use spin_core::DeadlineExceeded;
+use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, HostId, IrqController, MachineProfile, Nanos, TimerQueue};
 use std::collections::HashMap;
@@ -132,6 +134,10 @@ struct StrandInfo {
     /// Daemons (device threads, protocol threads) may stay blocked forever
     /// without counting as deadlock or preventing completion.
     daemon: bool,
+    /// Virtual-time deadline enforced at safe points (`u64::MAX` = none).
+    /// Shared with the strand's [`StrandCtx`] so each check is one atomic
+    /// load; past the deadline the strand unwinds with [`DeadlineExceeded`].
+    deadline: Arc<AtomicU64>,
 }
 
 struct ExecState {
@@ -171,6 +177,10 @@ pub struct Executor {
     /// Observability hook (scheduler domain): absent until wired, and the
     /// per-charge/per-switch fast path is then a single atomic load.
     obs: OnceLock<ObsHook>,
+    /// Fault-injection hook (`sched.executor` site): absent until wired;
+    /// drawn once at each strand body's entry, inside the containment
+    /// `catch_unwind`, so an injected panic never kills the process.
+    faults: OnceLock<FaultHook>,
 }
 
 impl Executor {
@@ -195,6 +205,7 @@ impl Executor {
             preempt_pending: AtomicBool::new(false),
             hooks: Mutex::new(Hooks::default()),
             obs: OnceLock::new(),
+            faults: OnceLock::new(),
         });
         // Charge the running strand and arm preemption at quantum expiry.
         // Subscribes alongside other clock observers (the obs accounting
@@ -271,6 +282,13 @@ impl Executor {
         let _ = self.obs.set(hook);
     }
 
+    /// Wires the deterministic fault-injection plan's `sched.executor`
+    /// site. One-shot; with the plan disabled the per-spawn cost is a
+    /// single relaxed atomic load.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        let _ = self.faults.set(hook);
+    }
+
     fn on_advance(&self, ns: Nanos) {
         if let Some(obs) = self.obs.get() {
             obs.counters.cpu_ns.fetch_add(ns, Ordering::Relaxed);
@@ -311,6 +329,7 @@ impl Executor {
         self.clock.advance(self.profile.thread_create);
         let id = StrandId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let baton = Baton::new();
+        let deadline = Arc::new(AtomicU64::new(u64::MAX));
         {
             let mut st = self.state.lock();
             st.strands.insert(
@@ -325,6 +344,7 @@ impl Executor {
                     joiners: Vec::new(),
                     panicked: false,
                     daemon: false,
+                    deadline: deadline.clone(),
                 },
             );
             st.policy.enqueue(id, priority);
@@ -338,8 +358,22 @@ impl Executor {
                 let ctx = StrandCtx {
                     exec: exec.clone(),
                     id,
+                    deadline,
                 };
-                let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // The sched.executor injection site: drawn while the
+                    // strand is current, inside containment, so an injected
+                    // panic marks this strand panicked without taking down
+                    // the simulation.
+                    if let Some(h) = exec.faults.get() {
+                        match h.draw() {
+                            Some(Injection::Panic) => h.fire_panic(),
+                            Some(Injection::Delay(ns)) => exec.clock.advance(ns),
+                            Some(Injection::Fail) | None => {}
+                        }
+                    }
+                    f(&ctx)
+                }));
                 exec.finish_current(result.is_err());
             })
             .expect("spawn strand thread");
@@ -594,9 +628,13 @@ impl Executor {
     /// strand it happens to be running on — e.g. a demand pager waiting
     /// for disk I/O inside a `Translation.PageNotPresent` handler.
     pub fn current_ctx(self: &Arc<Self>) -> Option<StrandCtx> {
-        self.state.lock().current.map(|id| StrandCtx {
+        let st = self.state.lock();
+        let id = st.current?;
+        let deadline = st.strands.get(&id)?.deadline.clone();
+        Some(StrandCtx {
             exec: self.clone(),
             id,
+            deadline,
         })
     }
 }
@@ -606,6 +644,7 @@ impl Executor {
 pub struct StrandCtx {
     exec: Arc<Executor>,
     id: StrandId,
+    deadline: Arc<AtomicU64>,
 }
 
 impl StrandCtx {
@@ -619,14 +658,39 @@ impl StrandCtx {
         &self.exec
     }
 
+    /// Arms a virtual-time deadline: once the clock passes `at`, the next
+    /// safe point this strand reaches unwinds with [`DeadlineExceeded`].
+    /// This is how the dispatcher's `time_bound` constraint is enforced
+    /// *during* an asynchronous handler rather than only after it returns;
+    /// the dispatcher's containment wrapper catches the unwind and counts
+    /// it as an abort, so the strand itself is not marked panicked.
+    pub fn set_deadline(&self, at: Nanos) {
+        self.deadline.store(at, Ordering::Relaxed);
+    }
+
+    /// Disarms the deadline.
+    pub fn clear_deadline(&self) {
+        self.deadline.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Unwinds with [`DeadlineExceeded`] if the armed deadline has passed.
+    fn check_deadline(&self) {
+        let d = self.deadline.load(Ordering::Relaxed);
+        if d != u64::MAX && self.exec.clock.now() > d {
+            std::panic::panic_any(DeadlineExceeded { deadline: d });
+        }
+    }
+
     /// Voluntarily yields the processor (stays runnable).
     pub fn yield_now(&self) {
         self.exec.yield_current();
+        self.check_deadline();
     }
 
     /// Blocks until another context unblocks this strand.
     pub fn block(&self) {
         self.exec.block_current();
+        self.check_deadline();
     }
 
     /// Sleeps for `ns` of virtual time.
@@ -636,6 +700,7 @@ impl StrandCtx {
         let at = self.exec.clock.now() + ns;
         self.exec.timers.schedule_at(at, move |_| exec.unblock(id));
         self.exec.block_current();
+        self.check_deadline();
     }
 
     /// A preemption safe point: deschedules the strand if its quantum
@@ -644,6 +709,7 @@ impl StrandCtx {
         if self.exec.preempt_pending.swap(false, Ordering::Relaxed) {
             self.exec.yield_current();
         }
+        self.check_deadline();
     }
 
     /// Blocks until `target` completes.
@@ -656,11 +722,13 @@ impl StrandCtx {
             }
         }
         self.exec.block_current();
+        self.check_deadline();
     }
 
     /// Charges simulated CPU work to this strand.
     pub fn work(&self, ns: Nanos) {
         self.exec.clock.advance(ns);
+        self.check_deadline();
     }
 }
 
@@ -843,6 +911,59 @@ mod tests {
         });
         assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
         assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn deadline_unwinds_the_strand_at_a_safe_point() {
+        let e = exec();
+        let reached_end = Arc::new(AtomicBool::new(false));
+        let r2 = reached_end.clone();
+        let clock = e.clock().clone();
+        let s = e.spawn("bounded", move |ctx| {
+            ctx.set_deadline(clock.now() + 1_000_000);
+            for _ in 0..100 {
+                ctx.work(400_000); // the deadline check unwinds on round 3
+            }
+            r2.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert!(!reached_end.load(Ordering::Relaxed));
+        // The unwind escaped the strand body, so the strand is marked
+        // panicked (an async handler's containment wrapper would have
+        // caught it first and classified it as an abort).
+        assert!(e.panicked(s));
+    }
+
+    #[test]
+    fn cleared_deadline_never_fires() {
+        let e = exec();
+        let clock = e.clock().clone();
+        let s = e.spawn("unbounded", move |ctx| {
+            ctx.set_deadline(clock.now() + 1_000);
+            ctx.clear_deadline();
+            ctx.work(10_000_000);
+        });
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert!(!e.panicked(s));
+    }
+
+    #[test]
+    fn injected_panics_at_spawn_are_contained() {
+        let e = exec();
+        let plan = spin_fault::FaultPlan::new(7);
+        let hook = plan.hook(spin_fault::SITE_SCHED);
+        plan.configure(
+            spin_fault::SITE_SCHED,
+            spin_fault::SiteConfig::panic_always(),
+        );
+        e.set_fault_hook(hook);
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = ran.clone();
+        let s = e.spawn("victim", move |_| r2.store(true, Ordering::Relaxed));
+        assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
+        assert!(e.panicked(s), "the injected panic hit the strand");
+        assert!(!ran.load(Ordering::Relaxed), "the body never ran");
+        assert_eq!(plan.injected_panics(), 1);
     }
 
     #[test]

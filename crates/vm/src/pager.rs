@@ -13,11 +13,12 @@ use crate::translation::{FaultAction, FaultInfo, TranslationService};
 use crate::virt::VirtRegion;
 use parking_lot::Mutex;
 use spin_core::Identity;
+use spin_fault::{FaultHook, Injection};
 use spin_sal::devices::disk::{BlockId, Disk, DiskRequest};
 use spin_sal::mmu::ContextId;
 use spin_sal::{Protection, PAGE_SHIFT};
 use spin_sched::{Executor, KChannel};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Statistics for a pager instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +32,12 @@ pub struct DiskPager {
     stats: Arc<Mutex<PagerStats>>,
     /// Frames the pager has faulted in (kept live here).
     resident: Arc<Mutex<Vec<Arc<PhysRegion>>>>,
+    /// Fault-injection hook (`vm.pager` site), drawn at the top of every
+    /// page fault the pager handles. An injected panic unwinds out of the
+    /// handler and is contained by the dispatcher; an injected failure
+    /// surfaces as `FaultAction::Fail` — a pager that could not service
+    /// the fault.
+    faults: Arc<OnceLock<FaultHook>>,
 }
 
 impl DiskPager {
@@ -49,8 +56,10 @@ impl DiskPager {
         let pager = Arc::new(DiskPager {
             stats: Arc::new(Mutex::new(PagerStats::default())),
             resident: Arc::new(Mutex::new(Vec::new())),
+            faults: Arc::new(OnceLock::new()),
         });
         let (stats, resident) = (pager.stats.clone(), pager.resident.clone());
+        let fault_hook = pager.faults.clone();
         let guard_region = region.clone();
         trans
             .clone()
@@ -61,6 +70,14 @@ impl DiskPager {
                 move |info: &FaultInfo| info.ctx == ctx && guard_region.contains(info.va),
                 move |info: &FaultInfo| {
                     stats.lock().faults += 1;
+                    if let Some(h) = fault_hook.get() {
+                        match h.draw() {
+                            Some(Injection::Panic) => h.fire_panic(),
+                            Some(Injection::Delay(ns)) => exec.clock().advance(ns),
+                            Some(Injection::Fail) => return FaultAction::Fail,
+                            None => {}
+                        }
+                    }
                     let sctx = match exec.current_ctx() {
                         Some(c) => c,
                         None => return FaultAction::Fail, // not on a strand
@@ -108,6 +125,12 @@ impl DiskPager {
             )
             .expect("install pager handler");
         pager
+    }
+
+    /// Wires the deterministic fault-injection plan's `vm.pager` site.
+    /// One-shot; absent hooks cost nothing on the fault path.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        let _ = self.faults.set(hook);
     }
 
     /// Fault/read counters.

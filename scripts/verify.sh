@@ -16,6 +16,12 @@ cargo test --workspace -q
 echo "==> obs cost-model invariant (recorder on/off, capacity 1/64k)"
 cargo test -q -p spin-bench --test obs_invariance
 
+echo "==> chaos suite: seeded fault storm, quarantine budget, /metrics attribution"
+cargo test -q --test chaos_faults
+
+echo "==> fault-injection cost-model invariant (absent / disabled / armed-at-zero)"
+cargo test -q -p spin-bench --test fault_invariance
+
 echo "==> bench smoke: --json emission + virtual-time goldens"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -31,6 +37,9 @@ done
 # table2_comm and fig5_stack are pure virtual-time / topology output and
 # must match the checked-in goldens byte-for-byte — this is the cost-model
 # invariant gate: instrumentation must never move a reported number.
+# Since fault containment landed, the same diff also gates the fault path:
+# catch_unwind isolation and the injection hooks are compiled in here (with
+# no plan armed), and must not move a golden by a single byte.
 for bin in table2_comm fig5_stack; do
     diff -u "scripts/goldens/BENCH_$bin.json" "$SMOKE_DIR/BENCH_$bin.json" || {
         echo "verify: $bin diverged from scripts/goldens/BENCH_$bin.json" >&2

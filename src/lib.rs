@@ -18,6 +18,8 @@
 //! * [`vm`] — the PhysAddr/VirtAddr/Translation services and extensions;
 //! * [`fs`] — the buffer cache and file system;
 //! * [`net`] — the extensible protocol stack and its extensions;
+//! * [`fault`] — the deterministic fault-injection plan driving the
+//!   containment and quarantine machinery in [`core`];
 //! * [`baseline`] — the DEC OSF/1 and Mach 3.0 comparison models.
 //!
 //! ## Quickstart
@@ -52,6 +54,7 @@
 
 pub use spin_baseline as baseline;
 pub use spin_core as core;
+pub use spin_fault as fault;
 pub use spin_fs as fs;
 pub use spin_net as net;
 pub use spin_rt as rt;

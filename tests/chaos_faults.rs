@@ -1,0 +1,386 @@
+//! The chaos suite: a seeded fault-injection storm across subsystems.
+//!
+//! A [`spin_fault::FaultPlan`] drives panics, delays and resource
+//! failures into the dispatcher, the executor, the disk pager, the
+//! kernel heap and the network stack — well over a hundred injected
+//! handler panics per run — and the kernel must shrug: no process abort,
+//! every contained fault attributed to an installer domain on the
+//! `/metrics` page (the `Obs.Snapshot` body the in-kernel HTTP extension
+//! serves), and counters that reconcile *exactly* with what the plan
+//! says it injected. Because the plan is seeded and the simulation runs
+//! on virtual time, two identical storms produce identical wreckage.
+
+use parking_lot::Mutex;
+use spin_core::{ContainmentPolicy, Domain, DomainFaultInfo, Identity, Kernel};
+use spin_fault::{
+    FaultPlan, Injection, SiteConfig, SiteReport, SITE_DISPATCH, SITE_NET_STACK, SITE_RT_HEAP,
+    SITE_SCHED, SITE_VM_PAGER,
+};
+use spin_net::{Medium, TwoHosts};
+use spin_obs::Obs;
+use spin_sal::{SimBoard, PAGE_SHIFT};
+use spin_vm::{DiskPager, PhysAddrService, TranslationService, VirtAddrService};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const VM_PAGES: u64 = 32;
+
+/// Extracts every `spin_faults{domain="..."} N` line, sorted by domain.
+fn faults_by_domain(body: &str) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = body
+        .lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix("spin_faults{domain=\"")?;
+            let (domain, value) = rest.split_once("\"} ")?;
+            Some((domain.to_string(), value.trim().parse().ok()?))
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// One full storm. Returns the plan's exact per-site report, the number
+/// of faults the containment sink saw, and the per-domain `/metrics`
+/// attribution — so the determinism test can compare two runs.
+fn storm(seed: u64) -> (Vec<SiteReport>, u64, Vec<(String, u64)>) {
+    let rig = TwoHosts::new();
+    let obs = Obs::new(65_536);
+    rig.wire_obs(&obs);
+
+    // The kernel under attack lives on host A; its dispatcher carries
+    // the chaos events, the page-fault events and the containment sink.
+    let kernel = Kernel::boot(rig.host_a.clone());
+    let snapshot = kernel.install_obs(&obs);
+    // A lenient budget: this test is about containment and attribution,
+    // not the breaker (which gets its own test below).
+    let containment = kernel.install_fault_containment(ContainmentPolicy {
+        strikes: u32::MAX,
+        window: u64::MAX,
+        trips_to_quarantine: u32::MAX,
+    });
+    containment.set_obs(&obs);
+
+    let plan = FaultPlan::new(seed);
+    plan.configure(
+        SITE_DISPATCH,
+        SiteConfig {
+            panic_every: 5,
+            ..SiteConfig::default()
+        },
+    );
+    plan.configure(
+        SITE_VM_PAGER,
+        SiteConfig {
+            panic_every: 2,
+            ..SiteConfig::default()
+        },
+    );
+    plan.configure(
+        SITE_RT_HEAP,
+        SiteConfig {
+            panic_every: 3,
+            fail_every: 3,
+            ..SiteConfig::default()
+        },
+    );
+    plan.configure(
+        SITE_NET_STACK,
+        SiteConfig {
+            panic_every: 3,
+            fail_every: 5,
+            ..SiteConfig::default()
+        },
+    );
+    kernel.dispatcher().set_fault_hook(plan.hook(SITE_DISPATCH));
+    rig.exec.set_fault_hook(plan.hook(SITE_SCHED));
+    kernel.heap().set_fault_hook(plan.hook(SITE_RT_HEAP));
+    rig.a.set_fault_hook(plan.hook(SITE_NET_STACK));
+
+    // Chaos events: each extension handler drags one subsystem into the
+    // raise, so an injection there unwinds *through* the subsystem into
+    // the dispatcher's containment region.
+    let (svc, svc_owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Chaos.Svc", Identity::kernel("chaos"));
+    svc_owner.set_primary(|x| *x).expect("fresh event");
+    svc.install(Identity::extension("chaos-dispatch"), |x| x + 1)
+        .expect("install");
+
+    let (heap_ev, heap_owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Chaos.Heap", Identity::kernel("chaos"));
+    heap_owner.set_primary(|_| 0).expect("fresh event");
+    let k2 = kernel.clone();
+    heap_ev
+        .install(Identity::extension("chaos-heap"), move |v: &u64| {
+            // An injected heap failure is the extension's problem to
+            // tolerate; an injected heap panic is the dispatcher's.
+            let _ = k2.heap().alloc(*v);
+            1
+        })
+        .expect("install");
+
+    let (net_ev, net_owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Chaos.Net", Identity::kernel("chaos"));
+    net_owner.set_primary(|_| 0).expect("fresh event");
+    let stack = rig.a.clone();
+    let dst = rig.b.ip_on(Medium::Ethernet);
+    net_ev
+        .install(Identity::extension("chaos-net"), move |_| {
+            let _ = stack.udp_send(9000, dst, 7, b"chaos");
+            1
+        })
+        .expect("install");
+
+    // The disk pager, installed against the kernel's dispatcher so its
+    // injected page-fault panics land in the same containment sink.
+    let trans = TranslationService::new(
+        rig.host_a.mmu.clone(),
+        rig.board.clock.clone(),
+        rig.board.profile.clone(),
+        kernel.dispatcher(),
+    );
+    let phys = PhysAddrService::new(rig.host_a.mem.clone(), kernel.dispatcher());
+    let virt = VirtAddrService::new();
+    let ctx = trans.create();
+    let region = virt.allocate(VM_PAGES).expect("virtual region");
+    trans.reserve(ctx, &region).expect("reserve");
+    let pager = DiskPager::install(
+        rig.exec.clone(),
+        trans.clone(),
+        phys.clone(),
+        rig.host_a.disk.clone(),
+        ctx,
+        region.clone(),
+        0,
+    );
+    pager.set_fault_hook(plan.hook(SITE_VM_PAGER));
+
+    // Phase A: hammer the dispatcher, the heap and the net from the trap
+    // path. Faulted raises surface as errors, never as unwinds.
+    for i in 0..400u64 {
+        let _ = svc.raise(i);
+        let _ = heap_ev.raise(i);
+        let _ = net_ev.raise(i);
+    }
+
+    // Phase B: reader strands fault the paged region in while the pager
+    // site injects. An injected panic leaves the page unmapped, so the
+    // bounded retry loop faults it again — more draws, more chaos.
+    let mem = rig.host_a.mem.clone();
+    for p in 0..VM_PAGES {
+        let trans2 = trans.clone();
+        let mem2 = mem.clone();
+        let va = region.base() + (p << PAGE_SHIFT);
+        rig.exec.spawn("vm-reader", move |_| {
+            let mut buf = [0u8; 1];
+            for _ in 0..8 {
+                if trans2.read(ctx, va, &mut buf, &mem2).is_ok() {
+                    break;
+                }
+            }
+        });
+    }
+    rig.exec.run_until_idle();
+
+    // Phase C: now arm the executor site and throw strands at it. Half
+    // die at spawn — contained by the executor, not the dispatcher.
+    plan.configure(
+        SITE_SCHED,
+        SiteConfig {
+            panic_every: 2,
+            ..SiteConfig::default()
+        },
+    );
+    let ran = Arc::new(AtomicU64::new(0));
+    for _ in 0..64 {
+        let r = ran.clone();
+        rig.exec.spawn("chaos-strand", move |_| {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    rig.exec.run_until_idle();
+
+    // The storm is over. Disarm and audit.
+    plan.set_enabled(false);
+    let report = plan.report();
+    let panics = |site: &str| {
+        report
+            .iter()
+            .find(|r| r.site == site)
+            .map(|r| r.panics)
+            .unwrap_or(0)
+    };
+
+    // The kernel survived: clean raises still work, strands still run.
+    assert_eq!(svc.raise(7), Ok(8), "the dispatcher still dispatches");
+    assert_eq!(
+        ran.load(Ordering::Relaxed) + panics(SITE_SCHED),
+        64,
+        "every chaos strand either ran or died to an injected spawn panic"
+    );
+
+    // Volume: a real storm, spread across the subsystems.
+    let sink_panics = panics(SITE_DISPATCH)
+        + panics(SITE_VM_PAGER)
+        + panics(SITE_RT_HEAP)
+        + panics(SITE_NET_STACK);
+    assert!(
+        sink_panics >= 100,
+        "expected >= 100 contained handler panics, got {sink_panics} in {report:?}"
+    );
+    for site in [
+        SITE_DISPATCH,
+        SITE_SCHED,
+        SITE_VM_PAGER,
+        SITE_RT_HEAP,
+        SITE_NET_STACK,
+    ] {
+        assert!(
+            panics(site) >= 10,
+            "site {site} injected too few panics: {report:?}"
+        );
+    }
+
+    // Exact reconciliation: every panic that fired inside a dispatched
+    // handler — and only those — reached the containment sink.
+    assert_eq!(
+        containment.faults_seen(),
+        sink_panics,
+        "sink deliveries must reconcile with injected handler panics"
+    );
+
+    // Attribution: the /metrics body (the Obs.Snapshot render the HTTP
+    // extension serves) charges every fault to an installer domain.
+    let body = snapshot
+        .raise(())
+        .expect("snapshot renders after the storm");
+    let by_domain = faults_by_domain(&body);
+    let attributed: u64 = by_domain.iter().map(|(_, v)| v).sum();
+    assert_eq!(
+        attributed,
+        containment.faults_seen(),
+        "every fault is attributed to a domain in /metrics: {by_domain:?}"
+    );
+    for domain in ["chaos-heap", "chaos-net", "DiskPager"] {
+        assert!(
+            by_domain.iter().any(|(d, v)| d == domain && *v > 0),
+            "missing /metrics fault attribution for {domain}: {by_domain:?}"
+        );
+    }
+
+    (report, containment.faults_seen(), by_domain)
+}
+
+#[test]
+fn chaos_storm_is_contained_and_attributed() {
+    storm(0xC0FFEE);
+}
+
+/// The harness promise: same seed, same workload, same wreckage — down
+/// to the per-site injection counts and the per-domain attribution.
+#[test]
+fn chaos_storms_are_deterministic_for_a_seed() {
+    assert_eq!(storm(42), storm(42));
+}
+
+/// The breaker under injected fire: with `strikes = 2` and
+/// `trips_to_quarantine = 3`, a domain whose handler panics on every
+/// invocation is uninstalled every second fault and quarantined on
+/// exactly the third trip — no earlier, no later — losing its handlers
+/// and its nameserver exports.
+#[test]
+fn quarantine_trips_exactly_per_configured_budget() {
+    let board = SimBoard::new();
+    let kernel = Kernel::boot(board.new_host(64));
+    let c = kernel.install_fault_containment(ContainmentPolicy {
+        strikes: 2,
+        window: u64::MAX,
+        trips_to_quarantine: 3,
+    });
+
+    // The flaky domain exports an interface, so quarantine has something
+    // to revoke.
+    let flaky = Identity::extension("flaky-ext");
+    kernel
+        .nameserver()
+        .register(
+            "FlakyService",
+            Domain::create_from_module("flaky-ext", vec![]),
+            flaky.clone(),
+        )
+        .expect("register export");
+
+    let plan = FaultPlan::new(7);
+    plan.configure("chaos.flaky", SiteConfig::panic_always());
+    let hook = plan.hook("chaos.flaky");
+
+    let (tick, owner) = kernel
+        .dispatcher()
+        .define::<(), u32>("Chaos.Tick", Identity::kernel("chaos"));
+    owner.set_primary(|_| 0).expect("fresh event");
+
+    let trips_seen: Arc<Mutex<Vec<(u32, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    let t2 = trips_seen.clone();
+    c.domain_fault_event()
+        .install(
+            Identity::extension("supervisor"),
+            move |info: &DomainFaultInfo| {
+                assert_eq!(info.domain, "flaky-ext");
+                t2.lock().push((info.trips, info.quarantined));
+            },
+        )
+        .expect("supervise");
+
+    for trip in 1..=3u32 {
+        let h = hook.clone();
+        tick.install(flaky.clone(), move |_| {
+            if let Some(Injection::Panic) = h.draw() {
+                h.fire_panic()
+            }
+            1
+        })
+        .expect("reinstall the flaky handler");
+        assert_eq!(kernel.dispatcher().handler_count(&tick).unwrap(), 2);
+        // Strike one: contained, the primary's result stands, no trip.
+        assert_eq!(tick.raise(()), Ok(0));
+        assert_eq!(c.trips("flaky-ext"), trip - 1, "one strike is not a trip");
+        // Strike two: the breaker trips and the handler is gone.
+        assert_eq!(tick.raise(()), Ok(0));
+        assert_eq!(c.trips("flaky-ext"), trip);
+        assert_eq!(
+            kernel.dispatcher().handler_count(&tick).unwrap(),
+            1,
+            "the tripped handler is uninstalled"
+        );
+        assert_eq!(
+            c.is_quarantined("flaky-ext"),
+            trip == 3,
+            "quarantine on exactly the configured trip count"
+        );
+    }
+
+    assert_eq!(
+        trips_seen.lock().as_slice(),
+        &[(1, false), (2, false), (3, true)],
+        "Core.DomainFault reported every trip, flagging only the quarantine"
+    );
+    assert_eq!(c.faults_seen(), 6);
+    assert_eq!(
+        plan.injected_panics(),
+        6,
+        "two strikes per trip, three trips"
+    );
+    assert!(
+        !kernel
+            .nameserver()
+            .names()
+            .contains(&"FlakyService".to_string()),
+        "quarantine revoked the domain's exports"
+    );
+
+    // The domain is gone from the dispatcher: further raises run clean.
+    assert_eq!(tick.raise(()), Ok(0));
+    assert_eq!(c.faults_seen(), 6, "no handlers left to fault");
+}

@@ -13,6 +13,8 @@
 //! boundary crossings, data copies and signal upcalls; Mach pays message
 //! and external-pager round trips; SPIN pays procedure calls.
 
+#![forbid(unsafe_code)]
+
 pub mod mach;
 pub mod osf1;
 

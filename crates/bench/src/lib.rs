@@ -6,6 +6,8 @@
 //! `benches/` measure the *real* (wall-clock) overhead of the dispatcher,
 //! linker and collector, independent of the virtual-time calibration.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 /// One row of a reproduction table.

@@ -1,0 +1,37 @@
+//! spin-check: deterministic concurrency model checking and a source-audit
+//! gate for the kernel's lock-free core.
+//!
+//! The SPIN paper's safety argument (§2, "enforced modularity") says
+//! extensions cannot violate memory safety or interface boundaries. After
+//! PRs 1–3 moved the dispatcher, the obs flight recorder and the containment
+//! breaker onto lock-free fast paths, that argument rests on roughly two
+//! hundred hand-placed atomic-ordering sites. This crate makes those sites
+//! checkable instead of merely reviewable:
+//!
+//! - [`sync`] is a facade over the sync primitives the concurrency-critical
+//!   crates use. In a normal build it literally re-exports
+//!   `std::sync::atomic` / `parking_lot` / `std::sync` types — zero cost,
+//!   byte-identical codegen, verified by the bench goldens. Under
+//!   `--cfg spin_check` it swaps in the instrumented types from [`instr`].
+//! - [`model`] is a loom-style bounded-DFS explorer: real OS threads are
+//!   serialized through a token-passing scheduler, every instrumented
+//!   operation is a schedule point, weak-memory visibility is modeled with
+//!   vector clocks so stale values are actually observable, and failing
+//!   schedules print a seed that replays the exact interleaving.
+//! - [`audit`] is the static gate behind `spin-audit`: no `unsafe` outside
+//!   the allowlisted `obs::ring` module, every `unsafe` carries a
+//!   `// SAFETY:` comment, every `Ordering::*` site carries an
+//!   `// ordering:` justification, and facade-covered crates must not
+//!   import `std::sync::atomic` or `parking_lot` directly.
+//!
+//! The model runtime compiles unconditionally (so the checker checks itself
+//! under the tier-1 gate); only the [`sync`] re-exports switch on
+//! `cfg(spin_check)`.
+
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod instr;
+pub mod model;
+pub mod sync;
+pub mod thread;

@@ -1,0 +1,33 @@
+//! The sync facade the kernel's concurrency-critical crates import from.
+//!
+//! Normal builds re-export the real primitives verbatim — the facade
+//! compiles to *nothing* (same types, same codegen), which the bench
+//! goldens verify byte-for-byte. Under `--cfg spin_check` (set via
+//! `RUSTFLAGS` by `scripts/verify.sh`) the same names resolve to the
+//! instrumented types in [`crate::instr`], and every atomic access, lock
+//! acquisition and `OnceLock` touch becomes a schedule point of the
+//! bounded-DFS explorer in [`crate::model`].
+//!
+//! The `spin-audit` gate enforces that `core`, `obs` and `sal` import
+//! these names rather than `std::sync::atomic` / `parking_lot` directly,
+//! so new concurrent code cannot silently bypass the checker.
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{Arc, Weak};
+
+#[cfg(not(spin_check))]
+mod imp {
+    pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::OnceLock;
+}
+
+#[cfg(spin_check)]
+mod imp {
+    pub use crate::instr::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard, OnceLock, RwLock,
+        RwLockReadGuard, RwLockWriteGuard,
+    };
+}
+
+pub use imp::*;

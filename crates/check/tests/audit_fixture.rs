@@ -1,0 +1,89 @@
+//! End-to-end audit gate test: `spin_check::audit` must pass the real
+//! workspace and fail a fixture tree seeded with one violation of every
+//! rule. Runs under the normal cfg — the audit is a plain static pass.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use spin_check::audit::audit_workspace;
+
+/// Builds a throwaway workspace containing every violation class.
+fn write_fixture() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("spin-audit-fixture-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    // A facade-covered crate path (crates/core) with a direct parking_lot
+    // import, an unjustified ordering site, and unsafe outside the
+    // allowlist, missing both its SAFETY comment and the crate lint.
+    let core = root.join("crates/core/src");
+    fs::create_dir_all(&core).expect("fixture dirs");
+    fs::write(
+        core.join("lib.rs"),
+        r#"use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+"#,
+    )
+    .expect("fixture lib.rs");
+    // The allowlisted unsafe location, but with no `// SAFETY:` comment.
+    let obs = root.join("crates/obs/src");
+    fs::create_dir_all(&obs).expect("fixture dirs");
+    fs::write(
+        obs.join("ring.rs"),
+        r#"pub fn first(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+"#,
+    )
+    .expect("fixture ring.rs");
+    root
+}
+
+#[test]
+fn audit_fails_the_fixture_with_every_rule() {
+    let root = write_fixture();
+    let findings = audit_workspace(&root).expect("fixture is readable");
+    let kinds: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    let expected: BTreeSet<&str> = [
+        "direct-sync-import",
+        "ordering-missing-justification",
+        "unsafe-outside-allowlist",
+        "unsafe-missing-safety-comment",
+        "missing-crate-unsafe-lint",
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        kinds, expected,
+        "every audit rule must fire on the fixture: {findings:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn audit_passes_the_real_workspace() {
+    // The integration test runs with the crate as cwd; the workspace root
+    // is two levels up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = audit_workspace(&root).expect("workspace is readable");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay audit-clean:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -11,10 +11,10 @@
 //! stale index yields an error, never a misinterpreted object.
 
 use crate::error::CoreError;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicU64, Ordering};
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 static NEXT_TABLE: AtomicU64 = AtomicU64::new(1);
@@ -43,7 +43,7 @@ impl ExternTable {
     /// Creates a table with a process-unique id.
     pub fn new() -> Self {
         ExternTable {
-            id: NEXT_TABLE.fetch_add(1, Ordering::Relaxed),
+            id: NEXT_TABLE.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
             entries: Mutex::new(HashMap::new()),
             next: AtomicU64::new(1),
         }
@@ -51,7 +51,7 @@ impl ExternTable {
 
     /// Externalizes a kernel reference, returning the index to pass out.
     pub fn externalize<T: Any + Send + Sync>(&self, value: Arc<T>) -> ExternRef {
-        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        let index = self.next.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         self.entries.lock().insert(index, value);
         ExternRef {
             table: self.id,

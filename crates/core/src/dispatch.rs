@@ -72,7 +72,9 @@
 use crate::error::DispatchError;
 use crate::fault::{DeadlineExceeded, FaultKind, FaultSink, HandlerFault};
 use crate::identity::Identity;
-use parking_lot::{Mutex, RwLock};
+use spin_check::sync::{Arc, OnceLock, Weak};
+use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
+use spin_check::sync::{Mutex, RwLock};
 use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, MachineProfile, Nanos};
@@ -80,8 +82,6 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, Weak};
 
 /// A handler procedure for an event with arguments `A` and result `R`.
 pub type Handler<A, R> = Arc<dyn Fn(&A) -> R + Send + Sync>;
@@ -226,13 +226,13 @@ struct AtomicEventStats {
 impl AtomicEventStats {
     fn snapshot(&self) -> EventStats {
         EventStats {
-            raises: self.raises.load(Ordering::Relaxed),
-            fast_path_raises: self.fast_path_raises.load(Ordering::Relaxed),
-            guard_evaluations: self.guard_evaluations.load(Ordering::Relaxed),
-            handlers_run: self.handlers_run.load(Ordering::Relaxed),
-            handlers_aborted: self.handlers_aborted.load(Ordering::Relaxed),
-            async_dispatches: self.async_dispatches.load(Ordering::Relaxed),
-            handler_faults: self.handler_faults.load(Ordering::Relaxed),
+            raises: self.raises.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            fast_path_raises: self.fast_path_raises.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            guard_evaluations: self.guard_evaluations.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            handlers_run: self.handlers_run.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            handlers_aborted: self.handlers_aborted.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            async_dispatches: self.async_dispatches.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            handler_faults: self.handler_faults.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
     }
 }
@@ -258,6 +258,7 @@ impl<A, R> RaisePlan<A, R> {
                     && reducer.is_none()
                     // A handler that has ever faulted is permanently
                     // demoted to the guarded slow path.
+                    // ordering: Relaxed — demotion hint; the rebuild lock is the real barrier.
                     && !only.fault_flag.load(Ordering::Relaxed) =>
             {
                 Some(only.handler.clone())
@@ -477,9 +478,19 @@ impl Dispatcher {
     /// the usual rebuild-and-swap republish. Returns how many handlers
     /// were dropped. This is the quarantine primitive.
     pub fn purge_installer(&self, who: &Identity) -> usize {
-        let states: Vec<Arc<dyn AnyEventState>> =
-            self.inner.events.lock().values().cloned().collect();
-        states.iter().map(|s| s.purge_installer(who)).sum()
+        // Purge in event-definition order, not `HashMap` hash order: the
+        // quarantine path must be deterministic so a fault schedule
+        // replays identically (the spin-check model checker rejects
+        // divergent re-executions).
+        let mut states: Vec<(u64, Arc<dyn AnyEventState>)> = self
+            .inner
+            .events
+            .lock()
+            .iter()
+            .map(|(id, s)| (*id, Arc::clone(s)))
+            .collect();
+        states.sort_unstable_by_key(|(id, _)| *id);
+        states.iter().map(|(_, s)| s.purge_installer(who)).sum()
     }
 
     /// Removes one handler by its id on the event with the given raw id
@@ -497,7 +508,7 @@ impl Dispatcher {
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
-        let id = self.inner.next_event.fetch_add(1, Ordering::Relaxed);
+        let id = self.inner.next_event.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let name: Arc<str> = name.into();
         let state: Arc<EventState<A, R>> = Arc::new(EventState {
             owner: owner.clone(),
@@ -590,7 +601,7 @@ impl Dispatcher {
                 constraints,
             } => (owner_guard, constraints.unwrap_or_default()),
         };
-        let id = HandlerId(self.inner.next_handler.fetch_add(1, Ordering::Relaxed));
+        let id = HandlerId(self.inner.next_handler.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let mut guards = Vec::new();
         if let Some(g) = owner_guard {
             guards.push(g);
@@ -659,13 +670,14 @@ impl Dispatcher {
         // clears the plan, so a raise racing a destroy settles to
         // `UnknownEvent` — never a stale result, never `NoHandlerRan`
         // from the cleared plan.
+        // ordering: Acquire — pairs with destroy's Release flag store; runs after the plan snapshot.
         if state.destroyed.load(Ordering::Acquire) {
             return Err(ev.unknown());
         }
-        state.stats.raises.fetch_add(1, Ordering::Relaxed);
+        state.stats.raises.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         let obs = self.inner.obs.get();
         if let Some(obs) = obs {
-            obs.counters.events_raised.fetch_add(1, Ordering::Relaxed);
+            obs.counters.events_raised.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
         }
         let faults = self.inner.faults.get();
@@ -676,7 +688,7 @@ impl Dispatcher {
         // this path for good.
         if let Some(fast) = &plan.fast {
             clock.advance(profile.inter_module_call);
-            state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed);
+            state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 match faults.and_then(|h| h.draw()) {
                     Some(Injection::Panic) => faults.expect("drawn").fire_panic(),
@@ -688,16 +700,17 @@ impl Dispatcher {
             match outcome {
                 Ok(r) => {
                     if let Some(obs) = obs {
+                        // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                         obs.counters.handlers_run.fetch_add(1, Ordering::Relaxed);
                     }
                     return Ok(r);
                 }
                 Err(payload) => {
-                    state.stats.handler_faults.fetch_add(1, Ordering::Relaxed);
+                    state.stats.handler_faults.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                     let entry = &plan.entries[0];
-                    entry.fault_flag.store(true, Ordering::Relaxed);
-                    // Demote immediately: rebuild the plan so the very
-                    // next raise takes the slow path.
+                    entry.fault_flag.store(true, Ordering::Relaxed); // ordering: Relaxed — demotion hint; the plan-rebuild lock is the real barrier.
+                                                                     // Demote immediately: rebuild the plan so the very
+                                                                     // next raise takes the slow path.
                     {
                         let ws = state.write.lock();
                         state.republish(&ws);
@@ -786,7 +799,7 @@ impl Dispatcher {
                             // Contained: the faulted result is skipped and
                             // sibling handlers still run.
                             faulted += 1;
-                            entry.fault_flag.store(true, Ordering::Relaxed);
+                            entry.fault_flag.store(true, Ordering::Relaxed); // ordering: Relaxed — demotion hint; the plan-rebuild lock is the real barrier.
                             self.deliver_fault(
                                 ev,
                                 entry,
@@ -803,20 +816,20 @@ impl Dispatcher {
         let stats = &state.stats;
         stats
             .guard_evaluations
-            .fetch_add(guard_evals, Ordering::Relaxed);
-        stats.handlers_run.fetch_add(run, Ordering::Relaxed);
-        stats.handlers_aborted.fetch_add(aborted, Ordering::Relaxed);
+            .fetch_add(guard_evals, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        stats.handlers_run.fetch_add(run, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        stats.handlers_aborted.fetch_add(aborted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         stats
             .async_dispatches
-            .fetch_add(async_count, Ordering::Relaxed);
-        stats.handler_faults.fetch_add(faulted, Ordering::Relaxed);
+            .fetch_add(async_count, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        stats.handler_faults.fetch_add(faulted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         if let Some(obs) = obs {
             obs.counters
                 .guards_evaluated
-                .fetch_add(guard_evals, Ordering::Relaxed);
+                .fetch_add(guard_evals, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.counters
                 .handlers_run
-                .fetch_add(run + async_count, Ordering::Relaxed);
+                .fetch_add(run + async_count, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
 
         if results.is_empty() {
@@ -887,7 +900,7 @@ impl Dispatcher {
                         Some(b) if elapsed > b => {
                             // Finished, but late (async results are never
                             // reduced, so there is nothing to discard).
-                            state.stats.handlers_aborted.fetch_add(1, Ordering::Relaxed);
+                            state.stats.handlers_aborted.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                             Some(FaultKind::TimeBound { bound: b, elapsed })
                         }
                         _ => None,
@@ -895,15 +908,15 @@ impl Dispatcher {
                     Err(payload) if payload.downcast_ref::<DeadlineExceeded>().is_some() => {
                         // The executor unwound the strand at its deadline:
                         // an abort, not an organic fault.
-                        state.stats.handlers_aborted.fetch_add(1, Ordering::Relaxed);
+                        state.stats.handlers_aborted.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                         Some(FaultKind::TimeBound {
                             bound: bound.unwrap_or(0),
                             elapsed,
                         })
                     }
                     Err(payload) => {
-                        state.stats.handler_faults.fetch_add(1, Ordering::Relaxed);
-                        fault_flag.store(true, Ordering::Relaxed);
+                        state.stats.handler_faults.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                        fault_flag.store(true, Ordering::Relaxed); // ordering: Relaxed — demotion hint; the plan-rebuild lock is the real barrier.
                         Some(FaultKind::Panic {
                             message: panic_message(payload.as_ref()),
                         })
@@ -941,7 +954,7 @@ impl Dispatcher {
 
         let (entries, reducer) = {
             let ws = state.write.lock();
-            state.stats.raises.fetch_add(1, Ordering::Relaxed);
+            state.stats.raises.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             (ws.handlers.clone(), ws.reducer.clone())
         };
 
@@ -955,7 +968,7 @@ impl Dispatcher {
             {
                 // The baseline's second lock acquisition for statistics.
                 let _ws = state.write.lock();
-                state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed);
+                state.stats.fast_path_raises.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             }
             return Ok((entries[0].handler)(&args));
         }
@@ -970,7 +983,7 @@ impl Dispatcher {
                 state
                     .stats
                     .guard_evaluations
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                 if !guard(&args) {
                     pass = false;
                     break;
@@ -982,7 +995,7 @@ impl Dispatcher {
             if entry.constraints.mode == HandlerMode::Synchronous {
                 clock.advance(profile.handler_invoke + profile.inter_module_call);
                 let r = (entry.handler)(&args);
-                state.stats.handlers_run.fetch_add(1, Ordering::Relaxed);
+                state.stats.handlers_run.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                 results.push(r);
             }
         }
@@ -1034,13 +1047,24 @@ impl Dispatcher {
         // cleared plan is guaranteed to observe the flag (its re-check
         // runs after the snapshot), so racing raises settle to
         // `UnknownEvent` — never a result from a destroyed event's plan.
-        state.destroyed.store(true, Ordering::Release);
+        // ordering: Release pairs with the Acquire re-check in `raise`;
+        // the flag must be visible before the cleared plan is published.
+        #[cfg(not(spin_check_mutant))]
+        state.destroyed.store(true, Ordering::Release); // ordering: Release — pairs with the raise path's Acquire re-check.
         {
             let mut ws = state.write.lock();
             ws.handlers.clear();
             ws.reducer = None;
             state.republish(&ws);
         }
+        // Planted bug for the model checker (`--cfg spin_check_mutant`):
+        // publishing the cleared plan *before* the destroyed flag lets a
+        // racing raise snapshot the empty plan while the flag still reads
+        // false — it then runs zero handlers instead of settling to
+        // `UnknownEvent`. The raise-vs-destroy check must catch this.
+        // ordering: deliberately misplaced (mutant under test).
+        #[cfg(spin_check_mutant)]
+        state.destroyed.store(true, Ordering::Release);
         self.inner.events.lock().remove(&ev.id);
         Ok(())
     }
@@ -1068,6 +1092,7 @@ where
                 state
             }
         };
+        // ordering: Acquire — pairs with destroy's Release flag store; runs after the plan snapshot.
         if state.destroyed.load(Ordering::Acquire) {
             return Err(self.unknown());
         }
@@ -1131,7 +1156,7 @@ where
     ) -> Result<HandlerId, DispatchError> {
         let disp = &self.event.dispatcher;
         let state = self.event.resolved()?;
-        let id = HandlerId(disp.inner.next_handler.fetch_add(1, Ordering::Relaxed));
+        let id = HandlerId(disp.inner.next_handler.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let mut ws = state.write.lock();
         ws.handlers.push(Entry {
             id,
@@ -1197,7 +1222,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use spin_check::sync::AtomicUsize;
 
     fn disp() -> Dispatcher {
         Dispatcher::unmetered()
@@ -1345,12 +1370,12 @@ mod tests {
             })
             .unwrap();
         ev.install(Identity::extension("monitor"), move |_| {
-            ran2.fetch_add(1, Ordering::Relaxed);
+            ran2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             99
         })
         .unwrap();
         assert_eq!(ev.raise(()), Ok(7), "async results are not reduced");
-        assert_eq!(ran.load(Ordering::Relaxed), 1, "default runner is inline");
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "default runner is inline"); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert_eq!(d.stats(&ev).unwrap().async_dispatches, 1);
     }
 
@@ -1393,12 +1418,12 @@ mod tests {
         let sibling_ran = Arc::new(AtomicUsize::new(0));
         let s2 = sibling_ran.clone();
         ev.install(Identity::extension("sibling"), move |_| {
-            s2.fetch_add(1, Ordering::Relaxed);
+            s2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             7
         })
         .unwrap();
         assert_eq!(ev.raise(()), Ok(7), "the sibling's result stands");
-        assert_eq!(sibling_ran.load(Ordering::Relaxed), 1);
+        assert_eq!(sibling_ran.load(Ordering::Relaxed), 1); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         let stats = d.stats(&ev).unwrap();
         assert_eq!(stats.handler_faults, 1);
         assert_eq!(stats.handlers_run, 2, "primary and sibling completed");
@@ -1438,7 +1463,7 @@ mod tests {
         let c2 = calls.clone();
         owner
             .set_primary(move |_| -> u32 {
-                c2.fetch_add(1, Ordering::Relaxed);
+                c2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
                 panic!("primary bug")
             })
             .unwrap();
@@ -1459,7 +1484,7 @@ mod tests {
         let s2 = d.stats(&ev).unwrap();
         assert_eq!(s2.fast_path_raises, 1, "no fast-path raise after demotion");
         assert_eq!(s2.handler_faults, 2);
-        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -1588,6 +1613,7 @@ mod tests {
         let installed2 = installed.clone();
         owner
             .set_primary(move |_| {
+                // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
                 if installed2.swap(1, Ordering::Relaxed) == 0 {
                     ev2.install(Identity::extension("late"), |_| 99).unwrap();
                 }

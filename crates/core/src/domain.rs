@@ -18,7 +18,7 @@
 use crate::error::CoreError;
 use crate::interface::{Interface, Symbol};
 use crate::objfile::{ImportDecl, ObjectFile, Provenance};
-use parking_lot::{Mutex, RwLock};
+use spin_check::sync::{Mutex, RwLock};
 use std::any::Any;
 use std::sync::Arc;
 

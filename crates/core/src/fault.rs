@@ -25,11 +25,11 @@
 use crate::dispatch::{Dispatcher, Event, HandlerId};
 use crate::identity::Identity;
 use crate::nameserver::NameServer;
-use parking_lot::Mutex;
+use spin_check::sync::{Arc, OnceLock, Weak};
+use spin_check::sync::{Mutex, Ordering};
 use spin_obs::Obs;
 use spin_sal::Nanos;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, OnceLock, Weak};
 
 /// What went wrong inside one handler invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -227,9 +227,7 @@ impl Containment {
     fn on_fault(&self, fault: &HandlerFault) {
         if let Some(obs) = self.obs.get() {
             let (_, counters) = obs.accounting().register(fault.installer.name());
-            counters
-                .faults
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            counters.faults.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
         let domain = fault.installer.name().to_string();
         let tripped = {
@@ -284,7 +282,7 @@ impl Containment {
 mod tests {
     use super::*;
     use crate::dispatch::Dispatcher;
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use spin_check::sync::{AtomicU32, Ordering};
 
     fn panicky_dispatcher() -> (Dispatcher, Event<u32, u32>, Arc<Containment>) {
         let d = Dispatcher::unmetered();
@@ -324,7 +322,7 @@ mod tests {
         let t2 = trips_seen.clone();
         c.domain_fault_event()
             .install(Identity::extension("supervisor"), move |info| {
-                t2.fetch_add(1, Ordering::Relaxed);
+                t2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
                 assert_eq!(info.domain, "flaky");
             })
             .unwrap();
@@ -338,7 +336,7 @@ mod tests {
         assert_eq!(c.trips("flaky"), 2);
         assert!(c.is_quarantined("flaky"));
         assert_eq!(c.quarantined(), vec!["flaky".to_string()]);
-        assert_eq!(trips_seen.load(Ordering::Relaxed), 2);
+        assert_eq!(trips_seen.load(Ordering::Relaxed), 2); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert_eq!(d.handler_count(&ev).unwrap(), 1, "purged on quarantine");
         c.release("flaky");
         assert!(!c.is_quarantined("flaky"));

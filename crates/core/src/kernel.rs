@@ -22,13 +22,13 @@ use crate::fault::{Containment, ContainmentPolicy};
 use crate::identity::Identity;
 use crate::nameserver::NameServer;
 use crate::objfile::{ObjectFile, Provenance};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{Arc, OnceLock};
+use spin_check::sync::{AtomicU64, Ordering};
 use spin_obs::{Obs, ObsHook, TraceKind};
 use spin_rt::KernelHeap;
 use spin_sal::Host;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
 
 /// Arguments of a system-call trap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,7 +189,7 @@ impl Kernel {
     /// to be fully resolved before it is registered.
     pub fn load_extension(&self, objfile: ObjectFile) -> Result<Domain, CoreError> {
         if objfile.provenance() == Provenance::AssertedSafe {
-            self.inner.asserted_safe.fetch_add(1, Ordering::Relaxed);
+            self.inner.asserted_safe.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
         let domain = Domain::create(objfile)?;
         Domain::resolve(&self.inner.spin_public, &domain)?;
@@ -206,7 +206,7 @@ impl Kernel {
     /// How many object files were trusted by assertion rather than by the
     /// compiler (the paper tracks these as disproportionate bug sources).
     pub fn asserted_safe_count(&self) -> u64 {
-        self.inner.asserted_safe.load(Ordering::Relaxed)
+        self.inner.asserted_safe.load(Ordering::Relaxed) // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
     }
 
     /// Creates a fresh externalized-reference table for an application.
@@ -235,7 +235,7 @@ impl Kernel {
         let profile = &self.inner.host.profile;
         let clock = &self.inner.host.clock;
         if let Some(obs) = self.inner.obs.get() {
-            obs.counters.syscalls.fetch_add(1, Ordering::Relaxed);
+            obs.counters.syscalls.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.trace(TraceKind::SyscallTrap, number, 0);
         }
         clock.advance(profile.trap_entry);

@@ -22,6 +22,8 @@
 //! The [`Kernel`] ties these to a simulated host from `spin-sal` and adds
 //! the `Trap.SystemCall` path and `SpinPublic` linkage domain.
 
+#![forbid(unsafe_code)]
+
 pub mod capability;
 pub mod dispatch;
 pub mod domain;

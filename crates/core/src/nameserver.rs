@@ -11,7 +11,7 @@
 use crate::domain::Domain;
 use crate::error::CoreError;
 use crate::identity::Identity;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -16,7 +16,7 @@
 
 use crate::error::CoreError;
 use crate::interface::{Interface, Symbol};
-use parking_lot::RwLock;
+use spin_check::sync::RwLock;
 use std::any::Any;
 use std::sync::Arc;
 

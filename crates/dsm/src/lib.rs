@@ -19,6 +19,8 @@
 //! Transient disagreement about ownership (a grant still in flight) is
 //! resolved with NACK + retry; the true owner always answers eventually.
 
+#![forbid(unsafe_code)]
+
 use bytes::{BufMut, BytesMut};
 use parking_lot::Mutex;
 use spin_core::Identity;

@@ -22,6 +22,8 @@
 //! clock. When the plan is disabled the draw is one relaxed atomic load;
 //! when no hook is installed the subsystem pays nothing at all.
 
+#![forbid(unsafe_code)]
+
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -150,12 +152,12 @@ impl FaultPlan {
     /// Arms or disarms the whole plan. Disabled draws cost one relaxed
     /// load and inject nothing.
     pub fn set_enabled(&self, on: bool) {
-        self.inner.enabled.store(on, Ordering::Release);
+        self.inner.enabled.store(on, Ordering::Release); // ordering: Release — publishes plan edits made before the toggle.
     }
 
     /// Whether draws may inject.
     pub fn is_enabled(&self) -> bool {
-        self.inner.enabled.load(Ordering::Relaxed)
+        self.inner.enabled.load(Ordering::Relaxed) // ordering: Relaxed — advisory read for reporting only.
     }
 
     fn site(&self, name: &'static str) -> Arc<SiteState> {
@@ -203,10 +205,10 @@ impl FaultPlan {
             .iter()
             .map(|s| SiteReport {
                 site: s.name,
-                hits: s.hits.load(Ordering::Acquire),
-                panics: s.panics.load(Ordering::Acquire),
-                delays: s.delays.load(Ordering::Acquire),
-                fails: s.fails.load(Ordering::Acquire),
+                hits: s.hits.load(Ordering::Acquire), // ordering: Acquire — pairs with the AcqRel draw RMWs for a fresh snapshot.
+                panics: s.panics.load(Ordering::Acquire), // ordering: Acquire — pairs with the AcqRel draw RMWs for a fresh snapshot.
+                delays: s.delays.load(Ordering::Acquire), // ordering: Acquire — pairs with the AcqRel draw RMWs for a fresh snapshot.
+                fails: s.fails.load(Ordering::Acquire), // ordering: Acquire — pairs with the AcqRel draw RMWs for a fresh snapshot.
             })
             .collect()
     }
@@ -238,6 +240,7 @@ impl FaultHook {
     /// one relaxed load when the plan is disabled.
     #[inline]
     pub fn draw(&self) -> Option<Injection> {
+        // ordering: Relaxed — a draw racing the toggle may miss it; draws tolerate staleness.
         if !self.plan.enabled.load(Ordering::Relaxed) {
             return None;
         }
@@ -245,7 +248,7 @@ impl FaultHook {
     }
 
     fn draw_enabled(&self) -> Option<Injection> {
-        let hit = self.site.hits.fetch_add(1, Ordering::AcqRel);
+        let hit = self.site.hits.fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — the draw index must be totally ordered so schedules replay.
         let cfg = *self.site.cfg.lock();
         let site_salt = mix(self
             .site
@@ -254,15 +257,15 @@ impl FaultHook {
             .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)));
         let r = mix(self.plan.seed ^ site_salt ^ hit);
         if cfg.panic_every != 0 && r.is_multiple_of(cfg.panic_every) {
-            self.site.panics.fetch_add(1, Ordering::AcqRel);
+            self.site.panics.fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — outcome tallies stay ordered with the draw index.
             return Some(Injection::Panic);
         }
         if cfg.delay_every != 0 && (r >> 17).is_multiple_of(cfg.delay_every) {
-            self.site.delays.fetch_add(1, Ordering::AcqRel);
+            self.site.delays.fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — outcome tallies stay ordered with the draw index.
             return Some(Injection::Delay(cfg.delay_ns));
         }
         if cfg.fail_every != 0 && (r >> 34).is_multiple_of(cfg.fail_every) {
-            self.site.fails.fetch_add(1, Ordering::AcqRel);
+            self.site.fails.fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — outcome tallies stay ordered with the draw index.
             return Some(Injection::Fail);
         }
         None

@@ -13,6 +13,8 @@
 //!   ([`HybridBySize`]) policy: "LRU for small files, and no-cache for
 //!   large files".
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod fs;
 pub mod webcache;

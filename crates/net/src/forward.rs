@@ -83,7 +83,7 @@ fn schedule_retry(
     }
     state.lock().stats.retries += 1;
     if let Some(obs) = stack.obs() {
-        obs.counters.retries.fetch_add(1, Ordering::Relaxed);
+        obs.counters.retries.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
     }
     let at = stack.executor().clock().now() + delay;
     let stack2 = stack.clone();

@@ -15,6 +15,8 @@
 //!   `SendPacket` multicast extension (Figure 6),
 //! * [`measure`] — the Table 5 latency/bandwidth harnesses.
 
+#![forbid(unsafe_code)]
+
 pub mod am;
 pub mod debugger;
 pub mod forward;

@@ -126,9 +126,9 @@ impl Rpc {
     /// Cumulative call/retry counters.
     pub fn stats(&self) -> RpcStats {
         RpcStats {
-            calls: self.stats.calls.load(Ordering::Relaxed),
-            retries: self.stats.retries.load(Ordering::Relaxed),
-            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            calls: self.stats.calls.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            retries: self.stats.retries.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
     }
 
@@ -184,7 +184,7 @@ impl Rpc {
         name: &str,
         args: &[u8],
     ) -> Result<Vec<u8>, RpcError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let ch = KChannel::new(self.stack.executor().clone(), 1);
         self.pending.lock().insert(id, ch.clone());
 
@@ -197,14 +197,14 @@ impl Rpc {
         let request = b.freeze();
 
         let exec = self.stack.executor().clone();
-        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.stats.calls.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         let result = (|| {
             let mut timeout = self.config.base_timeout;
             for attempt in 0..self.config.attempts {
                 if attempt > 0 {
-                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                     if let Some(obs) = self.stack.obs() {
-                        obs.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        obs.counters.retries.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                     }
                 }
                 let _ = self.stack.udp_send(RPC_PORT, dst, RPC_PORT, &request);
@@ -236,7 +236,7 @@ impl Rpc {
                     None => continue, // retransmit
                 }
             }
-            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             Err(RpcError::Timeout)
         })();
         self.pending.lock().remove(&id);

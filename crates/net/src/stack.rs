@@ -221,11 +221,11 @@ struct AtomicNetStats {
 impl AtomicNetStats {
     fn snapshot(&self) -> NetStats {
         NetStats {
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            frames_out: self.frames_out.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            bytes_in: self.bytes_in.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            bytes_out: self.bytes_out.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            parse_errors: self.parse_errors.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
     }
 }
@@ -348,17 +348,17 @@ impl NetStack {
                     for (medium, nic) in &nics {
                         while let Some(frame) = nic.receive() {
                             any = true;
-                            stats2.frames_in.fetch_add(1, Ordering::Relaxed);
+                            stats2.frames_in.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                             stats2
                                 .bytes_in
-                                .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                                .fetch_add(frame.payload.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                             if let Some(obs) = obs2.get() {
                                 obs.counters
                                     .packets_received
-                                    .fetch_add(1, Ordering::Relaxed);
+                                    .fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                                 obs.counters
                                     .bytes_received
-                                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                                 obs.trace(
                                     TraceKind::PacketRx,
                                     frame.payload.len() as u64,
@@ -634,15 +634,15 @@ impl NetStack {
             Medium::Atm | Medium::T3 => ip_bytes,
         };
         let stats = &self.inner.stats;
-        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        stats.frames_out.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         stats
             .bytes_out
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            .fetch_add(frame.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         if let Some(obs) = self.inner.obs.get() {
-            obs.counters.packets_sent.fetch_add(1, Ordering::Relaxed);
+            obs.counters.packets_sent.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.counters
                 .bytes_sent
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                .fetch_add(frame.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.trace(TraceKind::PacketTx, frame.len() as u64, medium as u64);
         }
         nic.send(endpoint, frame)
@@ -703,7 +703,7 @@ impl NetStack {
     /// Pings `dst` with `payload_len` bytes; returns the round-trip time.
     pub fn ping(&self, ctx: &StrandCtx, dst: IpAddr, payload_len: usize) -> Option<Nanos> {
         let ident = self.inner.host.id.0 as u16;
-        let seq = self.inner.ping_seq.fetch_add(1, Ordering::Relaxed);
+        let seq = self.inner.ping_seq.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let ch = KChannel::new(self.inner.exec.clone(), 1);
         self.inner
             .ping_waiters

@@ -546,8 +546,8 @@ impl TcpStack {
         dst: IpAddr,
         port: u16,
     ) -> Result<Arc<TcpConn>, TcpError> {
-        let local_port = self.next_port.fetch_add(1, Ordering::Relaxed);
-        let isn = self.isn.fetch_add(64_000, Ordering::Relaxed);
+        let local_port = self.next_port.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
+        let isn = self.isn.fetch_add(64_000, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let key = ConnKey {
             local_port,
             peer: dst,
@@ -611,7 +611,7 @@ impl TcpStack {
             let listener = self.state.lock().listeners.get(&key.local_port).cloned();
             if let Some(accept_ch) = listener {
                 // Passive open: SYN-RECEIVED, send SYN-ACK.
-                let isn = self.isn.fetch_add(64_000, Ordering::Relaxed);
+                let isn = self.isn.fetch_add(64_000, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
                 let conn = self.new_conn(
                     key,
                     TcpState::SynReceived,

@@ -8,8 +8,8 @@
 //! touches the virtual clock, so accounting is free on the simulated
 //! timeline (the cost-model invariant from DESIGN.md).
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use spin_check::sync::RwLock;
+use spin_check::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identity of an accounted domain. Dense and small: ids are assigned in
@@ -82,7 +82,7 @@ pub struct DomainCounters {
 impl DomainCounters {
     /// Snapshot as `(metric name, value)` pairs, in a stable order.
     pub fn snapshot(&self) -> [(&'static str, u64); 16] {
-        let ld = |c: &AtomicU64| c.load(Ordering::Acquire);
+        let ld = |c: &AtomicU64| c.load(Ordering::Acquire); // ordering: Acquire — pairs with the recording sides' AcqRel RMWs.
         [
             ("cpu_virtual_ns", ld(&self.cpu_ns)),
             ("events_raised", ld(&self.events_raised)),
@@ -144,22 +144,22 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, value: u64) {
-        self.count.fetch_add(1, Ordering::AcqRel);
-        self.sum.fetch_add(value, Ordering::AcqRel);
-        self.min.fetch_min(value, Ordering::AcqRel);
-        self.max.fetch_max(value, Ordering::AcqRel);
+        self.count.fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — totally orders this cell's RMWs; cross-cell drift is documented.
+        self.sum.fetch_add(value, Ordering::AcqRel); // ordering: AcqRel — totally orders this cell's RMWs; cross-cell drift is documented.
+        self.min.fetch_min(value, Ordering::AcqRel); // ordering: AcqRel — totally orders this cell's RMWs; cross-cell drift is documented.
+        self.max.fetch_max(value, Ordering::AcqRel); // ordering: AcqRel — totally orders this cell's RMWs; cross-cell drift is documented.
         let bucket = (u64::BITS - value.leading_zeros()) as usize;
-        self.buckets[bucket].fetch_add(1, Ordering::AcqRel);
+        self.buckets[bucket].fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — totally orders this cell's RMWs; cross-cell drift is documented.
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Acquire)
+        self.count.load(Ordering::Acquire) // ordering: Acquire — freshest value at render time.
     }
 
     /// Exact sum of samples.
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Acquire)
+        self.sum.load(Ordering::Acquire) // ordering: Acquire — freshest value at render time.
     }
 
     /// Exact integer mean (0 when empty).
@@ -169,7 +169,7 @@ impl Histogram {
 
     /// Smallest sample (0 when empty).
     pub fn min(&self) -> u64 {
-        let m = self.min.load(Ordering::Acquire);
+        let m = self.min.load(Ordering::Acquire); // ordering: Acquire — freshest value at render time.
         if m == u64::MAX {
             0
         } else {
@@ -179,14 +179,14 @@ impl Histogram {
 
     /// Largest sample (0 when empty).
     pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Acquire)
+        self.max.load(Ordering::Acquire) // ordering: Acquire — freshest value at render time.
     }
 
     /// Occupied buckets as `(inclusive upper bound, count)`, smallest first.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
         (0..BUCKETS)
             .filter_map(|i| {
-                let n = self.buckets[i].load(Ordering::Acquire);
+                let n = self.buckets[i].load(Ordering::Acquire); // ordering: Acquire — freshest value at render time.
                 if n == 0 {
                     return None;
                 }
@@ -325,8 +325,8 @@ mod tests {
     fn counters_snapshot_reports_activity() {
         let c = DomainCounters::default();
         assert_eq!(c.activity(), 0);
-        c.vm_faults.fetch_add(3, Ordering::AcqRel);
-        c.cpu_ns.fetch_add(100, Ordering::AcqRel);
+        c.vm_faults.fetch_add(3, Ordering::AcqRel); // ordering: test plumbing; mirrors the production pairing under test.
+        c.cpu_ns.fetch_add(100, Ordering::AcqRel); // ordering: test plumbing; mirrors the production pairing under test.
         assert_eq!(c.activity(), 103);
         let snap = c.snapshot();
         assert!(snap.contains(&("vm_faults", 3)));

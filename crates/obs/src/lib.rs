@@ -28,6 +28,8 @@
 //! through the nameserver (the `ObsService` domain registered by
 //! `Kernel::install_obs`) and as the `Obs.Snapshot` dispatcher event.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod account;
 pub mod render;
 pub mod ring;
@@ -35,8 +37,8 @@ pub mod ring;
 pub use account::{Accounting, DomainCounters, DomainId, Histogram};
 pub use ring::{Ring, TraceKind, TraceRecord};
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use spin_check::sync::{Arc, OnceLock};
+use spin_check::sync::{AtomicBool, Ordering};
 
 /// Virtual nanoseconds (mirrors `spin_sal::Nanos`; kept local so this
 /// crate can sit below the hardware layer).
@@ -95,13 +97,13 @@ impl Obs {
     /// Turns the flight recorder on or off. Accounting counters are
     /// unaffected; neither state charges virtual time.
     pub fn set_recording(&self, on: bool) {
-        self.inner.recording.store(on, Ordering::Release);
+        self.inner.recording.store(on, Ordering::Release); // ordering: Release — ring/accounting setup is visible before recording flips on.
     }
 
     /// Whether the flight recorder accepts records — one relaxed load.
     #[inline]
     pub fn is_recording(&self) -> bool {
-        self.inner.recording.load(Ordering::Relaxed)
+        self.inner.recording.load(Ordering::Relaxed) // ordering: Relaxed — a stale read only delays or extends recording by one event.
     }
 
     /// Appends a record if recording (stamps are the caller's).
@@ -193,17 +195,17 @@ impl ObsHook {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use spin_check::sync::AtomicU64;
 
     #[test]
     fn hooks_stamp_domain_and_time() {
         let obs = Obs::new(8);
         let t = Arc::new(AtomicU64::new(0));
         let t2 = t.clone();
-        obs.set_time_source(Arc::new(move || t2.load(Ordering::Acquire)));
+        obs.set_time_source(Arc::new(move || t2.load(Ordering::Acquire))); // ordering: test plumbing; mirrors the production pairing under test.
         let net = obs.domain("net");
         assert_eq!(net.domain, DomainId::NET);
-        t.store(777, Ordering::Release);
+        t.store(777, Ordering::Release); // ordering: test plumbing; mirrors the production pairing under test.
         net.trace(TraceKind::PacketTx, 60, 0);
         let recs = obs.ring().drain();
         assert_eq!(recs.len(), 1);
@@ -219,9 +221,9 @@ mod tests {
         obs.set_recording(false);
         assert!(!hook.recording());
         hook.trace(TraceKind::VmFault, 0x1000, 1);
-        hook.counters.vm_faults.fetch_add(1, Ordering::AcqRel);
+        hook.counters.vm_faults.fetch_add(1, Ordering::AcqRel); // ordering: test plumbing; mirrors the production pairing under test.
         assert_eq!(obs.ring().pushed(), 0);
-        assert_eq!(hook.counters.vm_faults.load(Ordering::Acquire), 1);
+        assert_eq!(hook.counters.vm_faults.load(Ordering::Acquire), 1); // ordering: test plumbing; mirrors the production pairing under test.
         obs.set_recording(true);
         hook.trace(TraceKind::VmFault, 0x2000, 1);
         assert_eq!(obs.ring().pushed(), 1);

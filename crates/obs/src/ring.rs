@@ -11,16 +11,37 @@
 //!
 //! Publication uses a per-slot seqlock: a producer claims a position with
 //! one `fetch_add` on the write cursor, marks the slot in-progress, stores
-//! the record words with relaxed stores, and publishes with a release store
-//! of the position-derived sequence. The consumer validates the sequence
-//! before *and* after reading, so a record overwritten mid-read is detected
-//! and counted as dropped rather than returned torn. All of this is plain
-//! atomics — no locks on the producer path, no `unsafe` anywhere.
+//! the record words, and publishes with a release store of the
+//! position-derived sequence. The consumer validates the sequence before
+//! *and* after reading, so a record overwritten mid-read is detected and
+//! counted as dropped rather than returned torn.
+//!
+//! # Memory-model note
+//!
+//! The word stores are `Release` and the word loads `Acquire`, not
+//! `Relaxed`. A textbook seqlock with relaxed data accesses is unsound
+//! under the C11 model (Boehm, "Can seqlocks get along with programming
+//! language memory models?"): a reader may observe the *old* sequence
+//! twice while a relaxed word load returns a *new* value from a
+//! concurrent overwrite — a torn record both validations miss. With
+//! Release word stores, a reader that observes any overwritten word
+//! synchronizes with the overwriter and is therefore guaranteed to see
+//! its `WRITING` sentinel (stored earlier in program order) on the second
+//! validation. The `spin-check` model checker explores exactly this
+//! interleaving (see `crates/check/tests/checks.rs`, seqlock check).
+//!
+//! # Safety
+//!
+//! This module contains the kernel's only `unsafe` blocks: bounds-check
+//! elision on the hot-path slot lookup. The invariant is local and
+//! unconditional — `slots` is allocated with exactly `cap` elements in
+//! [`Ring::new`] and never reallocated, and every index is computed as
+//! `pos % cap`, which is `< cap` for any `pos` because `cap >= 1`.
 
 use crate::account::DomainId;
 use crate::Nanos;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicU64, Ordering};
 
 /// What a trace record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,28 +165,51 @@ impl Ring {
     /// Appends a record; never blocks, never fails. Overwrites the oldest
     /// pending record when full.
     pub fn push(&self, rec: TraceRecord) {
+        // ordering: Relaxed suffices for the claim — the cursor only
+        // allocates positions; publication is carried by the slot seqlock.
         let pos = self.write.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[(pos % self.cap) as usize];
+        // SAFETY: `slots` holds exactly `cap` elements (allocated in
+        // `new`, never resized) and `pos % cap < cap` since `cap >= 1`.
+        let slot = unsafe { self.slots.get_unchecked((pos % self.cap) as usize) };
+        // The sentinel orders the *previous* record's words before
+        // `WRITING` becomes visible, so a reader that saw the old sequence
+        // cannot blame this writer for a torn old record.
+        // ordering: Release — sentinel publish.
         slot.seq.store(WRITING, Ordering::Release);
-        slot.words[0].store(rec.time, Ordering::Relaxed);
+        // Release word stores make any reader that observes one of them
+        // synchronize with this writer and hence see `WRITING` on its
+        // seqlock re-validation — see the module-level memory-model note.
+        // Relaxed here is the classic unsound seqlock.
+        // ordering: Release — word publish (see module note).
+        slot.words[0].store(rec.time, Ordering::Release);
         slot.words[1].store(
             u64::from(rec.domain.0) | (rec.kind as u64) << 32,
-            Ordering::Relaxed,
+            Ordering::Release, // ordering: word publish (see module note)
         );
-        slot.words[2].store(rec.a, Ordering::Relaxed);
-        slot.words[3].store(rec.b, Ordering::Relaxed);
-        slot.seq.store(pos + 1, Ordering::Release);
+        slot.words[2].store(rec.a, Ordering::Release); // ordering: word publish (see module note)
+        slot.words[3].store(rec.b, Ordering::Release); // ordering: word publish (see module note)
+                                                       // The Release publish of `pos + 1` pairs with the reader's
+                                                       // Acquire validation in `read_slot`, ordering the four word
+                                                       // stores before the sequence becomes visible.
+        #[cfg(not(spin_check_mutant))]
+        slot.seq.store(pos + 1, Ordering::Release); // ordering: Release publish (see above)
+                                                    // Planted bug for the model checker (`--cfg spin_check_mutant`):
+                                                    // a Relaxed publish lets a reader validate the sequence while the
+                                                    // word stores are still invisible — a torn record. The seqlock
+                                                    // check must catch this with a replayable seed.
+        #[cfg(spin_check_mutant)]
+        slot.seq.store(pos + 1, Ordering::Relaxed); // ordering: deliberately wrong (mutant)
     }
 
     /// Total records ever pushed.
     pub fn pushed(&self) -> u64 {
-        self.write.load(Ordering::Acquire)
+        self.write.load(Ordering::Acquire) // ordering: Acquire — a cursor read orders after the claims it reports.
     }
 
     /// Records pending for the next drain (saturated at capacity).
     pub fn len(&self) -> usize {
-        let end = self.write.load(Ordering::Acquire);
-        let read = self.read.load(Ordering::Acquire);
+        let end = self.write.load(Ordering::Acquire); // ordering: Acquire — cursor snapshot for a lock-free size estimate.
+        let read = self.read.load(Ordering::Acquire); // ordering: Acquire — cursor snapshot for a lock-free size estimate.
         (end - read.max(end.saturating_sub(self.cap))) as usize
     }
 
@@ -178,10 +222,10 @@ impl Ring {
     /// will be skipped by the next drain because they were already
     /// overwritten.
     pub fn dropped(&self) -> u64 {
-        let end = self.write.load(Ordering::Acquire);
-        let read = self.read.load(Ordering::Acquire);
+        let end = self.write.load(Ordering::Acquire); // ordering: Acquire — cursor snapshot for a lock-free drop estimate.
+        let read = self.read.load(Ordering::Acquire); // ordering: Acquire — cursor snapshot for a lock-free drop estimate.
         let lo = end.saturating_sub(self.cap);
-        self.dropped.load(Ordering::Acquire) + lo.saturating_sub(read)
+        self.dropped.load(Ordering::Acquire) + lo.saturating_sub(read) // ordering: Acquire — pairs with the drain's AcqRel tally updates.
     }
 
     /// Removes and returns every pending record, oldest first.
@@ -191,34 +235,47 @@ impl Ring {
     /// [`Ring::dropped`] instead of being returned.
     pub fn drain(&self) -> Vec<TraceRecord> {
         let _guard = self.drain_lock.lock();
-        let end = self.write.load(Ordering::Acquire);
-        let read = self.read.load(Ordering::Acquire);
+        let end = self.write.load(Ordering::Acquire); // ordering: Acquire — the drain sees every claim before its snapshot.
+        let read = self.read.load(Ordering::Acquire); // ordering: Acquire — the read cursor is ours (drain lock); Acquire for dropped().
         let start = read.max(end.saturating_sub(self.cap));
-        self.dropped.fetch_add(start - read, Ordering::AcqRel);
+        self.dropped.fetch_add(start - read, Ordering::AcqRel); // ordering: AcqRel — exact tally, read lock-free by dropped().
         let mut out = Vec::with_capacity((end - start) as usize);
         for pos in start..end {
             match self.read_slot(pos) {
                 Some(rec) => out.push(rec),
                 None => {
-                    self.dropped.fetch_add(1, Ordering::AcqRel);
+                    self.dropped.fetch_add(1, Ordering::AcqRel); // ordering: AcqRel — exact tally, read lock-free by dropped().
                 }
             }
         }
-        self.read.store(end, Ordering::Release);
+        self.read.store(end, Ordering::Release); // ordering: Release — publishes the consumed range to lock-free len()/dropped().
         out
     }
 
     /// Seqlock-validated read of position `pos`; `None` if the slot no
     /// longer (or does not yet stably) hold that position's record.
     fn read_slot(&self, pos: u64) -> Option<TraceRecord> {
-        let slot = &self.slots[(pos % self.cap) as usize];
+        // SAFETY: `slots` holds exactly `cap` elements (allocated in
+        // `new`, never resized) and `pos % cap < cap` since `cap >= 1`.
+        let slot = unsafe { self.slots.get_unchecked((pos % self.cap) as usize) };
+        // The first validation pairs with the writer's Release publish of
+        // `pos + 1`; the record words are visible once the sequence is.
+        // ordering: Acquire — pairs with the Release sequence publish.
         if slot.seq.load(Ordering::Acquire) != pos + 1 {
             return None;
         }
-        let time = slot.words[0].load(Ordering::Relaxed);
-        let tag = slot.words[1].load(Ordering::Relaxed);
-        let a = slot.words[2].load(Ordering::Relaxed);
-        let b = slot.words[3].load(Ordering::Relaxed);
+        // Acquire word loads pair with the Release word stores: observing
+        // any overwritten word synchronizes with the overwriter, so the
+        // re-validation below must see its `WRITING` sentinel (or newer).
+        // See the module-level memory-model note.
+        let time = slot.words[0].load(Ordering::Acquire); // ordering: word read (see module note)
+        let tag = slot.words[1].load(Ordering::Acquire); // ordering: word read (see module note)
+        let a = slot.words[2].load(Ordering::Acquire); // ordering: word read (see module note)
+        let b = slot.words[3].load(Ordering::Acquire); // ordering: word read (see module note)
+                                                       // The re-validation: a concurrent overwrite either left the
+                                                       // sequence intact (the record is stable) or this load sees
+                                                       // `WRITING`/a newer sequence and the torn read is discarded.
+                                                       // ordering: Acquire — re-validation (see module note).
         if slot.seq.load(Ordering::Acquire) != pos + 1 {
             return None;
         }

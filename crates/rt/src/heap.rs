@@ -592,13 +592,13 @@ impl KernelHeap {
         st.stats.pages_pinned += cstats.pages_pinned;
         if let Some(obs) = self.obs.get() {
             use std::sync::atomic::Ordering;
-            obs.counters.gc_collections.fetch_add(1, Ordering::Relaxed);
+            obs.counters.gc_collections.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.counters
                 .gc_bytes_surviving
-                .fetch_add(cstats.live_bytes_after, Ordering::Relaxed);
+                .fetch_add(cstats.live_bytes_after, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.counters
                 .pages_held
-                .store(st.pages.len() as u64, Ordering::Relaxed);
+                .store(st.pages.len() as u64, Ordering::Relaxed); // ordering: Relaxed — gauge for reporting only.
             obs.trace(
                 spin_obs::TraceKind::GcPause,
                 cstats.live_bytes_after,

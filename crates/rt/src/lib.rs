@@ -22,6 +22,8 @@
 //! reference can never observe an object of a different type — it observes
 //! a checked [`GcError::Dangling`] instead.
 
+#![forbid(unsafe_code)]
+
 pub mod heap;
 pub mod trace;
 

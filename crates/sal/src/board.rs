@@ -15,7 +15,7 @@ use crate::irq::IrqController;
 use crate::mem::PhysMem;
 use crate::mmu::Mmu;
 use crate::wire::{Wire, WireEndpoint};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::sync::Arc;
 
 /// Identifier of a simulated host.

@@ -14,10 +14,10 @@
 //! ensuring that a handler cannot take over the processor", §3.2) is
 //! reproduced deterministically.
 
-use parking_lot::{Mutex, RwLock};
+use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
+use spin_check::sync::{Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Virtual nanoseconds since simulation boot.
@@ -63,7 +63,7 @@ impl Clock {
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> Nanos {
-        self.inner.now.load(Ordering::Acquire)
+        self.inner.now.load(Ordering::Acquire) // ordering: Acquire — a time read orders after the charge that produced it.
     }
 
     /// Advances the clock by `ns`, charging the running context.
@@ -74,8 +74,9 @@ impl Clock {
         if ns == 0 {
             return;
         }
-        self.inner.now.fetch_add(ns, Ordering::AcqRel);
+        self.inner.now.fetch_add(ns, Ordering::AcqRel); // ordering: AcqRel — every charge is ordered with every other charge and with now().
         if self.inner.has_hook.load(Ordering::Acquire) {
+            // ordering: Acquire — pairs with the Release flag store when a hook is armed.
             let hooks = self.inner.hooks.read().clone();
             for (_, hook) in hooks.iter() {
                 hook(ns);
@@ -88,12 +89,12 @@ impl Clock {
     /// Used by the executor when the system is idle and the next work item
     /// is a timer in the future. Does nothing if `t` is in the past.
     pub fn skip_to(&self, t: Nanos) {
-        let mut cur = self.inner.now.load(Ordering::Acquire);
+        let mut cur = self.inner.now.load(Ordering::Acquire); // ordering: Acquire — starts the CAS loop from a charge-ordered view.
         while t > cur {
             match self
                 .inner
                 .now
-                .compare_exchange(cur, t, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(cur, t, Ordering::AcqRel, Ordering::Acquire) // ordering: AcqRel success orders the jump like a charge; Acquire failure re-reads.
             {
                 Ok(_) => break,
                 Err(observed) => cur = observed,
@@ -107,12 +108,12 @@ impl Clock {
     /// returned id removes exactly this subscription via
     /// [`Clock::remove_advance_hook`].
     pub fn add_advance_hook(&self, hook: AdvanceHook) -> AdvanceHookId {
-        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed));
+        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let mut slot = self.inner.hooks.write();
         let mut list: HookList = (**slot).clone();
         list.push((id, Arc::from(hook)));
         *slot = Arc::new(list);
-        self.inner.has_hook.store(true, Ordering::Release);
+        self.inner.has_hook.store(true, Ordering::Release); // ordering: Release — publishes the rebuilt hook list before the flag flips.
         id
     }
 
@@ -124,7 +125,7 @@ impl Clock {
         list.retain(|(hid, _)| *hid != id);
         let removed = list.len() != before;
         if list.is_empty() {
-            self.inner.has_hook.store(false, Ordering::Release);
+            self.inner.has_hook.store(false, Ordering::Release); // ordering: Release — the cleared list is visible before the fast path re-arms.
         }
         *slot = Arc::new(list);
         removed
@@ -135,15 +136,15 @@ impl Clock {
     /// components that must coexist use [`Clock::add_advance_hook`].
     pub fn set_advance_hook(&self, hook: AdvanceHook) {
         let mut slot = self.inner.hooks.write();
-        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed));
+        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         *slot = Arc::new(vec![(id, Arc::from(hook))]);
-        self.inner.has_hook.store(true, Ordering::Release);
+        self.inner.has_hook.store(true, Ordering::Release); // ordering: Release — publishes the rebuilt hook list before the flag flips.
     }
 
     /// Removes every advance hook.
     pub fn clear_advance_hook(&self) {
         let mut slot = self.inner.hooks.write();
-        self.inner.has_hook.store(false, Ordering::Release);
+        self.inner.has_hook.store(false, Ordering::Release); // ordering: Release — the cleared list is visible before the fast path re-arms.
         *slot = Arc::new(Vec::new());
     }
 }
@@ -243,7 +244,7 @@ impl TimerQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use spin_check::sync::AtomicUsize;
 
     #[test]
     fn clock_advances_and_skips() {
@@ -263,12 +264,12 @@ mod tests {
         let total = Arc::new(AtomicU64::new(0));
         let t2 = total.clone();
         c.set_advance_hook(Box::new(move |ns| {
-            t2.fetch_add(ns, Ordering::Relaxed);
+            t2.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         }));
         c.advance(30);
         c.advance(0); // zero charges do not invoke the hook
         c.advance(12);
-        assert_eq!(total.load(Ordering::Relaxed), 42);
+        assert_eq!(total.load(Ordering::Relaxed), 42); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -281,26 +282,26 @@ mod tests {
         let obs_total = Arc::new(AtomicU64::new(0));
         let (e2, o2) = (exec_total.clone(), obs_total.clone());
         let exec_id = c.add_advance_hook(Box::new(move |ns| {
-            e2.fetch_add(ns, Ordering::Relaxed);
+            e2.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         }));
         let obs_id = c.add_advance_hook(Box::new(move |ns| {
-            o2.fetch_add(ns, Ordering::Relaxed);
+            o2.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         }));
         for ns in [30, 0, 12, 1, 999] {
             c.advance(ns);
         }
-        assert_eq!(exec_total.load(Ordering::Relaxed), 1042);
-        assert_eq!(obs_total.load(Ordering::Relaxed), 1042);
+        assert_eq!(exec_total.load(Ordering::Relaxed), 1042); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
+        assert_eq!(obs_total.load(Ordering::Relaxed), 1042); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
 
         // Removal is per-subscription: the survivor keeps observing.
         assert!(c.remove_advance_hook(obs_id));
         assert!(!c.remove_advance_hook(obs_id));
         c.advance(8);
-        assert_eq!(exec_total.load(Ordering::Relaxed), 1050);
-        assert_eq!(obs_total.load(Ordering::Relaxed), 1042);
+        assert_eq!(exec_total.load(Ordering::Relaxed), 1050); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
+        assert_eq!(obs_total.load(Ordering::Relaxed), 1042); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert!(c.remove_advance_hook(exec_id));
         c.advance(5); // no subscribers: single relaxed-flag check, no calls
-        assert_eq!(exec_total.load(Ordering::Relaxed), 1050);
+        assert_eq!(exec_total.load(Ordering::Relaxed), 1050); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -310,17 +311,17 @@ mod tests {
         let b = Arc::new(AtomicU64::new(0));
         let (a2, b2) = (a.clone(), b.clone());
         c.add_advance_hook(Box::new(move |ns| {
-            a2.fetch_add(ns, Ordering::Relaxed);
+            a2.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         }));
         c.set_advance_hook(Box::new(move |ns| {
-            b2.fetch_add(ns, Ordering::Relaxed);
+            b2.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         }));
         c.advance(7);
-        assert_eq!(a.load(Ordering::Relaxed), 0);
-        assert_eq!(b.load(Ordering::Relaxed), 7);
+        assert_eq!(a.load(Ordering::Relaxed), 0); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
+        assert_eq!(b.load(Ordering::Relaxed), 7); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         c.clear_advance_hook();
         c.advance(7);
-        assert_eq!(b.load(Ordering::Relaxed), 7);
+        assert_eq!(b.load(Ordering::Relaxed), 7); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -342,12 +343,12 @@ mod tests {
         let count = Arc::new(AtomicUsize::new(0));
         let c2 = count.clone();
         let id = q.schedule_at(5, move |_| {
-            c2.fetch_add(1, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         });
         assert!(q.cancel(id));
         assert!(!q.cancel(id));
         assert_eq!(q.fire_due(100), 0);
-        assert_eq!(count.load(Ordering::Relaxed), 0);
+        assert_eq!(count.load(Ordering::Relaxed), 0); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert_eq!(q.next_deadline(), None);
     }
 
@@ -358,16 +359,16 @@ mod tests {
         let c2 = count.clone();
         let q2 = q.clone();
         q.schedule_at(10, move |now| {
-            c2.fetch_add(1, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             let c3 = c2.clone();
             q2.schedule_at(now + 10, move |_| {
-                c3.fetch_add(1, Ordering::Relaxed);
+                c3.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             });
         });
         q.fire_due(10);
-        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert_eq!(count.load(Ordering::Relaxed), 1); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         q.fire_due(20);
-        assert_eq!(count.load(Ordering::Relaxed), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 2); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]

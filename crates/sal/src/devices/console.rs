@@ -2,7 +2,7 @@
 
 use crate::clock::Clock;
 use crate::cost::MachineProfile;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 

@@ -9,7 +9,7 @@
 use crate::clock::{Clock, Nanos, TimerQueue};
 use crate::cost::MachineProfile;
 use crate::irq::{IrqController, IrqVector};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::sync::Arc;
 
 /// Disk block size (one 8 KB page, so paging I/O is one block per page).

@@ -12,7 +12,7 @@ use crate::cost::MachineProfile;
 use crate::irq::{IrqController, IrqVector};
 use crate::wire::{Wire, WireEndpoint};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 

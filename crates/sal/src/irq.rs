@@ -11,7 +11,7 @@
 
 use crate::clock::Clock;
 use crate::cost::MachineProfile;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -102,7 +102,7 @@ impl IrqController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use spin_check::sync::{AtomicUsize, Ordering};
 
     fn ctl() -> IrqController {
         IrqController::new(Clock::new(), Arc::new(MachineProfile::alpha_axp_3000_400()))
@@ -139,13 +139,14 @@ mod tests {
         let c2 = c.clone();
         let count2 = count.clone();
         c.register(IrqVector(1), move || {
+            // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             if count2.fetch_add(1, Ordering::Relaxed) == 0 {
                 c2.post(IrqVector(1));
             }
         });
         c.post(IrqVector(1));
         assert_eq!(c.dispatch_pending(), 2);
-        assert_eq!(count.load(Ordering::Relaxed), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 2); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! Determinism comes from the single timeline, sequence-numbered timers and
 //! the absence of wall-clock or unseeded randomness.
 
+#![forbid(unsafe_code)]
+
 pub mod board;
 pub mod clock;
 pub mod cost;

@@ -6,7 +6,7 @@
 //! separates the physical-address *service* from the raw storage.
 
 use crate::PAGE_SIZE;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::sync::Arc;
 
 /// Index of a physical page frame.

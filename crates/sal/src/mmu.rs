@@ -10,7 +10,7 @@ use crate::clock::Clock;
 use crate::cost::MachineProfile;
 use crate::mem::FrameId;
 use crate::PAGE_SHIFT;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

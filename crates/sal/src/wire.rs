@@ -9,7 +9,7 @@
 use crate::clock::{Clock, Nanos, TimerQueue};
 use crate::devices::nic::Frame;
 use crate::irq::{IrqController, IrqVector};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 

@@ -25,7 +25,7 @@ pub fn install_async_runner(exec: &Arc<Executor>, dispatcher: &Dispatcher) -> Ar
     let c2 = count.clone();
     let exec = exec.clone();
     dispatcher.set_async_runner(Arc::new(move |inv: AsyncInvocation| {
-        c2.fetch_add(1, Ordering::Relaxed);
+        c2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         let clock = exec.clock().clone();
         exec.spawn("async-handler", move |ctx| {
             if let Some(bound) = inv.time_bound {
@@ -87,7 +87,7 @@ mod tests {
             vec!["raise returned", "async ran"],
             "the raiser was isolated from the handler"
         );
-        assert_eq!(dispatched.load(Ordering::Relaxed), 1);
+        assert_eq!(dispatched.load(Ordering::Relaxed), 1); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -118,7 +118,7 @@ mod tests {
             let ctx = e2.current_ctx().expect("async handlers run on strands");
             for _ in 0..1000 {
                 ctx.work(1_000_000); // 1 ms per round: the deadline unwinds it
-                p2.fetch_add(1, Ordering::Relaxed);
+                p2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             }
         })
         .unwrap();
@@ -137,7 +137,7 @@ mod tests {
             "a deadline unwind is an abort, not a fault"
         );
         assert!(
-            progressed.load(Ordering::Relaxed) < 1000,
+            progressed.load(Ordering::Relaxed) < 1000, // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             "the handler was stopped mid-flight, not after it returned"
         );
     }

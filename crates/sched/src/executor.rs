@@ -256,7 +256,7 @@ impl Executor {
 
     /// Sets the preemption quantum (virtual nanoseconds).
     pub fn set_quantum(&self, ns: Nanos) {
-        self.quantum.store(ns, Ordering::Relaxed);
+        self.quantum.store(ns, Ordering::Relaxed); // ordering: Relaxed — consulted by the executor thread at the next charge.
     }
 
     /// Installs transition hooks (used by `events` to raise dispatcher
@@ -291,7 +291,7 @@ impl Executor {
 
     fn on_advance(&self, ns: Nanos) {
         if let Some(obs) = self.obs.get() {
-            obs.counters.cpu_ns.fetch_add(ns, Ordering::Relaxed);
+            obs.counters.cpu_ns.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
         let mut st = self.state.lock();
         if let Some(cur) = st.current {
@@ -302,9 +302,10 @@ impl Executor {
             if let Some(h) = host {
                 *st.host_busy.entry(h).or_insert(0) += ns;
             }
-            let used = self.quantum_used.fetch_add(ns, Ordering::Relaxed) + ns;
+            let used = self.quantum_used.fetch_add(ns, Ordering::Relaxed) + ns; // ordering: Relaxed — charged on the executor thread; atomic only for &self.
             if used > self.quantum.load(Ordering::Relaxed) {
-                self.preempt_pending.store(true, Ordering::Relaxed);
+                // ordering: Relaxed — charged on the executor thread; atomic only for &self.
+                self.preempt_pending.store(true, Ordering::Relaxed); // ordering: Relaxed — consumed by the same thread at the next safepoint.
             }
         }
     }
@@ -327,7 +328,7 @@ impl Executor {
         f: impl FnOnce(&StrandCtx) + Send + 'static,
     ) -> StrandId {
         self.clock.advance(self.profile.thread_create);
-        let id = StrandId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let id = StrandId(self.next_id.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let baton = Baton::new();
         let deadline = Arc::new(AtomicU64::new(u64::MAX));
         {
@@ -502,12 +503,12 @@ impl Executor {
                     if let Some(h) = self.hooks.lock().resume.as_ref() {
                         h(id);
                     }
-                    self.quantum_used.store(0, Ordering::Relaxed);
-                    self.preempt_pending.store(false, Ordering::Relaxed);
+                    self.quantum_used.store(0, Ordering::Relaxed); // ordering: Relaxed — quantum bookkeeping on the executor thread.
+                    self.preempt_pending.store(false, Ordering::Relaxed); // ordering: Relaxed — quantum bookkeeping on the executor thread.
                     if let Some(obs) = self.obs.get() {
                         obs.counters
                             .context_switches
-                            .fetch_add(1, Ordering::Relaxed);
+                            .fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                         obs.trace(TraceKind::ContextSwitch, id.0, 0);
                     }
                     let baton = {
@@ -665,17 +666,17 @@ impl StrandCtx {
     /// the dispatcher's containment wrapper catches the unwind and counts
     /// it as an abort, so the strand itself is not marked panicked.
     pub fn set_deadline(&self, at: Nanos) {
-        self.deadline.store(at, Ordering::Relaxed);
+        self.deadline.store(at, Ordering::Relaxed); // ordering: Relaxed — read back on the executor thread at safepoints.
     }
 
     /// Disarms the deadline.
     pub fn clear_deadline(&self) {
-        self.deadline.store(u64::MAX, Ordering::Relaxed);
+        self.deadline.store(u64::MAX, Ordering::Relaxed); // ordering: Relaxed — read back on the executor thread at safepoints.
     }
 
     /// Unwinds with [`DeadlineExceeded`] if the armed deadline has passed.
     fn check_deadline(&self) {
-        let d = self.deadline.load(Ordering::Relaxed);
+        let d = self.deadline.load(Ordering::Relaxed); // ordering: Relaxed — safepoint check on the executor thread.
         if d != u64::MAX && self.exec.clock.now() > d {
             std::panic::panic_any(DeadlineExceeded { deadline: d });
         }
@@ -706,6 +707,7 @@ impl StrandCtx {
     /// A preemption safe point: deschedules the strand if its quantum
     /// expired.
     pub fn preempt_point(&self) {
+        // ordering: Relaxed — set and consumed on the executor thread.
         if self.exec.preempt_pending.swap(false, Ordering::Relaxed) {
             self.exec.yield_current();
         }
@@ -751,9 +753,9 @@ mod tests {
         let e = exec();
         let flag = Arc::new(AtomicBool::new(false));
         let f2 = flag.clone();
-        e.spawn("worker", move |_| f2.store(true, Ordering::Relaxed));
+        e.spawn("worker", move |_| f2.store(true, Ordering::Relaxed)); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
-        assert!(flag.load(Ordering::Relaxed));
+        assert!(flag.load(Ordering::Relaxed)); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -906,11 +908,11 @@ mod tests {
             let f3 = f2.clone();
             let child = ctx
                 .executor()
-                .spawn("child", move |_| f3.store(true, Ordering::Relaxed));
+                .spawn("child", move |_| f3.store(true, Ordering::Relaxed)); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
             ctx.join(child);
         });
         assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
-        assert!(flag.load(Ordering::Relaxed));
+        assert!(flag.load(Ordering::Relaxed)); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
     }
 
     #[test]
@@ -924,13 +926,13 @@ mod tests {
             for _ in 0..100 {
                 ctx.work(400_000); // the deadline check unwinds on round 3
             }
-            r2.store(true, Ordering::Relaxed);
+            r2.store(true, Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         });
         assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
-        assert!(!reached_end.load(Ordering::Relaxed));
-        // The unwind escaped the strand body, so the strand is marked
-        // panicked (an async handler's containment wrapper would have
-        // caught it first and classified it as an abort).
+        assert!(!reached_end.load(Ordering::Relaxed)); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
+                                                       // The unwind escaped the strand body, so the strand is marked
+                                                       // panicked (an async handler's containment wrapper would have
+                                                       // caught it first and classified it as an abort).
         assert!(e.panicked(s));
     }
 
@@ -959,10 +961,10 @@ mod tests {
         e.set_fault_hook(hook);
         let ran = Arc::new(AtomicBool::new(false));
         let r2 = ran.clone();
-        let s = e.spawn("victim", move |_| r2.store(true, Ordering::Relaxed));
+        let s = e.spawn("victim", move |_| r2.store(true, Ordering::Relaxed)); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert_eq!(e.run_until_idle(), IdleOutcome::AllComplete);
         assert!(e.panicked(s), "the injected panic hit the strand");
-        assert!(!ran.load(Ordering::Relaxed), "the body never ran");
+        assert!(!ran.load(Ordering::Relaxed), "the body never ran"); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
         assert_eq!(plan.injected_panics(), 1);
     }
 

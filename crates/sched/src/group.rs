@@ -106,9 +106,9 @@ impl TaskPackage {
                 match task {
                     Some(t) => {
                         (t.body)(ctx);
-                        tr2.fetch_add(1, Ordering::Relaxed);
-                        // A preemption safe point between tasks keeps the
-                        // package honest with the global quantum.
+                        tr2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                                                             // A preemption safe point between tasks keeps the
+                                                             // package honest with the global quantum.
                         ctx.preempt_point();
                     }
                     None => ctx.block(), // wait for submissions
@@ -129,7 +129,7 @@ impl TaskPackage {
                 Identity::extension(name),
                 move |s: &StrandRef| s.0 == me,
                 move |_| {
-                    r2.fetch_add(1, Ordering::Relaxed);
+                    r2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                 },
             )
             .expect("install resume observer");
@@ -140,7 +140,7 @@ impl TaskPackage {
                 Identity::extension(name),
                 move |s: &StrandRef| s.0 == me,
                 move |_| {
-                    c2.fetch_add(1, Ordering::Relaxed);
+                    c2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                 },
             )
             .expect("install checkpoint observer");
@@ -179,9 +179,9 @@ impl TaskPackage {
     /// Event-observed statistics.
     pub fn stats(&self) -> PackageStats {
         PackageStats {
-            resumes: self.resumes.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            checkpoints: self.checkpoints.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            tasks_run: self.tasks_run.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
     }
 

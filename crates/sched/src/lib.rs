@@ -21,6 +21,8 @@
 //! * **user-level contexts** and the protected cross-address-space call
 //!   path of Table 2 ([`UserProcess`], [`XasService`]).
 
+#![forbid(unsafe_code)]
+
 pub mod async_runner;
 pub mod cthreads;
 pub mod events;

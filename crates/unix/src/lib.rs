@@ -15,6 +15,8 @@
 //! through the server interface, as the paper's server is by its C
 //! library.
 
+#![forbid(unsafe_code)]
+
 pub mod pipe;
 pub mod proc;
 pub mod server;

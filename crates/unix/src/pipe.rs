@@ -26,16 +26,17 @@ impl Pipe {
 
     /// Duplicates an end (dup/fork semantics).
     pub fn add_reader(&self) {
-        self.readers.fetch_add(1, Ordering::Relaxed);
+        self.readers.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — endpoint count; the pipe mutex orders the data path.
     }
 
     /// Duplicates the writer end.
     pub fn add_writer(&self) {
-        self.writers.fetch_add(1, Ordering::Relaxed);
+        self.writers.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — endpoint count; the pipe mutex orders the data path.
     }
 
     /// Drops a reader reference.
     pub fn drop_reader(&self) {
+        // ordering: Relaxed — endpoint count; the wake below resolves EOF races.
         if self.readers.fetch_sub(1, Ordering::Relaxed) == 1 {
             // Writers will see EPIPE via closed channel on next send.
             self.chunks.close();
@@ -44,6 +45,7 @@ impl Pipe {
 
     /// Drops a writer reference; the last one signals EOF to readers.
     pub fn drop_writer(&self) {
+        // ordering: Relaxed — endpoint count; the wake below resolves EPIPE races.
         if self.writers.fetch_sub(1, Ordering::Relaxed) == 1 {
             self.chunks.close();
         }
@@ -52,6 +54,7 @@ impl Pipe {
     /// Writes `data` (blocking when full). Returns bytes written, or
     /// `None` on a broken pipe.
     pub fn write(&self, ctx: &StrandCtx, data: &[u8]) -> Option<usize> {
+        // ordering: Relaxed — EOF probe; the condvar recheck under the mutex decides.
         if self.readers.load(Ordering::Relaxed) == 0 {
             return None; // EPIPE
         }

@@ -145,14 +145,14 @@ impl UnixServer {
     #[inline]
     fn note(&self, call: u64, pid: Pid) {
         if let Some(obs) = self.obs.get() {
-            obs.counters.syscalls.fetch_add(1, Ordering::Relaxed);
+            obs.counters.syscalls.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.trace(TraceKind::SyscallTrap, call, pid.0 as u64);
         }
     }
 
     /// Creates the initial process (the paper's server boots `init`).
     pub fn spawn_init(&self) -> Pid {
-        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let space = self.vm.create();
         self.state
             .lock()
@@ -165,7 +165,7 @@ impl UnixServer {
     /// duplicated descriptors.
     pub fn fork(&self, parent: Pid) -> Result<Pid, UnixError> {
         self.note(calls::FORK, parent);
-        let child_pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let child_pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let (child_space, fds) = {
             let st = self.state.lock();
             let p = st.procs.get(&parent).ok_or(UnixError::NoSuchProcess)?;

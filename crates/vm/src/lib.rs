@@ -17,6 +17,8 @@
 //! (demand paging). [`VmWorkbench`] packages the Table 4 benchmark
 //! workloads.
 
+#![forbid(unsafe_code)]
+
 pub mod address_space;
 pub mod mach_task;
 pub mod pager;

@@ -62,7 +62,7 @@ impl PhysRegion {
 
     /// Whether the capability is still valid.
     pub fn is_live(&self) -> bool {
-        self.live.load(Ordering::Acquire)
+        self.live.load(Ordering::Acquire) // ordering: Acquire — pairs with the teardown swap's release half.
     }
 
     /// Internal: the backing frames (used by the translation service and
@@ -169,7 +169,7 @@ impl PhysAddrService {
             self.mem.zero(f);
         }
         Ok(Arc::new(PhysRegion {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            id: self.next_id.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
             frames,
             live: AtomicBool::new(true),
         }))
@@ -212,6 +212,7 @@ impl PhysAddrService {
     /// `PhysAddr.Deallocate`: returns the region's frames and invalidates
     /// the capability.
     pub fn deallocate(&self, region: &Arc<PhysRegion>) -> Result<(), PhysError> {
+        // ordering: AcqRel — exactly one unmapper wins and owns the teardown.
         if !region.live.swap(false, Ordering::AcqRel) {
             return Err(PhysError::StaleCapability);
         }

@@ -380,7 +380,7 @@ impl TranslationService {
                         return Err(VmError::Unresolved { info, kind });
                     }
                     if let Some(obs) = self.obs.get() {
-                        obs.counters.vm_faults.fetch_add(1, Ordering::Relaxed);
+                        obs.counters.vm_faults.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
                         obs.trace(TraceKind::VmFault, va, kind as u64);
                     }
                     // Enter the kernel trap path and dispatch to handlers.

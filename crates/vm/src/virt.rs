@@ -64,7 +64,7 @@ impl VirtRegion {
 
     /// Whether the capability is still valid.
     pub fn is_live(&self) -> bool {
-        self.live.load(Ordering::Acquire)
+        self.live.load(Ordering::Acquire) // ordering: Acquire — pairs with the teardown swap's release half.
     }
 }
 
@@ -142,6 +142,7 @@ impl VirtAddrService {
     /// `VirtAddr.Deallocate`: invalidates the capability and recycles the
     /// range.
     pub fn deallocate(&self, region: &Arc<VirtRegion>) -> Result<(), VirtError> {
+        // ordering: AcqRel — exactly one unmapper wins and owns the teardown.
         if !region.live.swap(false, Ordering::AcqRel) {
             return Err(VirtError::StaleCapability);
         }

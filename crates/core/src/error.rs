@@ -2,6 +2,32 @@
 
 use std::fmt;
 
+/// One colliding export discovered by `Domain::combine`: the same
+/// interface/symbol name exported by two member domains at different types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolConflict {
+    /// `interface.symbol` key that collided.
+    pub symbol: String,
+    /// The domain whose export was seen first.
+    pub first_domain: String,
+    /// The domain whose conflicting export was seen second.
+    pub second_domain: String,
+    /// Type name of the first export.
+    pub first_type: &'static str,
+    /// Type name of the second export.
+    pub second_type: &'static str,
+}
+
+impl fmt::Display for SymbolConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}`: {} exports {}, {} exports {}",
+            self.symbol, self.first_domain, self.first_type, self.second_domain, self.second_type
+        )
+    }
+}
+
 /// Errors from domain creation, linking and the nameserver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -16,8 +42,9 @@ pub enum CoreError {
         expected: &'static str,
         found: &'static str,
     },
-    /// Two combined domains export the same symbol with different types.
-    ExportConflict { symbol: String },
+    /// Combined domains export overlapping symbols at different types.
+    /// Every collision is reported (API v2), not just the first.
+    ExportConflict { conflicts: Vec<SymbolConflict> },
     /// The nameserver has no domain registered under this name.
     NameNotFound { name: String },
     /// A nameserver authorizer rejected the importer.
@@ -26,6 +53,14 @@ pub enum CoreError {
     NameExists { name: String },
     /// An externalized reference was invalid or of the wrong type.
     BadExternRef,
+    /// Typed import found no registration exporting the requested type.
+    ServiceNotFound { type_name: &'static str },
+    /// Typed import matched more than one registration; the caller must
+    /// disambiguate (the candidate registration names are sorted).
+    AmbiguousService {
+        type_name: &'static str,
+        candidates: Vec<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -50,8 +85,15 @@ impl fmt::Display for CoreError {
                     "type conflict on `{symbol}`: import wants {expected}, export is {found}"
                 )
             }
-            CoreError::ExportConflict { symbol } => {
-                write!(f, "conflicting exports of `{symbol}` in combined domain")
+            CoreError::ExportConflict { conflicts } => {
+                write!(f, "conflicting exports in combined domain: ")?;
+                for (i, c) in conflicts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
             }
             CoreError::NameNotFound { name } => write!(f, "no interface named `{name}`"),
             CoreError::AuthorizationDenied { name, importer } => {
@@ -59,6 +101,18 @@ impl fmt::Display for CoreError {
             }
             CoreError::NameExists { name } => write!(f, "name `{name}` already registered"),
             CoreError::BadExternRef => write!(f, "invalid externalized reference"),
+            CoreError::ServiceNotFound { type_name } => {
+                write!(f, "no registered domain exports a `{type_name}` service")
+            }
+            CoreError::AmbiguousService {
+                type_name,
+                candidates,
+            } => {
+                write!(
+                    f,
+                    "multiple registrations export `{type_name}`: {candidates:?}"
+                )
+            }
         }
     }
 }

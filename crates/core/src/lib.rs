@@ -29,6 +29,14 @@ pub mod dispatch;
 pub mod domain;
 pub mod error;
 pub mod fault;
+/// Hook registration primitives (API v2): every subsystem's observability /
+/// fault / clock hook point goes through [`hooks::HookSlot`] or
+/// [`hooks::HookRegistry`] instead of hand-rolled `OnceLock` patterns. The
+/// implementation lives in `spin-check` (the bottom of the dependency
+/// stack) so `sal` and `sched` share it; this is the kernel-facing name.
+pub mod hooks {
+    pub use spin_check::hooks::{HookId, HookRegistry, HookSlot};
+}
 pub mod identity;
 pub mod interface;
 pub mod kernel;
@@ -38,10 +46,10 @@ pub mod objfile;
 pub use capability::{ExternRef, ExternTable};
 pub use dispatch::{
     AsyncInvocation, Constraints, Dispatcher, Event, EventOwner, EventStats, Guard, Handler,
-    HandlerId, HandlerMode, InstallDecision, InstallRequest, Reducer,
+    HandlerId, HandlerMode, InstallDecision, InstallRequest, Reducer, XcallRouter,
 };
-pub use domain::Domain;
-pub use error::{CoreError, DispatchError};
+pub use domain::{Domain, ResolveReport};
+pub use error::{CoreError, DispatchError, SymbolConflict};
 pub use fault::{
     Containment, ContainmentPolicy, DeadlineExceeded, DomainFaultInfo, FaultKind, FaultSink,
     HandlerFault,
@@ -49,5 +57,5 @@ pub use fault::{
 pub use identity::{Identity, IdentityKind};
 pub use interface::{Interface, Symbol};
 pub use kernel::{Kernel, SysResult, Syscall, ENOSYS};
-pub use nameserver::{Authorizer, NameServer};
+pub use nameserver::{Authorizer, NameServer, ServiceRef};
 pub use objfile::{ImportDecl, ImportSlot, ObjectFile, ObjectFileBuilder, Provenance};

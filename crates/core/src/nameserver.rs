@@ -12,11 +12,61 @@ use crate::domain::Domain;
 use crate::error::CoreError;
 use crate::identity::Identity;
 use spin_check::sync::Mutex;
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Decides whether `importer` may import the named interface.
 pub type Authorizer = Arc<dyn Fn(&Identity) -> bool + Send + Sync>;
+
+/// A typed capability returned by [`NameServer::import_typed`]: the
+/// resolved service handle plus the domain it was exported from.
+///
+/// Dereferences to `T`, so call sites use the service directly; the
+/// domain stays available for further symbol lookups (API v2 replaces the
+/// stringly `import(&str) -> Domain` flow, where every caller re-did the
+/// downcast by hand).
+#[derive(Clone)]
+pub struct ServiceRef<T: ?Sized> {
+    name: String,
+    domain: Domain,
+    service: Arc<T>,
+}
+
+impl<T: ?Sized> ServiceRef<T> {
+    /// The registration name the service resolved through.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The exporting domain (for linking or further lookups).
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The shared service handle.
+    pub fn service(&self) -> &Arc<T> {
+        &self.service
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for ServiceRef<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.service
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for ServiceRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ServiceRef<{}>({})",
+            std::any::type_name::<T>(),
+            self.name
+        )
+    }
+}
 
 struct Registration {
     domain: Domain,
@@ -77,7 +127,21 @@ impl NameServer {
 
     /// Imports the domain registered under `name`, consulting the
     /// exporter's authorizer with the importer's identity.
+    ///
+    /// Deprecated (API v2): string lookups bypass the interface type ids
+    /// that make linking safe — use [`NameServer::import_typed`], which
+    /// resolves through `Interface::export::<T>` types instead of names.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use import_typed::<T>() — string lookups bypass interface type ids"
+    )]
     pub fn import(&self, name: &str, importer: &Identity) -> Result<Domain, CoreError> {
+        self.import_by_name(name, importer)
+    }
+
+    /// Shared lookup behind both the deprecated string path and the typed
+    /// path once it has picked its unique registration.
+    fn import_by_name(&self, name: &str, importer: &Identity) -> Result<Domain, CoreError> {
         let mut names = self.names.lock();
         let reg = names.get_mut(name).ok_or_else(|| CoreError::NameNotFound {
             name: name.to_string(),
@@ -93,6 +157,58 @@ impl NameServer {
         }
         reg.imports += 1;
         Ok(reg.domain.clone())
+    }
+
+    /// Imports a service by its *exported type* instead of a registration
+    /// string: scans registrations (in sorted-name order) for domains
+    /// exporting a symbol of type `T` via `Interface::export::<T>`.
+    ///
+    /// Exactly one registration may match — zero is
+    /// [`CoreError::ServiceNotFound`], several are
+    /// [`CoreError::AmbiguousService`] with the sorted candidate names.
+    /// The matching exporter's authorizer is consulted (and denials
+    /// counted) exactly as for the string path.
+    pub fn import_typed<T: Any + Send + Sync>(
+        &self,
+        importer: &Identity,
+    ) -> Result<ServiceRef<T>, CoreError> {
+        let tid = TypeId::of::<T>();
+        let candidates: Vec<String> = {
+            let names = self.names.lock();
+            let mut v: Vec<String> = names
+                .iter()
+                .filter(|(_, r)| r.domain.symbol_of_type(tid).is_some())
+                .map(|(n, _)| n.clone())
+                .collect();
+            v.sort();
+            v
+        };
+        let name = match candidates.as_slice() {
+            [] => {
+                return Err(CoreError::ServiceNotFound {
+                    type_name: std::any::type_name::<T>(),
+                })
+            }
+            [one] => one.clone(),
+            _ => {
+                return Err(CoreError::AmbiguousService {
+                    type_name: std::any::type_name::<T>(),
+                    candidates,
+                })
+            }
+        };
+        let domain = self.import_by_name(&name, importer)?;
+        let service = domain
+            .symbol_of_type(tid)
+            .ok_or(CoreError::ServiceNotFound {
+                type_name: std::any::type_name::<T>(),
+            })?
+            .get::<T>()?;
+        Ok(ServiceRef {
+            name,
+            domain,
+            service,
+        })
     }
 
     /// Removes a registration; only the original exporter may do so.
@@ -165,11 +281,52 @@ mod tests {
             Identity::kernel("console"),
         )
         .unwrap();
+        let svc = ns
+            .import_typed::<u32>(&Identity::extension("gatekeeper"))
+            .unwrap();
+        assert_eq!(*svc, 1);
+        assert_eq!(svc.name(), "ConsoleService");
+        assert_eq!(*svc.domain().get::<u32>("Console", "version").unwrap(), 1);
+        assert_eq!(ns.stats("ConsoleService"), Some((1, 0)));
+    }
+
+    #[test]
+    fn deprecated_string_import_still_resolves() {
+        let ns = NameServer::new();
+        ns.register(
+            "ConsoleService",
+            console_domain(),
+            Identity::kernel("console"),
+        )
+        .unwrap();
+        #[allow(deprecated)]
         let d = ns
             .import("ConsoleService", &Identity::extension("gatekeeper"))
             .unwrap();
         assert_eq!(*d.get::<u32>("Console", "version").unwrap(), 1);
         assert_eq!(ns.stats("ConsoleService"), Some((1, 0)));
+    }
+
+    #[test]
+    fn typed_import_reports_missing_and_ambiguous_services() {
+        let ns = NameServer::new();
+        let who = Identity::kernel("probe");
+        let err = ns.import_typed::<u32>(&who).unwrap_err();
+        assert!(matches!(err, CoreError::ServiceNotFound { .. }));
+
+        ns.register("B", console_domain(), Identity::kernel("b"))
+            .unwrap();
+        ns.register("A", console_domain(), Identity::kernel("a"))
+            .unwrap();
+        match ns.import_typed::<u32>(&who).unwrap_err() {
+            CoreError::AmbiguousService { candidates, .. } => {
+                assert_eq!(candidates, vec!["A".to_string(), "B".to_string()]);
+            }
+            other => panic!("expected AmbiguousService, got {other:?}"),
+        }
+        // Neither candidate was charged an import.
+        assert_eq!(ns.stats("A"), Some((0, 0)));
+        assert_eq!(ns.stats("B"), Some((0, 0)));
     }
 
     #[test]
@@ -193,9 +350,9 @@ mod tests {
             Some(Arc::new(|who: &Identity| who.is_kernel())),
         )
         .unwrap();
-        assert!(ns.import("Device", &Identity::kernel("fs")).is_ok());
+        assert!(ns.import_typed::<u32>(&Identity::kernel("fs")).is_ok());
         let err = ns
-            .import("Device", &Identity::extension("rogue"))
+            .import_typed::<u32>(&Identity::extension("rogue"))
             .unwrap_err();
         assert!(matches!(err, CoreError::AuthorizationDenied { .. }));
         assert_eq!(ns.stats("Device"), Some((1, 1)));
@@ -209,8 +366,8 @@ mod tests {
         assert!(ns.unregister("C", &Identity::extension("evil")).is_err());
         ns.unregister("C", &owner).unwrap();
         assert!(matches!(
-            ns.import("C", &owner),
-            Err(CoreError::NameNotFound { .. })
+            ns.import_typed::<u32>(&owner),
+            Err(CoreError::ServiceNotFound { .. })
         ));
     }
 

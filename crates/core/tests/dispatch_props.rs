@@ -135,9 +135,10 @@ proptest! {
         let target = Domain::create(builder.sign()).expect("signed");
 
         let (first, second) = if flip_order { (&src_b, &src_a) } else { (&src_a, &src_b) };
-        let n1 = Domain::resolve(first, &target).expect("no type conflicts");
-        let n2 = Domain::resolve(second, &target).expect("no type conflicts");
-        prop_assert_eq!(n1 + n2, names.len());
+        let r1 = Domain::resolve(first, &target).expect("no type conflicts");
+        let r2 = Domain::resolve(second, &target).expect("no type conflicts");
+        prop_assert_eq!(r1.resolved + r2.resolved, names.len());
+        prop_assert!(r2.unresolved.is_empty(), "{:?}", r2.unresolved);
         prop_assert!(target.fully_resolved());
         for (i, slot) in slots.iter().enumerate() {
             prop_assert_eq!(*slot.get().expect("resolved"), i as u64);

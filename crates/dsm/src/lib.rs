@@ -524,6 +524,117 @@ mod tests {
         }
     }
 
+    struct ShardedDsm {
+        rig: spin_net::ShardedPair,
+        node_a: Arc<DsmNode>,
+        node_b: Arc<DsmNode>,
+        trans_a: TranslationService,
+        trans_b: TranslationService,
+        mem_a: PhysMem,
+        mem_b: PhysMem,
+    }
+
+    /// The DSM rig in multicore mode: each node is a kernel shard with
+    /// its own executor and dispatcher; coherence traffic crosses the
+    /// shard boundary through the wire mailboxes.
+    fn sharded_dsm(pages: u64, workers: usize) -> ShardedDsm {
+        let rig = spin_net::ShardedPair::new(workers);
+        let trans_a = TranslationService::new(
+            rig.host_a.mmu.clone(),
+            rig.host_a.clock.clone(),
+            rig.host_a.profile.clone(),
+            &rig.disp_a,
+        );
+        let trans_b = TranslationService::new(
+            rig.host_b.mmu.clone(),
+            rig.host_b.clock.clone(),
+            rig.host_b.profile.clone(),
+            &rig.disp_b,
+        );
+        let phys_a = PhysAddrService::new(rig.host_a.mem.clone(), &rig.disp_a);
+        let phys_b = PhysAddrService::new(rig.host_b.mem.clone(), &rig.disp_b);
+        let virt = spin_vm::VirtAddrService::new();
+        let region = virt.allocate(pages).unwrap();
+        let (ctx_a, ctx_b) = (trans_a.create(), trans_b.create());
+        let node_a = DsmNode::install(
+            &rig.a,
+            &rig.exec_a,
+            &trans_a,
+            &phys_a,
+            &rig.host_a.mem,
+            ctx_a,
+            region.clone(),
+            rig.b.ip_on(spin_net::Medium::Ethernet),
+            true,
+        );
+        let node_b = DsmNode::install(
+            &rig.b,
+            &rig.exec_b,
+            &trans_b,
+            &phys_b,
+            &rig.host_b.mem,
+            ctx_b,
+            region,
+            rig.a.ip_on(spin_net::Medium::Ethernet),
+            false,
+        );
+        let (mem_a, mem_b) = (rig.host_a.mem.clone(), rig.host_b.mem.clone());
+        ShardedDsm {
+            rig,
+            node_a,
+            node_b,
+            trans_a,
+            trans_b,
+            mem_a,
+            mem_b,
+        }
+    }
+
+    #[test]
+    fn sharded_coherence_is_worker_count_invariant() {
+        let run = |workers: usize| -> (Vec<u8>, DsmStats, DsmStats, u64, u64) {
+            let r = sharded_dsm(2, workers);
+            let (ta, ma, ca, base) = (
+                r.trans_a.clone(),
+                r.mem_a.clone(),
+                r.node_a.context(),
+                r.node_a.base(),
+            );
+            let (tb, mb, cb) = (r.trans_b.clone(), r.mem_b.clone(), r.node_b.context());
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let s2 = seen.clone();
+            r.rig.exec_a.spawn("writer-a", move |ctx| {
+                ta.write(ca, base + 10, b"cross-shard!", &ma).unwrap();
+                ctx.sleep(1_000_000);
+            });
+            r.rig.exec_b.spawn("reader-b", move |ctx| {
+                // B's write fetch migrates the page across the shard
+                // boundary, invalidating A's exclusive copy.
+                tb.write(cb, base + 64, b"B", &mb).unwrap();
+                ctx.sleep(5_000_000);
+                let mut buf = [0u8; 12];
+                tb.read(cb, base + 10, &mut buf, &mb).unwrap();
+                s2.lock().extend_from_slice(&buf);
+            });
+            let outcome = r.rig.mc.run_until_idle();
+            assert_eq!(outcome, spin_sched::IdleOutcome::AllComplete);
+            let seen: Vec<u8> = seen.lock().clone();
+            (
+                seen,
+                r.node_a.stats(),
+                r.node_b.stats(),
+                r.rig.host_a.clock.now(),
+                r.rig.host_b.clock.now(),
+            )
+        };
+        let base = run(1);
+        assert_eq!(&base.0[..], b"cross-shard!");
+        assert!(base.2.write_fetches >= 1, "B fetched across the boundary");
+        assert!(base.1.invalidations + base.1.pages_shipped >= 1);
+        assert_eq!(run(2), base, "2 workers diverged");
+        assert_eq!(run(4), base, "4 workers diverged");
+    }
+
     #[test]
     fn written_data_becomes_visible_on_the_peer() {
         let r = dsm_rig(4);

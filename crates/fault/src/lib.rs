@@ -41,6 +41,8 @@ pub const SITE_VM_PAGER: &str = "vm.pager";
 pub const SITE_RT_HEAP: &str = "rt.heap";
 /// Network stack transmit.
 pub const SITE_NET_STACK: &str = "net.stack";
+/// Cross-shard mailbox post (multicore mode).
+pub const SITE_MAILBOX: &str = "sal.mailbox";
 
 /// One injected outcome, decided by [`FaultHook::draw`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +86,15 @@ impl SiteConfig {
     pub fn panic_always() -> SiteConfig {
         SiteConfig {
             panic_every: 1,
+            ..SiteConfig::default()
+        }
+    }
+
+    /// A config that fails on every draw — drops every mailbox envelope,
+    /// refuses every allocation.
+    pub fn fail_always() -> SiteConfig {
+        SiteConfig {
+            fail_every: 1,
             ..SiteConfig::default()
         }
     }

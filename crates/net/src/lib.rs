@@ -45,5 +45,5 @@ pub use stack::{
     SendRequest, SendVerdict, TcpSegment, Topology, UdpPacket,
 };
 pub use tcp::{TcpConn, TcpError, TcpListener, TcpStack, TcpState};
-pub use testrig::{ThreeHosts, TwoHosts};
+pub use testrig::{ShardedPair, ThreeHosts, TwoHosts};
 pub use video::{VideoClient, VideoServer, MULTICAST_GROUP, VIDEO_PORT};

@@ -245,12 +245,12 @@ struct NetInner {
     stats: Arc<AtomicNetStats>,
     /// Observability hook (net domain): absent until wired; the per-frame
     /// paths then pay one atomic load each.
-    obs: Arc<std::sync::OnceLock<ObsHook>>,
+    obs: Arc<spin_core::hooks::HookSlot<ObsHook>>,
     /// Fault-injection hook (`net.stack` site), drawn per transmitted
     /// frame: `Fail` drops the frame as [`NetError::Faulted`], `Delay`
     /// stalls the sender on the virtual clock, `Panic` unwinds (contained
     /// by the dispatcher when transmitting from a handler).
-    faults: Arc<std::sync::OnceLock<spin_fault::FaultHook>>,
+    faults: Arc<spin_core::hooks::HookSlot<spin_fault::FaultHook>>,
     proto_thread: StrandId,
 }
 
@@ -339,7 +339,8 @@ impl NetStack {
         let ev2 = events.clone();
         let stats = Arc::new(AtomicNetStats::default());
         let stats2 = stats.clone();
-        let obs: Arc<std::sync::OnceLock<ObsHook>> = Arc::new(std::sync::OnceLock::new());
+        let obs: Arc<spin_core::hooks::HookSlot<ObsHook>> =
+            Arc::new(spin_core::hooks::HookSlot::new());
         let obs2 = Arc::clone(&obs);
         let proto_thread =
             exec.spawn_on(host.id, &format!("netin-{}", host.id.0), 12, move |ctx| {
@@ -399,7 +400,7 @@ impl NetStack {
             ping_seq: AtomicU16::new(1),
             stats,
             obs,
-            faults: Arc::new(std::sync::OnceLock::new()),
+            faults: Arc::new(spin_core::hooks::HookSlot::new()),
             proto_thread,
         });
         let stack = NetStack { inner };

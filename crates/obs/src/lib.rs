@@ -37,7 +37,7 @@ pub mod ring;
 pub use account::{Accounting, DomainCounters, DomainId, Histogram};
 pub use ring::{Ring, TraceKind, TraceRecord};
 
-use spin_check::sync::{Arc, OnceLock};
+use spin_check::sync::{Arc, OnceLock, RwLock};
 use spin_check::sync::{AtomicBool, Ordering};
 
 /// Virtual nanoseconds (mirrors `spin_sal::Nanos`; kept local so this
@@ -48,11 +48,15 @@ pub type Nanos = u64;
 /// time (typically `move || clock.now()`).
 pub type TimeSource = Arc<dyn Fn() -> Nanos + Send + Sync>;
 
+/// A registered external metric: read on demand at render time.
+type Gauge = (String, Arc<dyn Fn() -> u64 + Send + Sync>);
+
 struct ObsInner {
     recording: AtomicBool,
     ring: Ring,
     accounting: Accounting,
     time: OnceLock<TimeSource>,
+    gauges: RwLock<Vec<Gauge>>,
 }
 
 /// The observability subsystem handle. Cheap to clone; all state is
@@ -74,6 +78,7 @@ impl Obs {
                 ring: Ring::new(capacity),
                 accounting: Accounting::default(),
                 time: OnceLock::new(),
+                gauges: RwLock::new(Vec::new()),
             }),
         };
         for (i, name) in account::WELL_KNOWN.iter().enumerate() {
@@ -121,6 +126,28 @@ impl Obs {
     /// The accounting registry.
     pub fn accounting(&self) -> &Accounting {
         &self.inner.accounting
+    }
+
+    /// Registers an external metric read on demand at render time. `name`
+    /// is the exposition suffix after `spin_` and may carry a label set
+    /// (e.g. `shard_mail_pending{shard="2"}`). Subsystems whose counters
+    /// do not fit the fixed [`DomainCounters`] block — the multicore
+    /// barrier, per-shard mailboxes — publish through this.
+    pub fn register_gauge(&self, name: &str, read: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.inner
+            .gauges
+            .write()
+            .push((name.to_string(), Arc::new(read)));
+    }
+
+    /// Snapshot of the registered external metrics, in registration order.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        self.inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, read)| (name.clone(), read()))
+            .collect()
     }
 
     /// Registers (or finds) a domain and returns a hook handle for it —

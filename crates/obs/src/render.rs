@@ -97,6 +97,9 @@ pub fn prometheus(obs: &Obs) -> String {
     );
     let _ = writeln!(out, "spin_trace_pushed_total {}", obs.ring().pushed());
     let _ = writeln!(out, "spin_trace_dropped_total {}", obs.ring().dropped());
+    for (name, value) in obs.gauges() {
+        let _ = writeln!(out, "spin_{name} {value}");
+    }
     out
 }
 

@@ -68,6 +68,12 @@ pub enum TraceKind {
     PacketTx = 7,
     /// A syscall trapped into the kernel (`a` = syscall number).
     SyscallTrap = 8,
+    /// A cross-shard envelope was drained for delivery (`a` = lane,
+    /// `b` = virtual delivery time).
+    MailDeliver = 9,
+    /// The multicore barrier opened an epoch (`a` = the epoch's global
+    /// virtual time).
+    ShardEpoch = 10,
 }
 
 impl TraceKind {
@@ -83,6 +89,8 @@ impl TraceKind {
             TraceKind::PacketRx => "packet_rx",
             TraceKind::PacketTx => "packet_tx",
             TraceKind::SyscallTrap => "syscall_trap",
+            TraceKind::MailDeliver => "mail_deliver",
+            TraceKind::ShardEpoch => "shard_epoch",
         }
     }
 
@@ -97,6 +105,8 @@ impl TraceKind {
             6 => TraceKind::PacketRx,
             7 => TraceKind::PacketTx,
             8 => TraceKind::SyscallTrap,
+            9 => TraceKind::MailDeliver,
+            10 => TraceKind::ShardEpoch,
             _ => return None,
         })
     }

@@ -211,13 +211,13 @@ pub struct KernelHeap {
     state: Arc<Mutex<HeapState>>,
     /// Observability hook (gc domain): absent until wired, and the alloc
     /// path never consults it — only completed collections report.
-    obs: Arc<std::sync::OnceLock<spin_obs::ObsHook>>,
+    obs: Arc<spin_check::hooks::HookSlot<spin_obs::ObsHook>>,
     /// Fault-injection hook (`rt.heap` site), drawn at the top of every
     /// allocation. `Fail` manifests as [`GcError::HeapFull`] — a heap at
     /// capacity — and `Panic` unwinds (contained by the dispatcher when
     /// the allocating code runs inside a handler). `Delay` is ignored:
     /// the heap has no clock, and allocation charges no virtual time.
-    faults: Arc<std::sync::OnceLock<spin_fault::FaultHook>>,
+    faults: Arc<spin_check::hooks::HookSlot<spin_fault::FaultHook>>,
 }
 
 impl Default for KernelHeap {
@@ -235,8 +235,8 @@ impl KernelHeap {
     /// A heap bounded at `capacity_bytes` of live data.
     pub fn with_capacity(capacity_bytes: usize) -> Self {
         KernelHeap {
-            obs: Arc::new(std::sync::OnceLock::new()),
-            faults: Arc::new(std::sync::OnceLock::new()),
+            obs: Arc::new(spin_check::hooks::HookSlot::new()),
+            faults: Arc::new(spin_check::hooks::HookSlot::new()),
             state: Arc::new(Mutex::new(HeapState {
                 pages: HashMap::new(),
                 next_page: 0,

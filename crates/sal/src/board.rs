@@ -6,12 +6,13 @@
 //! workstation; multi-host experiments share one [`SimBoard`], hence one
 //! virtual timeline, one timer queue and one wire per medium.
 
-use crate::clock::{Clock, TimerQueue};
+use crate::clock::{Clock, Nanos, TimerQueue};
 use crate::cost::MachineProfile;
 use crate::devices::console::Console;
 use crate::devices::disk::{Disk, DiskGeometry};
 use crate::devices::nic::{Nic, NicModel};
 use crate::irq::IrqController;
+use crate::mailbox::{lanes, Mailbox};
 use crate::mem::PhysMem;
 use crate::mmu::Mmu;
 use crate::wire::{Wire, WireEndpoint};
@@ -130,11 +131,139 @@ impl SimBoard {
             clock: self.clock.clone(),
             timers: self.timers.clone(),
             profile: self.profile.clone(),
+            mailbox: Mailbox::new(),
         }
     }
 }
 
 impl Default for SimBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The multicore backplane: every host is a *shard* with its own clock,
+/// timer queue and inbound [`Mailbox`]; the wires deliver cross-host frames
+/// into the destination's mailbox instead of a shared timer queue.
+///
+/// A `spin_sched::Multicore` pumps the shards under a conservative-PDES
+/// virtual-time barrier, so the virtual-time outputs are byte-identical to
+/// a single-threaded pump regardless of how many OS worker threads run the
+/// shards.
+#[derive(Clone)]
+pub struct MulticoreBoard {
+    pub profile: Arc<MachineProfile>,
+    /// The Ethernet segment joining all hosts.
+    pub ethernet: Wire,
+    /// The ATM switch joining all hosts.
+    pub atm: Wire,
+    /// The T3 link.
+    pub t3: Wire,
+    next_host: Arc<Mutex<u32>>,
+}
+
+impl MulticoreBoard {
+    /// Creates a multicore board with the paper's machine profile.
+    pub fn new() -> Self {
+        Self::with_profile(MachineProfile::alpha_axp_3000_400())
+    }
+
+    /// Creates a multicore board with a custom profile.
+    pub fn with_profile(profile: MachineProfile) -> Self {
+        // The wires' fallback clock/timers are never used: every endpoint
+        // on a multicore board attaches shard-style.
+        let idle_clock = Clock::new();
+        let idle_timers = TimerQueue::new();
+        let ethernet = Wire::with_lane_base(
+            idle_clock.clone(),
+            idle_timers.clone(),
+            5_000,
+            lanes::ETHERNET_BASE,
+        );
+        let atm = Wire::with_lane_base(
+            idle_clock.clone(),
+            idle_timers.clone(),
+            3_000,
+            lanes::ATM_BASE,
+        );
+        let t3 = Wire::with_lane_base(idle_clock, idle_timers, 3_000, lanes::T3_BASE);
+        MulticoreBoard {
+            profile: Arc::new(profile),
+            ethernet,
+            atm,
+            t3,
+            next_host: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// The conservative-PDES lookahead: the minimum virtual delay of any
+    /// cross-shard effect (cross-core call vs. the fastest wire). No mail
+    /// posted by a shard at time `t` can be due before `t + lookahead()`.
+    pub fn lookahead(&self) -> Nanos {
+        self.profile
+            .xcall_latency
+            .min(self.ethernet.propagation())
+            .min(self.atm.propagation())
+            .min(self.t3.propagation())
+    }
+
+    /// Builds a workstation shard with its own timeline and mailbox,
+    /// attached to all three media. Endpoints are deterministic: host *i*
+    /// gets endpoint *i* on every medium.
+    pub fn new_host(&self, memory_frames: usize) -> Host {
+        let id = {
+            let mut n = self.next_host.lock();
+            let id = HostId(*n);
+            *n += 1;
+            id
+        };
+        let clock = Clock::new();
+        let timers = TimerQueue::new();
+        let mailbox = Mailbox::new();
+        let irqs = IrqController::new(clock.clone(), self.profile.clone());
+        let endpoint = WireEndpoint(id.0);
+        let nic = |model: NicModel, wire: &Wire, vector| {
+            Nic::new_sharded(
+                model,
+                endpoint,
+                wire.clone(),
+                irqs.clone(),
+                vector,
+                clock.clone(),
+                self.profile.clone(),
+                mailbox.clone(),
+            )
+        };
+        Host {
+            id,
+            mem: PhysMem::new(memory_frames),
+            mmu: Mmu::new(clock.clone(), self.profile.clone()),
+            console: Console::new(clock.clone(), self.profile.clone()),
+            disk: Disk::new(
+                DiskGeometry::default(),
+                clock.clone(),
+                timers.clone(),
+                irqs.clone(),
+                vectors::DISK,
+                self.profile.clone(),
+            ),
+            ethernet: nic(
+                NicModel::lance_ethernet(),
+                &self.ethernet,
+                vectors::ETHERNET,
+            ),
+            atm: nic(NicModel::fore_atm(), &self.atm, vectors::ATM),
+            t3: nic(NicModel::t3_dma(), &self.t3, vectors::T3),
+            irqs,
+            clock,
+            timers,
+            profile: self.profile.clone(),
+            mailbox,
+        }
+    }
+}
+
+impl Default for MulticoreBoard {
     fn default() -> Self {
         Self::new()
     }
@@ -155,6 +284,9 @@ pub struct Host {
     pub clock: Clock,
     pub timers: TimerQueue,
     pub profile: Arc<MachineProfile>,
+    /// Inbound cross-shard messages (multicore mode; empty and unused on a
+    /// shared-timeline [`SimBoard`]).
+    pub mailbox: Mailbox,
 }
 
 impl Host {

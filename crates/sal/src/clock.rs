@@ -14,8 +14,8 @@
 //! ensuring that a handler cannot take over the processor", §3.2) is
 //! reproduced deterministically.
 
-use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
-use spin_check::sync::{Mutex, RwLock};
+use spin_check::hooks::HookRegistry;
+use spin_check::sync::{AtomicU64, Mutex, Ordering};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -27,11 +27,7 @@ pub type Nanos = u64;
 pub type AdvanceHook = Box<dyn Fn(Nanos) + Send + Sync>;
 
 /// Handle to an installed advance hook, usable for removal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct AdvanceHookId(u64);
-
-/// Subscribers to clock charges: (id, hook) in installation order.
-type HookList = Vec<(AdvanceHookId, Arc<dyn Fn(Nanos) + Send + Sync>)>;
+pub type AdvanceHookId = spin_check::hooks::HookId;
 
 /// The shared virtual clock.
 ///
@@ -44,14 +40,12 @@ pub struct Clock {
 #[derive(Default)]
 struct ClockInner {
     now: AtomicU64,
-    /// Snapshot-published subscriber list: writers rebuild-and-swap, the
-    /// charge path clones one `Arc` and calls hooks outside the lock (a
-    /// hook may deschedule the calling thread to effect preemption).
-    hooks: RwLock<Arc<HookList>>,
-    next_hook: AtomicU64,
-    /// Mirrors `!hooks.is_empty()` so the per-charge path skips the lock
-    /// entirely when no subscriber is installed.
-    has_hook: AtomicBool,
+    /// Charge subscribers. The registry publishes an immutable snapshot
+    /// and keeps an atomic presence flag, so the per-charge path pays one
+    /// relaxed load when no subscriber is installed and calls hooks with
+    /// no lock held (a hook may deschedule the calling thread to effect
+    /// preemption).
+    hooks: HookRegistry<Arc<dyn Fn(Nanos) + Send + Sync>>,
 }
 
 impl Clock {
@@ -75,9 +69,7 @@ impl Clock {
             return;
         }
         self.inner.now.fetch_add(ns, Ordering::AcqRel); // ordering: AcqRel — every charge is ordered with every other charge and with now().
-        if self.inner.has_hook.load(Ordering::Acquire) {
-            // ordering: Acquire — pairs with the Release flag store when a hook is armed.
-            let hooks = self.inner.hooks.read().clone();
+        if let Some(hooks) = self.inner.hooks.snapshot() {
             for (_, hook) in hooks.iter() {
                 hook(ns);
             }
@@ -108,44 +100,24 @@ impl Clock {
     /// returned id removes exactly this subscription via
     /// [`Clock::remove_advance_hook`].
     pub fn add_advance_hook(&self, hook: AdvanceHook) -> AdvanceHookId {
-        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
-        let mut slot = self.inner.hooks.write();
-        let mut list: HookList = (**slot).clone();
-        list.push((id, Arc::from(hook)));
-        *slot = Arc::new(list);
-        self.inner.has_hook.store(true, Ordering::Release); // ordering: Release — publishes the rebuilt hook list before the flag flips.
-        id
+        self.inner.hooks.add(Arc::from(hook))
     }
 
     /// Removes one subscription. Returns `true` if it was still installed.
     pub fn remove_advance_hook(&self, id: AdvanceHookId) -> bool {
-        let mut slot = self.inner.hooks.write();
-        let mut list: HookList = (**slot).clone();
-        let before = list.len();
-        list.retain(|(hid, _)| *hid != id);
-        let removed = list.len() != before;
-        if list.is_empty() {
-            self.inner.has_hook.store(false, Ordering::Release); // ordering: Release — the cleared list is visible before the fast path re-arms.
-        }
-        *slot = Arc::new(list);
-        removed
+        self.inner.hooks.remove(id)
     }
 
     /// Installs `hook` as the *only* subscriber, replacing any previous
     /// hooks. Single-subscriber convenience kept for tests and simple rigs;
     /// components that must coexist use [`Clock::add_advance_hook`].
     pub fn set_advance_hook(&self, hook: AdvanceHook) {
-        let mut slot = self.inner.hooks.write();
-        let id = AdvanceHookId(self.inner.next_hook.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
-        *slot = Arc::new(vec![(id, Arc::from(hook))]);
-        self.inner.has_hook.store(true, Ordering::Release); // ordering: Release — publishes the rebuilt hook list before the flag flips.
+        self.inner.hooks.replace_all(Arc::from(hook));
     }
 
     /// Removes every advance hook.
     pub fn clear_advance_hook(&self) {
-        let mut slot = self.inner.hooks.write();
-        self.inner.has_hook.store(false, Ordering::Release); // ordering: Release — the cleared list is visible before the fast path re-arms.
-        *slot = Arc::new(Vec::new());
+        self.inner.hooks.clear();
     }
 }
 

@@ -106,6 +106,13 @@ pub struct MachineProfile {
     pub handler_invoke: u64,
     /// Allocating a small object from the kernel heap fast path.
     pub heap_alloc: u64,
+    /// Number of CPUs on the board (multicore mode shards the kernel one
+    /// executor per CPU; the shared-timeline mode ignores this).
+    pub cpus: usize,
+    /// One-way latency of a cross-core call (inter-processor interrupt +
+    /// mailbox write). Also the conservative-PDES lookahead floor: no
+    /// cross-shard effect lands sooner than this.
+    pub xcall_latency: u64,
 }
 
 impl MachineProfile {
@@ -141,6 +148,8 @@ impl MachineProfile {
             guard_eval: 290,
             handler_invoke: 190,
             heap_alloc: 400,
+            cpus: 4,
+            xcall_latency: 2_000,
         }
     }
 

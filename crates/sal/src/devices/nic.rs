@@ -148,6 +148,33 @@ impl Nic {
         }
     }
 
+    /// [`Nic::new`] for a card living on a kernel shard (multicore mode):
+    /// inbound frames are posted into the shard's mailbox, and the wire
+    /// times this sender against the shard's own clock.
+    #[allow(clippy::too_many_arguments)] // mirrors `new` plus the shard mailbox
+    pub fn new_sharded(
+        model: NicModel,
+        addr: WireEndpoint,
+        wire: Wire,
+        irqs: IrqController,
+        vector: IrqVector,
+        clock: Clock,
+        profile: Arc<MachineProfile>,
+        mailbox: crate::mailbox::Mailbox,
+    ) -> Self {
+        let rx = Arc::new(Mutex::new(VecDeque::new()));
+        wire.attach_shard(addr, rx.clone(), irqs, vector, mailbox, clock.clone());
+        Nic {
+            model,
+            addr,
+            wire,
+            rx,
+            clock,
+            profile,
+            stats: Arc::new(Mutex::new(NicStats::default())),
+        }
+    }
+
     /// The card model.
     pub fn model(&self) -> &NicModel {
         &self.model

@@ -32,15 +32,17 @@ pub mod clock;
 pub mod cost;
 pub mod devices;
 pub mod irq;
+pub mod mailbox;
 pub mod mem;
 pub mod mmu;
 pub mod trap;
 pub mod wire;
 
-pub use board::{Host, HostId, SimBoard};
+pub use board::{Host, HostId, MulticoreBoard, SimBoard};
 pub use clock::{AdvanceHookId, Clock, Nanos, TimerQueue};
 pub use cost::{cycles, MachineProfile, CYCLE_NS};
 pub use irq::{Irq, IrqController, IrqVector};
+pub use mailbox::{lanes, Envelope, MailFate, Mailbox};
 pub use mem::{FrameId, PhysMem};
 pub use mmu::{ContextId, Mmu, MmuFault, PageTable, Protection, Tlb};
 pub use trap::Trap;

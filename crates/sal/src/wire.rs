@@ -9,6 +9,7 @@
 use crate::clock::{Clock, Nanos, TimerQueue};
 use crate::devices::nic::Frame;
 use crate::irq::{IrqController, IrqVector};
+use crate::mailbox::Mailbox;
 use spin_check::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -23,8 +24,21 @@ pub(crate) struct Receiver {
     pub vector: IrqVector,
 }
 
+/// A shard-attached receiver: frames land in the destination shard's
+/// mailbox (multicore mode) instead of the shared timer queue.
+struct ShardReceiver {
+    rx: Arc<Mutex<VecDeque<Frame>>>,
+    irqs: IrqController,
+    vector: IrqVector,
+    mailbox: Mailbox,
+}
+
 struct WireState {
     receivers: HashMap<WireEndpoint, Receiver>,
+    shard_receivers: HashMap<WireEndpoint, ShardReceiver>,
+    /// Multicore mode: each sender's *own* clock tells wire time (there is
+    /// no shared timeline to ask).
+    shard_senders: HashMap<WireEndpoint, Clock>,
     busy_until: HashMap<WireEndpoint, Nanos>,
     delivered: u64,
     dropped: u64,
@@ -42,14 +56,31 @@ pub struct Wire {
     timers: TimerQueue,
     /// Fixed propagation + switch latency per frame.
     propagation: Nanos,
+    /// Mailbox lane namespace for this medium: a frame from endpoint `e`
+    /// travels on lane `lane_base + e`, so no two senders (and no two
+    /// media) ever share a lane.
+    lane_base: u64,
 }
 
 impl Wire {
     /// Creates a wire with the given one-way propagation/switch delay.
     pub fn new(clock: Clock, timers: TimerQueue, propagation: Nanos) -> Self {
+        Self::with_lane_base(clock, timers, propagation, 0)
+    }
+
+    /// [`Wire::new`] with a mailbox lane namespace (multicore boards give
+    /// each medium a disjoint base).
+    pub fn with_lane_base(
+        clock: Clock,
+        timers: TimerQueue,
+        propagation: Nanos,
+        lane_base: u64,
+    ) -> Self {
         Wire {
             state: Arc::new(Mutex::new(WireState {
                 receivers: HashMap::new(),
+                shard_receivers: HashMap::new(),
+                shard_senders: HashMap::new(),
                 busy_until: HashMap::new(),
                 delivered: 0,
                 dropped: 0,
@@ -59,6 +90,7 @@ impl Wire {
             clock,
             timers,
             propagation,
+            lane_base,
         }
     }
 
@@ -73,6 +105,37 @@ impl Wire {
             .lock()
             .receivers
             .insert(endpoint, Receiver { rx, irqs, vector });
+    }
+
+    /// Attaches a shard-resident NIC: inbound frames are posted to the
+    /// shard's mailbox and outbound transmissions are timed against the
+    /// shard's own clock.
+    pub(crate) fn attach_shard(
+        &self,
+        endpoint: WireEndpoint,
+        rx: Arc<Mutex<VecDeque<Frame>>>,
+        irqs: IrqController,
+        vector: IrqVector,
+        mailbox: Mailbox,
+        clock: Clock,
+    ) {
+        let mut st = self.state.lock();
+        st.shard_receivers.insert(
+            endpoint,
+            ShardReceiver {
+                rx,
+                irqs,
+                vector,
+                mailbox,
+            },
+        );
+        st.shard_senders.insert(endpoint, clock);
+    }
+
+    /// The minimum cross-shard delivery delay over this medium (its
+    /// propagation): part of the conservative-PDES lookahead bound.
+    pub fn propagation(&self) -> Nanos {
+        self.propagation
     }
 
     /// Queues `frame` for transmission at the sender's link rate.
@@ -93,8 +156,8 @@ impl Wire {
         bandwidth_bps: u64,
         staging_ns: Nanos,
     ) {
-        let now = self.clock.now();
-        {
+        let tx_time = bits_on_wire.saturating_mul(1_000_000_000) / bandwidth_bps.max(1);
+        let (arrival, dst, dst_mailbox) = {
             let mut st = self.state.lock();
             let idx = st.tx_index;
             st.tx_index += 1;
@@ -104,30 +167,57 @@ impl Wire {
                     return;
                 }
             }
-        }
-        let tx_time = bits_on_wire.saturating_mul(1_000_000_000) / bandwidth_bps.max(1);
-        let (arrival, dst) = {
-            let mut st = self.state.lock();
+            // Multicore mode: wire time is the *sender's* virtual time.
+            let now = st
+                .shard_senders
+                .get(&frame.src)
+                .map(|c| c.now())
+                .unwrap_or_else(|| self.clock.now());
             let busy = st.busy_until.get(&frame.src).copied().unwrap_or(0);
             let start = busy.max(now);
             let done = start + tx_time;
             st.busy_until.insert(frame.src, done);
-            (done + self.propagation + staging_ns, frame.dst)
+            let arrival = done + self.propagation + staging_ns;
+            let mbox = st
+                .shard_receivers
+                .get(&frame.dst)
+                .map(|r| r.mailbox.clone());
+            (arrival, frame.dst, mbox)
         };
         let state = self.state.clone();
-        self.timers.schedule_at(arrival, move |_| {
-            let mut st = state.lock();
-            match st.receivers.get(&dst) {
-                Some(r) => {
-                    r.rx.lock().push_back(frame);
-                    let (irqs, vector) = (r.irqs.clone(), r.vector);
-                    st.delivered += 1;
-                    drop(st);
-                    irqs.post(vector);
-                }
-                None => st.dropped += 1,
+        match dst_mailbox {
+            // Multicore: land in the destination shard's mailbox on the
+            // sender's lane; the shard loop moves it to the local timers.
+            Some(mbox) => {
+                let lane = self.lane_base + frame.src.0 as u64;
+                mbox.post(arrival, lane, move |_| {
+                    let mut st = state.lock();
+                    if let Some(r) = st.shard_receivers.get(&dst) {
+                        r.rx.lock().push_back(frame);
+                        let (irqs, vector) = (r.irqs.clone(), r.vector);
+                        st.delivered += 1;
+                        drop(st);
+                        irqs.post(vector);
+                    }
+                });
             }
-        });
+            // Shared timeline: deliver through the shared timer queue.
+            None => {
+                self.timers.schedule_at(arrival, move |_| {
+                    let mut st = state.lock();
+                    match st.receivers.get(&dst) {
+                        Some(r) => {
+                            r.rx.lock().push_back(frame);
+                            let (irqs, vector) = (r.irqs.clone(), r.vector);
+                            st.delivered += 1;
+                            drop(st);
+                            irqs.post(vector);
+                        }
+                        None => st.dropped += 1,
+                    }
+                });
+            }
+        }
     }
 
     /// Installs a deterministic drop filter for fault injection (e.g.

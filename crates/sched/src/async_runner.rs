@@ -8,8 +8,8 @@
 //! strand.
 
 use crate::executor::Executor;
+use spin_check::sync::{AtomicU64, Ordering};
 use spin_core::{AsyncInvocation, Dispatcher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Wires `dispatcher`'s asynchronous handler execution onto `exec`.
@@ -40,7 +40,7 @@ pub fn install_async_runner(exec: &Arc<Executor>, dispatcher: &Dispatcher) -> Ar
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use spin_check::sync::Mutex;
     use spin_core::{Constraints, HandlerMode, Identity, InstallDecision};
     use spin_sal::SimBoard;
 

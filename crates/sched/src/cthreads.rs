@@ -176,7 +176,7 @@ impl CCondition {
 /// cycle), in virtual nanoseconds — the Table 3 workload.
 pub fn measure_fork_join(style: CThreadsImpl, exec: &Arc<Executor>) -> Nanos {
     let pkg = CThreads::new(exec.clone(), style);
-    let result = Arc::new(parking_lot::Mutex::new(0u64));
+    let result = Arc::new(spin_check::sync::Mutex::new(0u64));
     let r2 = result.clone();
     let clock = exec.clock().clone();
     exec.spawn("driver", move |ctx| {
@@ -197,8 +197,8 @@ pub fn measure_ping_pong(style: CThreadsImpl, exec: &Arc<Executor>) -> Nanos {
     let pkg = CThreads::new(exec.clone(), style);
     let m = Arc::new(pkg.mutex());
     let c = Arc::new(pkg.condition());
-    let turn = Arc::new(parking_lot::Mutex::new(0u64));
-    let elapsed = Arc::new(parking_lot::Mutex::new(0u64));
+    let turn = Arc::new(spin_check::sync::Mutex::new(0u64));
+    let elapsed = Arc::new(spin_check::sync::Mutex::new(0u64));
     let clock = exec.clock().clone();
     for i in 0..2u64 {
         let (pkg, m, c, turn) = (pkg.clone(), m.clone(), c.clone(), turn.clone());

@@ -100,7 +100,7 @@ impl StrandEvents {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use spin_check::sync::Mutex;
     use spin_sal::SimBoard;
 
     fn rig() -> (Arc<Executor>, Dispatcher, StrandEvents) {

@@ -20,15 +20,15 @@
 //! deadlock-free while preserving quantum semantics on the virtual
 //! timeline.
 
-use parking_lot::{Condvar, Mutex};
+use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
+use spin_check::sync::{Condvar, Mutex};
 use spin_core::DeadlineExceeded;
 use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, HostId, IrqController, MachineProfile, Nanos, TimerQueue};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Identifier of a strand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -176,11 +176,11 @@ pub struct Executor {
     hooks: Mutex<Hooks>,
     /// Observability hook (scheduler domain): absent until wired, and the
     /// per-charge/per-switch fast path is then a single atomic load.
-    obs: OnceLock<ObsHook>,
+    obs: spin_core::hooks::HookSlot<ObsHook>,
     /// Fault-injection hook (`sched.executor` site): absent until wired;
     /// drawn once at each strand body's entry, inside the containment
     /// `catch_unwind`, so an injected panic never kills the process.
-    faults: OnceLock<FaultHook>,
+    faults: spin_core::hooks::HookSlot<FaultHook>,
 }
 
 impl Executor {
@@ -204,8 +204,8 @@ impl Executor {
             quantum_used: AtomicU64::new(0),
             preempt_pending: AtomicBool::new(false),
             hooks: Mutex::new(Hooks::default()),
-            obs: OnceLock::new(),
-            faults: OnceLock::new(),
+            obs: spin_core::hooks::HookSlot::new(),
+            faults: spin_core::hooks::HookSlot::new(),
         });
         // Charge the running strand and arm preemption at quantum expiry.
         // Subscribes alongside other clock observers (the obs accounting
@@ -553,6 +553,40 @@ impl Executor {
                 }
             }
         }
+    }
+
+    /// The earliest virtual time at which this executor has something to
+    /// do: *now* if a strand is runnable or an interrupt is pending,
+    /// otherwise the next timer deadline (clamped to now — a stale due
+    /// timer is actionable immediately, not in the past). `None` means
+    /// fully idle. This is a shard's event horizon in the conservative-PDES
+    /// barrier (`Multicore`).
+    pub fn next_event_time(&self) -> Option<Nanos> {
+        let now = self.clock.now();
+        let has_ready = {
+            let st = self.state.lock();
+            st.strands.values().any(|i| i.state == RunState::Ready)
+        };
+        if has_ready || self.irqs.lock().iter().any(|i| i.has_pending()) {
+            return Some(now);
+        }
+        self.timers.next_deadline().map(|t| t.max(now))
+    }
+
+    /// Names of blocked non-daemon strands (sorted). A shard that is idle
+    /// with a non-empty list is deadlocked *locally*; whether that is a
+    /// system deadlock is decided by the multicore barrier, which also sees
+    /// in-flight cross-shard mail.
+    pub fn blocked_strands(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut v: Vec<String> = st
+            .strands
+            .values()
+            .filter(|i| i.state == RunState::Blocked && !i.daemon)
+            .map(|i| i.name.clone())
+            .collect();
+        v.sort();
+        v
     }
 
     /// Marks a strand as a daemon: it may remain blocked forever without

@@ -16,10 +16,10 @@
 
 use crate::events::{StrandEvents, StrandRef};
 use crate::executor::{Executor, StrandCtx, StrandId};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicU64, Ordering};
 use spin_core::Identity;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A schedulable task: a priority and a body.

@@ -57,7 +57,7 @@ impl M3Threads {
 pub fn measure_kernel_fork_join(exec: &Arc<Executor>) -> u64 {
     let t = M3Threads::new(exec.clone());
     let clock = exec.clock().clone();
-    let elapsed = Arc::new(parking_lot::Mutex::new(0u64));
+    let elapsed = Arc::new(spin_check::sync::Mutex::new(0u64));
     let (t2, e2) = (t.clone(), elapsed.clone());
     t.fork("driver", move |ctx| {
         let t0 = clock.now();
@@ -79,8 +79,8 @@ pub fn measure_kernel_ping_pong(exec: &Arc<Executor>) -> u64 {
     let clock = exec.clock().clone();
     let m = t.mutex();
     let c = t.condition();
-    let turn = Arc::new(parking_lot::Mutex::new(0u64));
-    let elapsed = Arc::new(parking_lot::Mutex::new(0u64));
+    let turn = Arc::new(spin_check::sync::Mutex::new(0u64));
+    let elapsed = Arc::new(spin_check::sync::Mutex::new(0u64));
     for i in 0..2u64 {
         let (m, c, turn) = (m.clone(), c.clone(), turn.clone());
         let (clock, elapsed) = (clock.clone(), elapsed.clone());
@@ -109,7 +109,7 @@ pub fn measure_kernel_ping_pong(exec: &Arc<Executor>) -> u64 {
 mod tests {
     use super::*;
     use crate::executor::IdleOutcome;
-    use parking_lot::Mutex;
+    use spin_check::sync::Mutex;
     use spin_sal::SimBoard;
 
     fn pkg() -> M3Threads {

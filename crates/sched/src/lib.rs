@@ -19,7 +19,10 @@
 //!   user-level C-Threads structures of Table 3 ([`CThreads`], layered vs
 //!   integrated);
 //! * **user-level contexts** and the protected cross-address-space call
-//!   path of Table 2 ([`UserProcess`], [`XasService`]).
+//!   path of Table 2 ([`UserProcess`], [`XasService`]);
+//! * **per-core kernel shards**: one executor per simulated host, pumped
+//!   concurrently by real OS threads under a conservative virtual-time
+//!   barrier with deterministic cross-shard mail ([`Multicore`]).
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +34,7 @@ pub mod group;
 pub mod kthread;
 pub mod lottery;
 pub mod osf_threads;
+pub mod shard;
 pub mod sync;
 pub mod user;
 
@@ -44,5 +48,6 @@ pub use group::{PackageStats, TaskPackage};
 pub use kthread::{measure_kernel_fork_join, measure_kernel_ping_pong, M3Threads};
 pub use lottery::{LotteryPolicy, TicketBook};
 pub use osf_threads::{OsfThreads, WaitChannel};
+pub use shard::{Multicore, MulticoreStats, Shard};
 pub use sync::{KChannel, KCondition, KMutex};
 pub use user::{measure_xas_call, UserProcess, XasClient, XasService};

@@ -9,9 +9,9 @@
 //! reproducible.
 
 use crate::executor::{SchedulerPolicy, StrandId};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use spin_check::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

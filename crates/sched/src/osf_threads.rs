@@ -8,7 +8,7 @@
 //! directly from strands and not layered on top of others".
 
 use crate::executor::{Executor, StrandCtx, StrandId};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

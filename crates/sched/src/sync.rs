@@ -8,7 +8,7 @@
 //! lock — the executor provides the atomicity.
 
 use crate::executor::{Executor, StrandCtx, StrandId};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 

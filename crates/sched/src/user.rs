@@ -148,7 +148,7 @@ pub fn measure_xas_call(exec: &Arc<Executor>) -> Nanos {
     let service = XasService::start(exec, "null", |x| x);
     let client = service.client();
     let clock = exec.clock().clone();
-    let elapsed = Arc::new(parking_lot::Mutex::new(0u64));
+    let elapsed = Arc::new(spin_check::sync::Mutex::new(0u64));
     let e2 = elapsed.clone();
     exec.spawn("client", move |ctx| {
         // Warm up the server strand.
@@ -193,7 +193,7 @@ mod tests {
         let (_kernel, exec) = rig();
         let service = XasService::start(&exec, "double", |x| x * 2);
         let client = service.client();
-        let got = Arc::new(parking_lot::Mutex::new(0u64));
+        let got = Arc::new(spin_check::sync::Mutex::new(0u64));
         let g2 = got.clone();
         exec.spawn("client", move |ctx| {
             *g2.lock() = client.call(ctx, 21).expect("service alive");
@@ -218,7 +218,7 @@ mod tests {
         let service = XasService::start(&exec, "s", |x| x);
         let client = service.client();
         service.stop();
-        let got = Arc::new(parking_lot::Mutex::new(Some(0u64)));
+        let got = Arc::new(spin_check::sync::Mutex::new(Some(0u64)));
         let g2 = got.clone();
         exec.spawn("client", move |ctx| {
             *g2.lock() = client.call(ctx, 1);

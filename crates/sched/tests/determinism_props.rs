@@ -2,8 +2,8 @@
 //! same workload produces bit-identical schedules, virtual times and CPU
 //! accounting on every run — plus scheduling-invariant checks.
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
+use spin_check::sync::Mutex;
 use spin_sal::SimBoard;
 use spin_sched::{Executor, IdleOutcome, StrandCtx};
 use std::sync::Arc;

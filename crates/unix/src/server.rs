@@ -86,7 +86,7 @@ pub struct UnixServer {
     next_pid: Arc<AtomicU32>,
     /// Observability hook (unix domain): absent until wired; server calls
     /// then pay one atomic load each.
-    obs: Arc<std::sync::OnceLock<ObsHook>>,
+    obs: Arc<spin_core::hooks::HookSlot<ObsHook>>,
 }
 
 impl UnixServer {
@@ -106,7 +106,7 @@ impl UnixServer {
                 procs: HashMap::new(),
             })),
             next_pid: Arc::new(AtomicU32::new(1)),
-            obs: Arc::new(std::sync::OnceLock::new()),
+            obs: Arc::new(spin_core::hooks::HookSlot::new()),
         };
         // getpid(pid) and brk-query are pure register calls; install them
         // in the server's band as the paper's server does.

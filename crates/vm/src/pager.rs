@@ -12,13 +12,14 @@ use crate::phys::{PhysAddrService, PhysAttrib, PhysRegion};
 use crate::translation::{FaultAction, FaultInfo, TranslationService};
 use crate::virt::VirtRegion;
 use parking_lot::Mutex;
+use spin_core::hooks::HookSlot;
 use spin_core::Identity;
 use spin_fault::{FaultHook, Injection};
 use spin_sal::devices::disk::{BlockId, Disk, DiskRequest};
 use spin_sal::mmu::ContextId;
 use spin_sal::{Protection, PAGE_SHIFT};
 use spin_sched::{Executor, KChannel};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Statistics for a pager instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,7 +38,7 @@ pub struct DiskPager {
     /// handler and is contained by the dispatcher; an injected failure
     /// surfaces as `FaultAction::Fail` — a pager that could not service
     /// the fault.
-    faults: Arc<OnceLock<FaultHook>>,
+    faults: Arc<HookSlot<FaultHook>>,
 }
 
 impl DiskPager {
@@ -56,7 +57,7 @@ impl DiskPager {
         let pager = Arc::new(DiskPager {
             stats: Arc::new(Mutex::new(PagerStats::default())),
             resident: Arc::new(Mutex::new(Vec::new())),
-            faults: Arc::new(OnceLock::new()),
+            faults: Arc::new(HookSlot::new()),
         });
         let (stats, resident) = (pager.stats.clone(), pager.resident.clone());
         let fault_hook = pager.faults.clone();

@@ -36,18 +36,23 @@ impl VmService {
         kernel.publish(Interface::new("PhysAddr").export("service", Arc::new(phys.clone())));
         kernel.publish(Interface::new("VirtAddr").export("service", Arc::new(virt.clone())));
         kernel.publish(Interface::new("Translation").export("service", Arc::new(trans.clone())));
+        let svc = VmService { phys, virt, trans };
+        // The bundle handle itself is the typed-import anchor: the three
+        // per-service types are also exported through SpinPublic, so
+        // `import_typed::<VmService>()` is the unambiguous way in.
         let domain = spin_core::Domain::create_from_module(
             "vm",
             vec![
-                Interface::new("PhysAddr").export("service", Arc::new(phys.clone())),
-                Interface::new("VirtAddr").export("service", Arc::new(virt.clone())),
-                Interface::new("Translation").export("service", Arc::new(trans.clone())),
+                Interface::new("Vm").export("service", Arc::new(svc.clone())),
+                Interface::new("PhysAddr").export("service", Arc::new(svc.phys.clone())),
+                Interface::new("VirtAddr").export("service", Arc::new(svc.virt.clone())),
+                Interface::new("Translation").export("service", Arc::new(svc.trans.clone())),
             ],
         );
         let _ = kernel
             .nameserver()
             .register("MemoryServices", domain, Identity::kernel("vm"));
-        VmService { phys, virt, trans }
+        svc
     }
 }
 
@@ -66,11 +71,13 @@ mod tests {
         assert_eq!(phys.free_frames(), vm.phys.free_frames());
         let _trans: Arc<TranslationService> =
             kernel.spin_public().get("Translation", "service").unwrap();
-        let d = kernel
+        let svc = kernel
             .nameserver()
-            .import("MemoryServices", &Identity::extension("pager"))
+            .import_typed::<VmService>(&Identity::extension("pager"))
             .unwrap();
-        assert!(d.lookup_symbol("VirtAddr", "service").is_some());
+        assert_eq!(svc.name(), "MemoryServices");
+        assert!(svc.domain().lookup_symbol("VirtAddr", "service").is_some());
+        assert_eq!(svc.phys.free_frames(), vm.phys.free_frames());
     }
 
     #[test]

@@ -18,13 +18,14 @@
 use crate::phys::{PhysError, PhysRegion};
 use crate::virt::VirtRegion;
 use parking_lot::Mutex;
+use spin_core::hooks::HookSlot;
 use spin_core::{Dispatcher, Event, EventOwner, Identity};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::mmu::{Access, ContextId, MmuFault, Pte};
 use spin_sal::{Clock, FrameId, MachineProfile, Mmu, Protection, PAGE_SHIFT};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Information passed to fault handlers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,7 +107,7 @@ pub struct TranslationService {
     owners: Arc<(FaultOwner, FaultOwner, FaultOwner)>,
     /// Observability hook (vm domain): absent until wired, and the fault
     /// path then pays one atomic load. Charges zero virtual time.
-    obs: Arc<OnceLock<ObsHook>>,
+    obs: Arc<HookSlot<ObsHook>>,
 }
 
 impl TranslationService {
@@ -149,7 +150,7 @@ impl TranslationService {
                 protection_fault: prot,
             },
             owners: Arc::new((pnp_o, bad_o, prot_o)),
-            obs: Arc::new(OnceLock::new()),
+            obs: Arc::new(HookSlot::new()),
         }
     }
 

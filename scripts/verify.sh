@@ -47,6 +47,22 @@ for bin in table2_comm fig5_stack; do
     }
 done
 
+echo "==> multicore invariance: shard barrier determinism at 1/2/4 workers"
+# The sharded suites re-run every scenario at worker counts 1, 2 and 4 and
+# assert byte-identical virtual outputs; s7_multicore does the same for the
+# Table 6 forwarding topology (exits nonzero on any divergence). The golden
+# diffs above stay the shared-timeline gate: those bins must not change by
+# a byte whether or not the shard machinery is compiled in.
+cargo test -q --test multicore_shards
+cargo test -q -p spin-net sharded
+cargo test -q -p spin-dsm sharded
+(cd "$SMOKE_DIR" && cargo run -q --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p spin-bench --bin s7_multicore -- --json > /dev/null)
+test -s "$SMOKE_DIR/BENCH_multicore.json" || {
+    echo "verify: s7_multicore emitted no BENCH_multicore.json" >&2
+    exit 1
+}
+
 echo "==> spin-audit: unsafe/ordering audit gate"
 cargo run -q -p spin-check --bin spin-audit
 

@@ -64,13 +64,15 @@ fn nameserver_authorization_gates_device_interfaces() {
             })),
         )
         .unwrap();
-    assert!(k
+    let disk = k
         .nameserver()
-        .import("DiskService", &Identity::extension("fs"))
-        .is_ok());
+        .import_typed::<u32>(&Identity::extension("fs"))
+        .expect("fs is authorized");
+    assert_eq!(disk.name(), "DiskService");
+    assert_eq!(*disk, 0);
     assert!(matches!(
         k.nameserver()
-            .import("DiskService", &Identity::extension("game")),
+            .import_typed::<u32>(&Identity::extension("game")),
         Err(CoreError::AuthorizationDenied { .. })
     ));
 }

@@ -1,0 +1,169 @@
+//! Multicore shard integration: cross-shard raises racing handler churn,
+//! global deadlock aggregation, and deterministic fault injection on the
+//! mailbox edge — all byte-identical at 1, 2 and 4 worker threads.
+
+use spin_core::{Dispatcher, Identity};
+use spin_sal::{MulticoreBoard, Nanos};
+use spin_sched::{IdleOutcome, Multicore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cross-shard raises from shard A race a handler install/uninstall churn
+/// loop on shard B. Every raise is delivered on B's timeline at a
+/// deterministic virtual time, so the set of raises that see the extra
+/// handler — and therefore the exact hit count — is a pure function of
+/// virtual time, not of the OS scheduler.
+#[test]
+fn cross_shard_raises_race_handler_churn_deterministically() {
+    let run = |workers: usize| -> (u64, u64, Nanos, Nanos, u64) {
+        let board = MulticoreBoard::new();
+        let mut mc = Multicore::new(workers, board.lookahead());
+        let a = board.new_host(16);
+        let b = board.new_host(16);
+        let (a_id, b_id) = (a.id, b.id);
+        let disp_a = Dispatcher::new(a.clock.clone(), a.profile.clone());
+        let disp_b = Dispatcher::new(b.clock.clone(), b.profile.clone());
+        let ea = mc.add_host(a);
+        let eb = mc.add_host(b);
+        mc.wire_dispatcher(&disp_a, a_id);
+        mc.wire_dispatcher(&disp_b, b_id);
+
+        let (ev, owner) = disp_b.define::<u64, u64>("Churn.Tick", Identity::kernel("b"));
+        let primary_hits = Arc::new(AtomicU64::new(0));
+        let extra_hits = Arc::new(AtomicU64::new(0));
+        let p2 = primary_hits.clone();
+        owner
+            .set_primary(move |x| {
+                p2.fetch_add(1, Ordering::Relaxed);
+                *x
+            })
+            .expect("fresh event");
+
+        // Shard B: install/uninstall a secondary handler in a tight churn
+        // loop, exercising the dispatcher's snapshot plan swap from the
+        // same shard the deliveries land on.
+        let churn_ev = ev.clone();
+        let churn_disp = disp_b.clone();
+        let churn_extra = extra_hits.clone();
+        eb.spawn("churner", move |ctx| {
+            for _ in 0..12 {
+                let e2 = churn_extra.clone();
+                let id = churn_ev
+                    .install(Identity::extension("churn"), move |x: &u64| {
+                        e2.fetch_add(1, Ordering::Relaxed);
+                        *x
+                    })
+                    .expect("install");
+                ctx.sleep(40_000);
+                churn_disp
+                    .uninstall(&churn_ev, id, &Identity::extension("churn"))
+                    .expect("uninstall");
+                ctx.sleep(40_000);
+            }
+        });
+
+        // Shard A: fire cross-shard raises into the churn window.
+        ea.spawn("raiser", move |ctx| {
+            for _ in 0..25 {
+                let posted = disp_a.raise_on(b_id, &ev, 1).expect("routed");
+                assert!(posted.is_none(), "cross-shard raises are async");
+                ctx.sleep(30_000);
+            }
+        });
+
+        assert_eq!(mc.run_until_idle(), IdleOutcome::AllComplete);
+        let st = mc.stats();
+        (
+            primary_hits.load(Ordering::Relaxed),
+            extra_hits.load(Ordering::Relaxed),
+            mc.shard(a_id).expect("shard a").host.clock.now(),
+            mc.shard(b_id).expect("shard b").host.clock.now(),
+            st.mail_posted,
+        )
+    };
+    let base = run(1);
+    assert_eq!(base.0, 25, "every cross-shard raise reached the primary");
+    assert!(base.4 >= 25, "raises travelled via the mailbox");
+    assert_eq!(run(2), base, "2 workers diverged");
+    assert_eq!(run(4), base, "4 workers diverged");
+}
+
+/// A strand blocked forever on one shard is reported in the *global*
+/// deadlock verdict — only once every shard is idle and no cross-shard
+/// mail is in flight that could still wake it.
+#[test]
+fn global_deadlock_aggregates_blocked_strands_across_shards() {
+    let board = MulticoreBoard::new();
+    let mut mc = Multicore::new(2, board.lookahead());
+    let ea = mc.add_host(board.new_host(16));
+    let eb = mc.add_host(board.new_host(16));
+    ea.spawn("worker", |ctx| ctx.work(50_000));
+    eb.spawn("stuck", |ctx| ctx.block());
+    match mc.run_until_idle() {
+        IdleOutcome::Deadlock { blocked } => assert_eq!(blocked, vec!["stuck".to_string()]),
+        other => panic!("expected a global deadlock, got {other:?}"),
+    }
+}
+
+/// Injected delays on the mailbox edge shift deliveries by a
+/// deterministic draw, so the delayed timeline is *also* identical at
+/// every worker count — fault injection composes with the barrier.
+#[test]
+fn mailbox_delay_injection_stays_worker_count_invariant() {
+    let run = |workers: usize| -> (u64, Nanos, u64) {
+        let board = MulticoreBoard::new();
+        let mut mc = Multicore::new(workers, board.lookahead());
+        let a = board.new_host(16);
+        let b = board.new_host(16);
+        let (a_id, b_id) = (a.id, b.id);
+        let disp_a = Dispatcher::new(a.clock.clone(), a.profile.clone());
+        let disp_b = Dispatcher::new(b.clock.clone(), b.profile.clone());
+        let ea = mc.add_host(a);
+        let _eb = mc.add_host(b);
+        mc.wire_dispatcher(&disp_a, a_id);
+        mc.wire_dispatcher(&disp_b, b_id);
+        let plan = spin_fault::FaultPlan::new(42);
+        plan.configure(
+            spin_fault::SITE_MAILBOX,
+            spin_fault::SiteConfig {
+                delay_every: 2,
+                delay_ns: 500_000,
+                ..Default::default()
+            },
+        );
+        mc.set_fault_hook(plan.hook(spin_fault::SITE_MAILBOX));
+
+        let (ev, owner) = disp_b.define::<u64, u64>("Delayed.Tick", Identity::kernel("b"));
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        owner
+            .set_primary(move |x| {
+                h2.fetch_add(1, Ordering::Relaxed);
+                *x
+            })
+            .expect("fresh event");
+        ea.spawn("raiser", move |ctx| {
+            for _ in 0..8 {
+                let _ = disp_a.raise_on(b_id, &ev, 1).expect("routed");
+                ctx.sleep(100_000);
+            }
+        });
+        assert_eq!(mc.run_until_idle(), IdleOutcome::AllComplete);
+        let delays = plan
+            .report()
+            .into_iter()
+            .find(|r| r.site == spin_fault::SITE_MAILBOX)
+            .expect("site configured")
+            .delays;
+        (
+            hits.load(Ordering::Relaxed),
+            mc.shard(b_id).expect("shard b").host.clock.now(),
+            delays,
+        )
+    };
+    let base = run(1);
+    assert_eq!(base.0, 8, "delays shift deliveries, never lose them");
+    assert!(base.2 >= 1, "the plan actually injected delays");
+    assert_eq!(run(2), base, "2 workers diverged");
+    assert_eq!(run(4), base, "4 workers diverged");
+}

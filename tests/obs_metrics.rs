@@ -115,15 +115,15 @@ fn obs_service_is_importable_from_the_nameserver() {
     let kernel = Kernel::boot(rig.host_a.clone());
     let _snapshot = kernel.install_obs(&obs);
 
-    // An extension imports the subsystem like any other kernel interface.
-    let domain = kernel
+    // An extension imports the subsystem like any other kernel interface —
+    // by the service type, not a registration string (API v2).
+    let svc = kernel
         .nameserver()
-        .import("ObsService", &Identity::extension("profiler"))
+        .import_typed::<Obs>(&Identity::extension("profiler"))
         .expect("ObsService registered");
-    assert_eq!(domain.name(), "ObsService");
-    let handle: Arc<Obs> = domain
-        .get("ObsService", "obs")
-        .expect("obs handle exported");
+    assert_eq!(svc.name(), "ObsService");
+    assert_eq!(svc.domain().name(), "ObsService");
+    let handle: Arc<Obs> = svc.service().clone();
     handle
         .domain("profiler")
         .trace(spin_obs::TraceKind::EventRaise, 0, 0);

@@ -1,0 +1,202 @@
+//! The guard-set-compilation cost-model invariant, enforced on the real
+//! network workloads: installing a service through keyed (compilable)
+//! guards charges exactly the virtual time the equivalent opaque-closure
+//! installation charges — with observability absent (coalesced miss
+//! charges) and wired (charge-by-charge replay) alike — and the keyed
+//! installations actually take the compiled path.
+
+use spin_bench::Row;
+use spin_core::Identity;
+use spin_net::{udp_round_trip, Forwarder, Medium, ThreeHosts, TwoHosts, UdpPacket};
+use spin_obs::Obs;
+use spin_sal::Nanos;
+use std::sync::Arc;
+
+/// The echo port [`udp_round_trip`] serves on; a keyed watcher guarding a
+/// different port is an always-false guard.
+const ECHO_PORT: u16 = 7;
+const UNUSED_PORT: u16 = 9;
+
+fn watcher_rig(obs: Option<&Obs>) -> TwoHosts {
+    let rig = TwoHosts::new();
+    if let Some(obs) = obs {
+        rig.wire_obs(obs);
+    }
+    rig
+}
+
+/// RTT with `extra` watcher guards on the server's UDP arrival event,
+/// installed keyed or opaque; returns the RTT and whether the server
+/// event dispatched compiled.
+fn watcher_rtt(extra: usize, keyed: bool, pass: bool, obs: Option<&Obs>) -> (Nanos, bool) {
+    let rig = watcher_rig(obs);
+    let port = if pass { ECHO_PORT } else { UNUSED_PORT };
+    for i in 0..extra {
+        let ident = Identity::extension(&format!("watcher-{i}"));
+        let ev = &rig.b.events().udp_arrived;
+        if keyed {
+            ev.install_keyed(
+                ident,
+                &rig.b.events().udp_port_key,
+                u64::from(port),
+                |_p: &UdpPacket| {},
+            )
+            .expect("install keyed watcher");
+        } else {
+            ev.install_guarded(
+                ident,
+                move |p: &UdpPacket| p.header.dst_port == port,
+                |_p: &UdpPacket| {},
+            )
+            .expect("install opaque watcher");
+        }
+    }
+    let rtt = udp_round_trip(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 16, 8);
+    let stats = rig
+        .dispatcher
+        .stats(&rig.b.events().udp_arrived)
+        .expect("event alive");
+    (rtt, stats.compiled_raises > 0)
+}
+
+#[test]
+fn keyed_watchers_charge_identical_rtt() {
+    for obs in [None, Some(Obs::new(4096))] {
+        let obs = obs.as_ref();
+        for extra in [10, 100] {
+            for pass in [false, true] {
+                let (opaque, _) = watcher_rtt(extra, false, pass, obs);
+                let (keyed, compiled) = watcher_rtt(extra, true, pass, obs);
+                assert_eq!(
+                    opaque,
+                    keyed,
+                    "keyed vs opaque watcher RTT diverged \
+                     (extra={extra}, pass={pass}, obs={})",
+                    obs.is_some()
+                );
+                assert!(compiled, "keyed watchers must dispatch compiled");
+            }
+        }
+    }
+}
+
+/// The Table 6 forward workload (client → forwarder → echo server), whose
+/// forwarder installs keyed and key-range guards since the migration.
+fn forward_rtt(obs: Option<&Obs>) -> (Nanos, bool) {
+    let rig = ThreeHosts::new();
+    if let Some(obs) = obs {
+        rig.wire_obs(obs);
+    }
+    let medium = Medium::Ethernet;
+    let _fwd = Forwarder::install_udp(&rig.b, ECHO_PORT, rig.c.ip_on(medium));
+    let c2 = rig.c.clone();
+    rig.c
+        .udp_bind(ECHO_PORT, "echo", move |p| {
+            let _ = c2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .expect("bind echo");
+    let reply = rig.a.udp_channel(9000, "client", 4).expect("bind client");
+    let b_ip = rig.b.ip_on(medium);
+    let a = rig.a.clone();
+    let clock = rig.exec.clock().clone();
+    let out = Arc::new(parking_lot::Mutex::new(0u64));
+    let o2 = out.clone();
+    const ROUNDS: u64 = 8;
+    rig.exec.spawn("driver", move |ctx| {
+        a.udp_send(9000, b_ip, ECHO_PORT, &[0u8; 16]).unwrap();
+        reply.recv(ctx); // warm-up
+        let t0 = clock.now();
+        for _ in 0..ROUNDS {
+            a.udp_send(9000, b_ip, ECHO_PORT, &[0u8; 16]).unwrap();
+            reply.recv(ctx);
+        }
+        *o2.lock() = (clock.now() - t0) / ROUNDS;
+    });
+    rig.exec.run_until_idle();
+    let rtt = *out.lock();
+    let stats = rig
+        .dispatcher
+        .stats(&rig.b.events().udp_arrived)
+        .expect("event alive");
+    (rtt, stats.compiled_raises > 0)
+}
+
+#[test]
+fn keyed_forwarder_charges_identical_table6_rtt() {
+    let (absent, compiled) = forward_rtt(None);
+    assert!(compiled, "the keyed forwarder must dispatch compiled");
+    assert!(absent > 0, "the forward workload must complete");
+    let obs = Obs::new(4096);
+    let (wired, _) = forward_rtt(Some(&obs));
+    assert_eq!(
+        absent, wired,
+        "compiled forwarder RTT diverged between coalesced and replayed charges"
+    );
+    // Sanity for the golden: the Table 6 row derived from this number is
+    // what scripts/goldens/BENCH_table6_forward.json pins byte-for-byte.
+    let row = Row::new("Protocol forwarding, UDP", 65.0, absent as f64 / 1000.0);
+    assert!(row.measured > 0.0);
+}
+
+/// An echo service bound through the keyed [`spin_net::NetStack::udp_bind`]
+/// vs the same service installed as an opaque port-comparison guard: the
+/// round trip charges identical virtual time.
+fn echo_rtt(keyed: bool, obs: Option<&Obs>) -> Nanos {
+    let rig = watcher_rig(obs);
+    let server = rig.b.clone();
+    if keyed {
+        rig.b
+            .udp_bind(ECHO_PORT, "echo", move |p| {
+                let _ = server.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+            })
+            .expect("bind echo");
+    } else {
+        rig.b
+            .events()
+            .udp_arrived
+            .install_guarded(
+                Identity::extension("echo"),
+                |p: &UdpPacket| p.header.dst_port == ECHO_PORT,
+                move |p: &UdpPacket| {
+                    let _ = server.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+                },
+            )
+            .expect("install opaque echo");
+    }
+    let reply = rig.a.udp_channel(6000, "client", 4).expect("bind client");
+    let dst = rig.b.ip_on(Medium::Ethernet);
+    let a = rig.a.clone();
+    let clock = rig.exec.clock().clone();
+    let out = Arc::new(parking_lot::Mutex::new(0u64));
+    let o2 = out.clone();
+    const ROUNDS: u64 = 8;
+    rig.exec.spawn("driver", move |ctx| {
+        a.udp_send(6000, dst, ECHO_PORT, &[0u8; 16]).unwrap();
+        reply.recv(ctx); // warm-up
+        let t0 = clock.now();
+        for _ in 0..ROUNDS {
+            a.udp_send(6000, dst, ECHO_PORT, &[0u8; 16]).unwrap();
+            reply.recv(ctx);
+        }
+        *o2.lock() = (clock.now() - t0) / ROUNDS;
+    });
+    rig.exec.run_until_idle();
+    let rtt = *out.lock();
+    rtt
+}
+
+#[test]
+fn keyed_udp_bind_matches_opaque_echo_service() {
+    for obs in [None, Some(Obs::new(4096))] {
+        let obs = obs.as_ref();
+        let keyed = echo_rtt(true, obs);
+        let opaque = echo_rtt(false, obs);
+        assert_eq!(
+            keyed,
+            opaque,
+            "udp_bind (keyed) vs opaque echo RTT diverged (obs={})",
+            obs.is_some()
+        );
+        assert!(keyed > 0, "round trips must complete");
+    }
+}

@@ -19,7 +19,7 @@ use spin_check::model::Checker;
 use spin_check::sync::{Arc, Mutex};
 use spin_check::thread;
 use spin_core::fault::{Containment, ContainmentPolicy};
-use spin_core::{DispatchError, Dispatcher, Identity};
+use spin_core::{DispatchError, Dispatcher, Identity, KeyFn};
 use spin_obs::account::DomainId;
 use spin_obs::ring::{Ring, TraceKind, TraceRecord};
 use spin_sal::Clock;
@@ -75,6 +75,46 @@ fn raise_vs_install_uninstall_plan_swap() {
         assert_eq!(d.handler_count(&ev).expect("event alive"), 1);
     });
     assert_clean("plan-swap", &report);
+}
+
+/// A raise racing the install + uninstall of a *keyed* handler — each of
+/// which rebuilds the guard-set compilation and swaps the plan. Every
+/// raise must run against exactly one published plan: the uncompiled
+/// single-primary plan (fast path) or the compiled plan where the keyed
+/// handler's table entry wins. A key-missing raise must never reach the
+/// keyed handler through any interleaving, and after the churn settles
+/// the plan decompiles back to the fast path.
+#[test]
+fn raise_vs_keyed_plan_rebuild_swap() {
+    let report = checker().check(|| {
+        let d = Dispatcher::unmetered();
+        let (ev, owner) = d.define::<u64, u64>("chk.keyed", Identity::kernel("chk"));
+        owner.set_primary(|x| *x + 1).expect("fresh event");
+        let d2 = d.clone();
+        let ev2 = ev.clone();
+        let t = thread::spawn(move || {
+            let ext = Identity::extension("keyer");
+            let key = KeyFn::new(|x: &u64| *x);
+            let id = ev2
+                .install_keyed(ext.clone(), &key, 5, |_| 99)
+                .expect("install allowed");
+            d2.uninstall(&ev2, id, &ext).expect("uninstall own handler");
+        });
+        // Key hit: primary alone, or primary-then-keyed (last wins).
+        match d.raise(&ev, 5) {
+            Ok(6) | Ok(99) => {}
+            other => panic!("raise saw an unpublished or torn plan: {other:?}"),
+        }
+        // Key miss: the keyed handler must never run, compiled or not.
+        match d.raise(&ev, 3) {
+            Ok(4) => {}
+            other => panic!("a key miss leaked a handler result: {other:?}"),
+        }
+        t.join().expect("keyer thread");
+        assert_eq!(d.handler_count(&ev).expect("event alive"), 1);
+        assert_eq!(d.raise(&ev, 5), Ok(6), "plan decompiled after churn");
+    });
+    assert_clean("keyed-plan-swap", &report);
 }
 
 /// A raise racing `destroy` settles to the primary's result or to

@@ -57,6 +57,39 @@
 //! optimisation") — this machinery buys real nanoseconds, not simulated
 //! microseconds.
 //!
+//! # Guard-set compilation
+//!
+//! The paper's dispatcher — and the PR-1 snapshot path — still *interprets*
+//! guards: a raise walks every installed handler and calls each opaque
+//! guard closure in turn, so per-raise cost grows linearly with installed
+//! guards (§5.5; `BENCH_dispatch.json`). Production in-kernel event systems
+//! (eBPF, Rex) compile predicates instead. [`GuardSpec`] introduces
+//! *structured* guards — [`GuardSpec::KeyEq`], [`GuardSpec::KeyIn`] and
+//! [`GuardSpec::KeyRange`] over a shared [`KeyFn`] key extractor (e.g. a
+//! packet's destination port), with [`GuardSpec::Opaque`] as the catch-all
+//! — and [`RaisePlan::build`] partitions handlers at plan-build time:
+//!
+//! * entries whose **first** guard is key-matchable go into a per-`KeyFn`
+//!   dispatch table (hash map for `KeyEq`/`KeyIn`, a short list for
+//!   `KeyRange`); a raise extracts the key once and selects the matching
+//!   subset with one lookup;
+//! * everything else (unguarded entries, opaque-guarded entries) stays on
+//!   a sequential *scan list* evaluated exactly as before.
+//!
+//! The cost model is untouched by compilation: `guard_eval` is charged per
+//! **logically evaluated** guard — a key-indexed entry whose key does not
+//! match still charges one `guard_eval` (its failing key guard), exactly
+//! as the sequential walk would, and in the same per-entry order, so every
+//! virtual-time output is byte-identical with compilation on or off.
+//! Consecutive misses are charged as one batched `Clock::advance` only
+//! when nobody can observe the difference (no clock advance hooks, no obs
+//! tracing); otherwise the charges are replayed one by one.
+//!
+//! [`Dispatcher::raise_batch`] amortizes the per-raise constant — event
+//! resolution, the plan snapshot, obs/fault hook loads — across a packet
+//! burst: the batch runs against a single plan snapshot with identical
+//! per-item virtual-time charges.
+//!
 //! # Fault containment
 //!
 //! Language safety is not liveness: a type-safe handler can still panic.
@@ -88,6 +121,103 @@ pub type Handler<A, R> = Arc<dyn Fn(&A) -> R + Send + Sync>;
 
 /// A guard predicate over the event arguments.
 pub type Guard<A> = Arc<dyn Fn(&A) -> bool + Send + Sync>;
+
+/// Global identity allocator for [`KeyFn`]s.
+static NEXT_KEYFN: AtomicU64 = AtomicU64::new(1);
+
+/// A key-extraction function with identity.
+///
+/// Guards built from the *same* `KeyFn` value (clones included) are
+/// recognized by the plan compiler as indexable over one key space and
+/// collapse into a single dispatch-table lookup per raise. Two `KeyFn`s
+/// built from textually identical closures are still distinct keys — share
+/// the value, not the code.
+pub struct KeyFn<A> {
+    id: u64,
+    f: Arc<dyn Fn(&A) -> u64 + Send + Sync>,
+}
+
+impl<A> Clone for KeyFn<A> {
+    fn clone(&self) -> Self {
+        KeyFn {
+            id: self.id,
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<A> std::fmt::Debug for KeyFn<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyFn#{}", self.id)
+    }
+}
+
+impl<A> KeyFn<A> {
+    /// Wraps a key extractor, allocating a fresh identity.
+    pub fn new(f: impl Fn(&A) -> u64 + Send + Sync + 'static) -> KeyFn<A> {
+        KeyFn {
+            id: NEXT_KEYFN.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — allocates a unique id; the value carrying it is published separately.
+            f: Arc::new(f),
+        }
+    }
+
+    /// Extracts the key from an argument value.
+    pub fn extract(&self, args: &A) -> u64 {
+        (self.f)(args)
+    }
+}
+
+/// A structured guard: what the plan compiler can see through.
+///
+/// One `GuardSpec` is one *logical* guard — it charges exactly one
+/// `guard_eval` when (logically) evaluated, whether the evaluation was a
+/// closure call, a hash lookup, or a skipped entry the lookup ruled out.
+pub enum GuardSpec<A> {
+    /// Passes iff the extracted key equals the value.
+    KeyEq(KeyFn<A>, u64),
+    /// Passes iff the extracted key is one of the listed values.
+    KeyIn(KeyFn<A>, Vec<u64>),
+    /// Passes iff `lo <= key <= hi` (inclusive).
+    KeyRange(KeyFn<A>, u64, u64),
+    /// An arbitrary predicate; never indexed.
+    Opaque(Guard<A>),
+}
+
+impl<A> Clone for GuardSpec<A> {
+    fn clone(&self) -> Self {
+        match self {
+            GuardSpec::KeyEq(f, v) => GuardSpec::KeyEq(f.clone(), *v),
+            GuardSpec::KeyIn(f, vs) => GuardSpec::KeyIn(f.clone(), vs.clone()),
+            GuardSpec::KeyRange(f, lo, hi) => GuardSpec::KeyRange(f.clone(), *lo, *hi),
+            GuardSpec::Opaque(g) => GuardSpec::Opaque(g.clone()),
+        }
+    }
+}
+
+impl<A> GuardSpec<A> {
+    /// Evaluates the guard directly (the sequential / residual path).
+    fn eval(&self, args: &A) -> bool {
+        match self {
+            GuardSpec::Opaque(g) => g(args),
+            GuardSpec::KeyEq(f, v) => f.extract(args) == *v,
+            GuardSpec::KeyIn(f, vs) => vs.contains(&f.extract(args)),
+            GuardSpec::KeyRange(f, lo, hi) => {
+                let k = f.extract(args);
+                *lo <= k && k <= *hi
+            }
+        }
+    }
+
+    /// The key function, when this guard is indexable.
+    fn key_fn(&self) -> Option<&KeyFn<A>> {
+        match self {
+            GuardSpec::KeyEq(f, _) | GuardSpec::KeyIn(f, _) | GuardSpec::KeyRange(f, _, _) => {
+                Some(f)
+            }
+            GuardSpec::Opaque(_) => None,
+        }
+    }
+}
 
 /// Combines the results of all executed synchronous handlers.
 pub type Reducer<R> = Arc<dyn Fn(Vec<R>) -> R + Send + Sync>;
@@ -171,7 +301,7 @@ type AuthFn<A> = Arc<dyn Fn(&InstallRequest) -> InstallDecision<A> + Send + Sync
 struct Entry<A, R> {
     id: HandlerId,
     handler: Handler<A, R>,
-    guards: Vec<Guard<A>>,
+    guards: Vec<GuardSpec<A>>,
     constraints: Constraints,
     installer: Identity,
     is_primary: bool,
@@ -209,6 +339,15 @@ pub struct EventStats {
     /// async). Aborts for exceeding `time_bound` are counted separately
     /// in `handlers_aborted`.
     pub handler_faults: u64,
+    /// Slow-path raises served by a compiled (key-indexed) plan.
+    pub compiled_raises: u64,
+    /// Guard closure calls the compiled plan avoided: logically-evaluated
+    /// key guards resolved by the dispatch-table lookup instead of a
+    /// predicate call. Always `<= guard_evaluations`.
+    pub guards_elided: u64,
+    /// Raises delivered through [`Dispatcher::raise_batch`] (a subset of
+    /// `raises`).
+    pub batched_raises: u64,
 }
 
 /// Lock-free counters backing [`EventStats`].
@@ -221,6 +360,9 @@ struct AtomicEventStats {
     handlers_aborted: AtomicU64,
     async_dispatches: AtomicU64,
     handler_faults: AtomicU64,
+    compiled_raises: AtomicU64,
+    guards_elided: AtomicU64,
+    batched_raises: AtomicU64,
 }
 
 impl AtomicEventStats {
@@ -233,7 +375,107 @@ impl AtomicEventStats {
             handlers_aborted: self.handlers_aborted.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             async_dispatches: self.async_dispatches.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             handler_faults: self.handler_faults.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            compiled_raises: self.compiled_raises.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            guards_elided: self.guards_elided.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            batched_raises: self.batched_raises.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
+    }
+}
+
+/// One key space's dispatch table inside a [`Compiled`] plan: every entry
+/// whose first guard keys off the same [`KeyFn`] (by identity).
+struct KeyGroup<A> {
+    key: KeyFn<A>,
+    /// Exact-match table: key value → entry indices (`KeyEq` and each
+    /// deduplicated `KeyIn` value), in install order.
+    eq: HashMap<u64, Vec<u32>>,
+    /// Inclusive `KeyRange` intervals, scanned after the map lookup.
+    ranges: Vec<(u64, u64, u32)>,
+}
+
+/// The compiled form of a guard set, built once per plan mutation.
+///
+/// An entry is *indexed* when its first guard is key-matchable; a raise
+/// extracts each group's key once and selects the matching entries by
+/// lookup instead of calling their guard closures. Everything else is on
+/// the `scan` list and evaluated sequentially, exactly as before. The
+/// virtual-time charges of the interpreted walk are reproduced from the
+/// `indexed_prefix` counts: a non-matching indexed entry still charges one
+/// `guard_eval` (its failing key guard) in per-entry order.
+struct Compiled<A> {
+    groups: Vec<KeyGroup<A>>,
+    /// Entry indices with no indexable first guard (install order).
+    scan: Vec<u32>,
+    /// `indexed_prefix[i]` = number of indexed entries among `entries[..i]`
+    /// (length `entries.len() + 1`), so the misses in any entry range — and
+    /// whether entry `i` itself is indexed — are O(1) lookups.
+    indexed_prefix: Vec<u32>,
+}
+
+impl<A> Compiled<A> {
+    fn build<R>(entries: &[Entry<A, R>]) -> Option<Compiled<A>> {
+        let mut groups: Vec<KeyGroup<A>> = Vec::new();
+        let mut scan: Vec<u32> = Vec::new();
+        let mut indexed_prefix: Vec<u32> = Vec::with_capacity(entries.len() + 1);
+        indexed_prefix.push(0);
+        for (i, entry) in entries.iter().enumerate() {
+            let idx = i as u32;
+            let indexed = match entry.guards.first().and_then(|spec| spec.key_fn()) {
+                Some(kf) => {
+                    let gi = match groups.iter().position(|g| g.key.id == kf.id) {
+                        Some(gi) => gi,
+                        None => {
+                            groups.push(KeyGroup {
+                                key: kf.clone(),
+                                eq: HashMap::new(),
+                                ranges: Vec::new(),
+                            });
+                            groups.len() - 1
+                        }
+                    };
+                    match &entry.guards[0] {
+                        GuardSpec::KeyEq(_, v) => groups[gi].eq.entry(*v).or_default().push(idx),
+                        GuardSpec::KeyIn(_, vs) => {
+                            let mut vals = vs.clone();
+                            vals.sort_unstable();
+                            vals.dedup();
+                            for v in vals {
+                                groups[gi].eq.entry(v).or_default().push(idx);
+                            }
+                        }
+                        GuardSpec::KeyRange(_, lo, hi) => groups[gi].ranges.push((*lo, *hi, idx)),
+                        GuardSpec::Opaque(_) => unreachable!("key_fn() returned Some"),
+                    }
+                    true
+                }
+                None => false,
+            };
+            if !indexed {
+                scan.push(idx);
+            }
+            let prev = *indexed_prefix.last().expect("seeded with 0");
+            indexed_prefix.push(prev + u32::from(indexed));
+        }
+        if indexed_prefix[entries.len()] == 0 {
+            // Nothing indexable: stay on the interpreted walk.
+            return None;
+        }
+        Some(Compiled {
+            groups,
+            scan,
+            indexed_prefix,
+        })
+    }
+
+    /// Whether entry `i` is served by a dispatch table.
+    fn is_indexed(&self, i: usize) -> bool {
+        self.indexed_prefix[i + 1] > self.indexed_prefix[i]
+    }
+
+    /// Indexed entries in `entries[from..to]` — the key misses to charge
+    /// when the table rules that whole range out.
+    fn misses_in(&self, from: usize, to: usize) -> u64 {
+        u64::from(self.indexed_prefix[to] - self.indexed_prefix[from])
     }
 }
 
@@ -246,6 +488,9 @@ struct RaisePlan<A, R> {
     /// path: exactly one synchronous, unguarded, unbounded handler and no
     /// reducer. Precomputed here so the raise checks a single option.
     fast: Option<Handler<A, R>>,
+    /// `Some` iff at least one entry's first guard is key-matchable: the
+    /// guard-set compiler's output (see the module docs).
+    compiled: Option<Compiled<A>>,
 }
 
 impl<A, R> RaisePlan<A, R> {
@@ -269,8 +514,24 @@ impl<A, R> RaisePlan<A, R> {
             entries: handlers.to_vec().into_boxed_slice(),
             reducer: reducer.clone(),
             fast,
+            compiled: Compiled::build(handlers),
         })
     }
+}
+
+/// Slow-path accumulators for one raise: settled into the event's atomic
+/// statistics in a single batch after the walk (one `fetch_add` per
+/// counter per raise, not per entry).
+struct SlowAcc<R> {
+    results: Vec<R>,
+    guard_evals: u64,
+    /// Guard closure calls avoided by the compiled plan (key hits resolved
+    /// by lookup + key misses ruled out by it). Always `<= guard_evals`.
+    elided: u64,
+    run: u64,
+    aborted: u64,
+    async_count: u64,
+    faulted: u64,
 }
 
 /// The mutable write side of an event: mutated under a mutex by the rare
@@ -420,6 +681,9 @@ struct DispatcherInner {
     /// Deterministic fault-injection hook (`core.dispatch` site): absent
     /// until wired; a disabled plan's draw is one relaxed load.
     faults: crate::hooks::HookSlot<FaultHook>,
+    /// Batch-edge fault hook (`core.dispatch.batch` site): one draw per
+    /// [`Dispatcher::raise_batch`] burst, before any item dispatches.
+    batch_faults: crate::hooks::HookSlot<FaultHook>,
     /// Invoked — outside every dispatcher lock — for each contained
     /// handler panic and time-bound abort.
     fault_sink: RwLock<Option<FaultSink>>,
@@ -445,6 +709,7 @@ impl Dispatcher {
                 xcall: crate::hooks::HookSlot::new(),
                 obs: crate::hooks::HookSlot::new(),
                 faults: crate::hooks::HookSlot::new(),
+                batch_faults: crate::hooks::HookSlot::new(),
                 fault_sink: RwLock::new(None),
             }),
         }
@@ -480,6 +745,15 @@ impl Dispatcher {
     /// atomic load per handler invocation.
     pub fn set_fault_hook(&self, hook: FaultHook) {
         let _ = self.inner.faults.set(hook);
+    }
+
+    /// Wires deterministic fault injection at the batch edge (the
+    /// `core.dispatch.batch` site): one draw per [`Dispatcher::raise_batch`]
+    /// burst. A `Fail` (or contained `Panic`) drops the whole burst before
+    /// any item dispatches; a `Delay` charges its latency to the raiser
+    /// once, ahead of the burst. One-shot; charges zero virtual time.
+    pub fn set_batch_fault_hook(&self, hook: FaultHook) {
+        let _ = self.inner.batch_faults.set(hook);
     }
 
     /// Installs the sink notified of every contained handler fault
@@ -594,6 +868,32 @@ impl Dispatcher {
         A: Send + Sync + 'static,
         R: Send + 'static,
     {
+        self.install_spec(
+            ev,
+            installer,
+            handler,
+            installer_guards
+                .into_iter()
+                .map(GuardSpec::Opaque)
+                .collect(),
+        )
+    }
+
+    /// Installs a handler with *structured* installer guards, letting the
+    /// plan compiler index key-matchable ones (see [`GuardSpec`]). The
+    /// authorization protocol and semantics are exactly those of
+    /// [`Dispatcher::install`].
+    pub fn install_spec<A, R>(
+        &self,
+        ev: &Event<A, R>,
+        installer: Identity,
+        handler: Handler<A, R>,
+        installer_guards: Vec<GuardSpec<A>>,
+    ) -> Result<HandlerId, DispatchError>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
         let state = ev.resolved()?;
         // The authorizer runs outside the write lock: it is arbitrary
         // owner code and may re-enter the dispatcher.
@@ -620,7 +920,9 @@ impl Dispatcher {
         let id = HandlerId(self.inner.next_handler.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let mut guards = Vec::new();
         if let Some(g) = owner_guard {
-            guards.push(g);
+            // The owner guard stays opaque (it is arbitrary policy code) and
+            // stacks first, so an owner-guarded entry is never indexed.
+            guards.push(GuardSpec::Opaque(g));
         }
         guards.extend(installer_guards);
         let mut ws = state.write.lock();
@@ -734,9 +1036,6 @@ impl Dispatcher {
         R: Send + 'static,
     {
         let state = ev.resolved()?;
-        let profile = &self.inner.profile;
-        let clock = &self.inner.clock;
-
         // Snapshot: one refcount bump; handlers run outside any lock
         // (they may install/uninstall or re-raise).
         let plan = state.plan.read().clone();
@@ -755,6 +1054,105 @@ impl Dispatcher {
             obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
         }
         let faults = self.inner.faults.get();
+        self.dispatch_one(ev, &state, &plan, obs, faults, args)
+    }
+
+    /// Raises a burst of events against a single plan snapshot.
+    ///
+    /// Semantically this is `batch.into_iter().map(|a| raise(ev, a))` —
+    /// each item charges exactly the virtual time a lone [`raise`] would —
+    /// but the per-raise constants amortize: the event resolves once, the
+    /// plan snapshots once, the obs/fault hooks load once, and statistics
+    /// settle in one batched increment. Fault injection draws once at the
+    /// batch edge (the `core.dispatch.batch` site): a `Fail` or contained
+    /// `Panic` drops the whole burst before any item dispatches (every
+    /// item reports [`DispatchError::NoHandlerRan`] and no raise is
+    /// counted); a `Delay` charges the raiser once, ahead of the burst.
+    ///
+    /// The burst runs against *one* snapshot: a plan republished mid-batch
+    /// (install/uninstall from a handler, fast-path demotion after a
+    /// panic) is observed by the next call, not by later items of this
+    /// burst.
+    ///
+    /// [`raise`]: Dispatcher::raise
+    pub fn raise_batch<A, R>(
+        &self,
+        ev: &Event<A, R>,
+        batch: Vec<A>,
+    ) -> Vec<Result<R, DispatchError>>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let n = batch.len() as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        let state = match ev.resolved() {
+            Ok(state) => state,
+            Err(e) => return batch.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let plan = state.plan.read().clone();
+        // ordering: Acquire — pairs with destroy's Release flag store; runs after the plan snapshot.
+        if state.destroyed.load(Ordering::Acquire) {
+            let e = ev.unknown();
+            return batch.iter().map(|_| Err(e.clone())).collect();
+        }
+        if let Some(hook) = self.inner.batch_faults.get() {
+            match hook.draw() {
+                Some(Injection::Delay(ns)) => self.inner.clock.advance(ns),
+                Some(fail @ (Injection::Fail | Injection::Panic)) => {
+                    if matches!(fail, Injection::Panic) {
+                        // Contained at the batch edge; the plan's own
+                        // counters record the injection.
+                        let _ = catch_unwind(AssertUnwindSafe(|| hook.fire_panic()));
+                    }
+                    let e = DispatchError::NoHandlerRan {
+                        name: ev.name.to_string(),
+                    };
+                    return batch.iter().map(|_| Err(e.clone())).collect();
+                }
+                None => {}
+            }
+        }
+        state.stats.raises.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        state.stats.batched_raises.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        let obs = self.inner.obs.get();
+        if let Some(obs) = obs {
+            obs.counters.events_raised.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            obs.counters
+                .dispatch_batched
+                .fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        }
+        let faults = self.inner.faults.get();
+        let mut out = Vec::with_capacity(batch.len());
+        for args in batch {
+            if let Some(obs) = obs {
+                obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
+            }
+            out.push(self.dispatch_one(ev, &state, &plan, obs, faults, args));
+        }
+        out
+    }
+
+    /// Dispatches one already-resolved, already-counted raise against a
+    /// plan snapshot: the fast path, the compiled walk or the interpreted
+    /// walk. All virtual-time charges happen here.
+    fn dispatch_one<A, R>(
+        &self,
+        ev: &Event<A, R>,
+        state: &Arc<EventState<A, R>>,
+        plan: &Arc<RaisePlan<A, R>>,
+        obs: Option<&ObsHook>,
+        faults: Option<&FaultHook>,
+        args: A,
+    ) -> Result<R, DispatchError>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let profile = &self.inner.profile;
+        let clock = &self.inner.clock;
 
         // Fast path: a single synchronous unguarded unbounded handler is a
         // direct procedure call (eligibility precomputed at plan build).
@@ -805,84 +1203,84 @@ impl Dispatcher {
 
         clock.advance(profile.event_raise_base);
         let args = Arc::new(args);
-        let mut results: Vec<R> = Vec::new();
-        let mut guard_evals = 0u64;
-        let mut run = 0u64;
-        let mut aborted = 0u64;
-        let mut async_count = 0u64;
-        let mut faulted = 0u64;
+        let mut acc = SlowAcc::<R> {
+            results: Vec::new(),
+            guard_evals: 0,
+            elided: 0,
+            run: 0,
+            aborted: 0,
+            async_count: 0,
+            faulted: 0,
+        };
 
-        for entry in plan.entries.iter() {
-            let mut pass = true;
-            for guard in &entry.guards {
-                clock.advance(profile.guard_eval);
-                guard_evals += 1;
-                let ok = guard(&args);
-                if let Some(obs) = obs {
-                    obs.trace(TraceKind::GuardEval, ev.id, u64::from(ok));
-                }
-                if !ok {
-                    pass = false;
-                    break;
-                }
-            }
-            if !pass {
-                continue;
-            }
-            match entry.constraints.mode {
-                HandlerMode::Asynchronous => {
-                    // "A handler may be asynchronous, which causes it to
-                    // execute in a separate thread from the raiser."
-                    let runner = self.inner.async_runner.read().clone();
-                    async_count += 1;
-                    runner(self.async_invocation(ev, &state, entry, &args));
-                }
-                HandlerMode::Synchronous => {
-                    clock.advance(profile.handler_invoke + profile.inter_module_call);
-                    let t0 = clock.now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        match faults.and_then(|h| h.draw()) {
-                            Some(Injection::Panic) => faults.expect("drawn").fire_panic(),
-                            Some(Injection::Delay(ns)) => clock.advance(ns),
-                            Some(Injection::Fail) | None => {}
-                        }
-                        (entry.handler)(&args)
-                    }));
-                    match outcome {
-                        Ok(r) => {
-                            run += 1;
+        match plan.compiled.as_ref() {
+            Some(c) => {
+                // Compiled walk: one key extraction + lookup per group
+                // selects the indexed entries; the scan list joins them in
+                // install order. Missed indexed entries still charge their
+                // failing key guard — batched into one `advance` only when
+                // nobody can see the granularity (no obs tracing, no clock
+                // advance hooks); otherwise replayed one by one so the
+                // trace stream and hook firings match the interpreted walk
+                // exactly.
+                let replay = obs.is_some() || clock.charges_observed();
+                let charge_misses = |acc: &mut SlowAcc<R>, m: u64| {
+                    if m == 0 {
+                        return;
+                    }
+                    acc.guard_evals += m;
+                    acc.elided += m;
+                    if replay {
+                        for _ in 0..m {
+                            clock.advance(profile.guard_eval);
                             if let Some(obs) = obs {
-                                obs.trace(TraceKind::HandlerRun, ev.id, entry.id.0);
-                            }
-                            let elapsed = clock.now().saturating_sub(t0);
-                            match entry.constraints.time_bound {
-                                Some(bound) if elapsed > bound => {
-                                    // Aborted: the result is discarded, and only
-                                    // the misbehaving handler's client is affected.
-                                    aborted += 1;
-                                    self.deliver_fault(
-                                        ev,
-                                        entry,
-                                        FaultKind::TimeBound { bound, elapsed },
-                                    );
-                                }
-                                _ => results.push(r),
+                                obs.trace(TraceKind::GuardEval, ev.id, 0);
                             }
                         }
-                        Err(payload) => {
-                            // Contained: the faulted result is skipped and
-                            // sibling handlers still run.
-                            faulted += 1;
-                            entry.fault_flag.store(true, Ordering::Relaxed); // ordering: Relaxed — demotion hint; the plan-rebuild lock is the real barrier.
-                            self.deliver_fault(
-                                ev,
-                                entry,
-                                FaultKind::Panic {
-                                    message: panic_message(payload.as_ref()),
-                                },
-                            );
+                    } else {
+                        clock.advance(m * profile.guard_eval);
+                    }
+                };
+                let mut active: Vec<u32> = Vec::with_capacity(c.scan.len() + 4);
+                active.extend_from_slice(&c.scan);
+                for group in &c.groups {
+                    let k = group.key.extract(&args);
+                    if let Some(hits) = group.eq.get(&k) {
+                        active.extend_from_slice(hits);
+                    }
+                    for &(lo, hi, idx) in &group.ranges {
+                        if lo <= k && k <= hi {
+                            active.push(idx);
                         }
                     }
+                }
+                active.sort_unstable();
+                let mut cursor = 0usize;
+                for &idx in &active {
+                    let idx = idx as usize;
+                    charge_misses(&mut acc, c.misses_in(cursor, idx));
+                    let entry = &plan.entries[idx];
+                    let skip = if c.is_indexed(idx) {
+                        // The lookup proved the key guard passes: charge it
+                        // as a hit and evaluate only the residual guards.
+                        clock.advance(profile.guard_eval);
+                        acc.guard_evals += 1;
+                        acc.elided += 1;
+                        if let Some(obs) = obs {
+                            obs.trace(TraceKind::GuardEval, ev.id, 1);
+                        }
+                        1
+                    } else {
+                        0
+                    };
+                    self.run_entry(ev, state, entry, &args, obs, faults, skip, &mut acc);
+                    cursor = idx + 1;
+                }
+                charge_misses(&mut acc, c.misses_in(cursor, plan.entries.len()));
+            }
+            None => {
+                for entry in plan.entries.iter() {
+                    self.run_entry(ev, state, entry, &args, obs, faults, 0, &mut acc);
                 }
             }
         }
@@ -890,32 +1288,139 @@ impl Dispatcher {
         let stats = &state.stats;
         stats
             .guard_evaluations
-            .fetch_add(guard_evals, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-        stats.handlers_run.fetch_add(run, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-        stats.handlers_aborted.fetch_add(aborted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            .fetch_add(acc.guard_evals, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        stats.handlers_run.fetch_add(acc.run, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        stats
+            .handlers_aborted
+            .fetch_add(acc.aborted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         stats
             .async_dispatches
-            .fetch_add(async_count, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-        stats.handler_faults.fetch_add(faulted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            .fetch_add(acc.async_count, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        stats
+            .handler_faults
+            .fetch_add(acc.faulted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        if plan.compiled.is_some() {
+            stats.compiled_raises.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            stats.guards_elided.fetch_add(acc.elided, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        }
         if let Some(obs) = obs {
             obs.counters
                 .guards_evaluated
-                .fetch_add(guard_evals, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                .fetch_add(acc.guard_evals, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.counters
                 .handlers_run
-                .fetch_add(run + async_count, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                .fetch_add(acc.run + acc.async_count, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            if plan.compiled.is_some() {
+                obs.counters
+                    .dispatch_compiled_raises
+                    .fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                obs.counters
+                    .dispatch_compiled_elided
+                    .fetch_add(acc.elided, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            }
         }
 
-        if results.is_empty() {
+        if acc.results.is_empty() {
             return Err(DispatchError::NoHandlerRan {
                 name: ev.name.to_string(),
             });
         }
         Ok(match plan.reducer.as_ref() {
-            Some(reduce) => reduce(results),
+            Some(reduce) => reduce(acc.results),
             // Default: "returns the result of the final handler executed".
-            None => results.pop().expect("non-empty checked above"),
+            None => acc.results.pop().expect("non-empty checked above"),
         })
+    }
+
+    /// Evaluates one entry's guards (from `skip_guards` on — the compiled
+    /// walk has already charged an index-proven prefix) and, if they pass,
+    /// runs the handler under its constraints, settling all accounting
+    /// into `acc`. Charge order is identical between the interpreted and
+    /// compiled walks by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn run_entry<A, R>(
+        &self,
+        ev: &Event<A, R>,
+        state: &Arc<EventState<A, R>>,
+        entry: &Entry<A, R>,
+        args: &Arc<A>,
+        obs: Option<&ObsHook>,
+        faults: Option<&FaultHook>,
+        skip_guards: usize,
+        acc: &mut SlowAcc<R>,
+    ) where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let profile = &self.inner.profile;
+        let clock = &self.inner.clock;
+        for guard in &entry.guards[skip_guards..] {
+            clock.advance(profile.guard_eval);
+            acc.guard_evals += 1;
+            let ok = guard.eval(args);
+            if let Some(obs) = obs {
+                obs.trace(TraceKind::GuardEval, ev.id, u64::from(ok));
+            }
+            if !ok {
+                return;
+            }
+        }
+        match entry.constraints.mode {
+            HandlerMode::Asynchronous => {
+                // "A handler may be asynchronous, which causes it to
+                // execute in a separate thread from the raiser."
+                let runner = self.inner.async_runner.read().clone();
+                acc.async_count += 1;
+                runner(self.async_invocation(ev, state, entry, args));
+            }
+            HandlerMode::Synchronous => {
+                clock.advance(profile.handler_invoke + profile.inter_module_call);
+                let t0 = clock.now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    match faults.and_then(|h| h.draw()) {
+                        Some(Injection::Panic) => faults.expect("drawn").fire_panic(),
+                        Some(Injection::Delay(ns)) => clock.advance(ns),
+                        Some(Injection::Fail) | None => {}
+                    }
+                    (entry.handler)(args)
+                }));
+                match outcome {
+                    Ok(r) => {
+                        acc.run += 1;
+                        if let Some(obs) = obs {
+                            obs.trace(TraceKind::HandlerRun, ev.id, entry.id.0);
+                        }
+                        let elapsed = clock.now().saturating_sub(t0);
+                        match entry.constraints.time_bound {
+                            Some(bound) if elapsed > bound => {
+                                // Aborted: the result is discarded, and only
+                                // the misbehaving handler's client is affected.
+                                acc.aborted += 1;
+                                self.deliver_fault(
+                                    ev,
+                                    entry,
+                                    FaultKind::TimeBound { bound, elapsed },
+                                );
+                            }
+                            _ => acc.results.push(r),
+                        }
+                    }
+                    Err(payload) => {
+                        // Contained: the faulted result is skipped and
+                        // sibling handlers still run.
+                        acc.faulted += 1;
+                        entry.fault_flag.store(true, Ordering::Relaxed); // ordering: Relaxed — demotion hint; the plan-rebuild lock is the real barrier.
+                        self.deliver_fault(
+                            ev,
+                            entry,
+                            FaultKind::Panic {
+                                message: panic_message(payload.as_ref()),
+                            },
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Notifies the fault sink (if any) of a contained fault. Runs with
@@ -1058,7 +1563,7 @@ impl Dispatcher {
                     .stats
                     .guard_evaluations
                     .fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-                if !guard(&args) {
+                if !guard.eval(&args) {
                     pass = false;
                     break;
                 }
@@ -1203,6 +1708,41 @@ where
     ) -> Result<HandlerId, DispatchError> {
         self.dispatcher
             .install(self, installer, Arc::new(handler), vec![Arc::new(guard)])
+    }
+
+    /// Installs a handler with structured (compilable) installer guards.
+    pub fn install_specs(
+        &self,
+        installer: Identity,
+        guards: Vec<GuardSpec<A>>,
+        handler: impl Fn(&A) -> R + Send + Sync + 'static,
+    ) -> Result<HandlerId, DispatchError> {
+        self.dispatcher
+            .install_spec(self, installer, Arc::new(handler), guards)
+    }
+
+    /// Installs a handler guarded on `key(args) == value` — the compilable
+    /// analogue of [`Event::install_guarded`] for the common
+    /// per-instance-dispatch case (a protocol number, a port).
+    pub fn install_keyed(
+        &self,
+        installer: Identity,
+        key: &KeyFn<A>,
+        value: u64,
+        handler: impl Fn(&A) -> R + Send + Sync + 'static,
+    ) -> Result<HandlerId, DispatchError> {
+        self.dispatcher.install_spec(
+            self,
+            installer,
+            Arc::new(handler),
+            vec![GuardSpec::KeyEq(key.clone(), value)],
+        )
+    }
+
+    /// Raises a burst through this event's dispatcher against one plan
+    /// snapshot (see [`Dispatcher::raise_batch`]).
+    pub fn raise_batch(&self, batch: Vec<A>) -> Vec<Result<R, DispatchError>> {
+        self.dispatcher.raise_batch(self, batch)
     }
 }
 

@@ -45,8 +45,8 @@ pub mod objfile;
 
 pub use capability::{ExternRef, ExternTable};
 pub use dispatch::{
-    AsyncInvocation, Constraints, Dispatcher, Event, EventOwner, EventStats, Guard, Handler,
-    HandlerId, HandlerMode, InstallDecision, InstallRequest, Reducer, XcallRouter,
+    AsyncInvocation, Constraints, Dispatcher, Event, EventOwner, EventStats, Guard, GuardSpec,
+    Handler, HandlerId, HandlerMode, InstallDecision, InstallRequest, KeyFn, Reducer, XcallRouter,
 };
 pub use domain::{Domain, ResolveReport};
 pub use error::{CoreError, DispatchError, SymbolConflict};

@@ -7,7 +7,7 @@
 //! destruction/redefinition — and then reconcile every counter:
 //! no lost raises, no panics, statistics that add up exactly.
 
-use spin_core::{DispatchError, Dispatcher, Event, Identity};
+use spin_core::{DispatchError, Dispatcher, Event, Identity, KeyFn};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -259,6 +259,189 @@ fn raises_racing_destroy_never_misreport_no_handler_ran() {
             t.join().expect("raisers must not panic");
         }
     }
+}
+
+/// Deterministic reconciliation of the compiled-dispatch counters: with a
+/// known mix of keyed and opaque guards and a known raise stream, every
+/// statistic has a closed-form expected value. Guard evaluations are
+/// charged per *logically evaluated* guard — one per guarded entry per
+/// raise — whether the decision came from the dispatch table or from
+/// running the closure, so the count is identical to sequential dispatch.
+#[test]
+fn compiled_statistics_reconcile_exactly() {
+    const KEYED: u64 = 5;
+    const OPAQUE: u64 = 3;
+
+    let build = || {
+        let d = Dispatcher::unmetered();
+        let (ev, owner) = d.define::<u64, u64>("Stress.Compiled", Identity::kernel("stress"));
+        owner.set_primary(|x| *x).expect("fresh event");
+        owner
+            .set_reducer(|rs| rs.into_iter().sum())
+            .expect("fresh event");
+        let key = KeyFn::new(|x: &u64| *x);
+        for i in 0..KEYED {
+            ev.install_keyed(Identity::extension("k"), &key, i, move |_| i)
+                .expect("install keyed");
+        }
+        for i in 0..OPAQUE {
+            ev.install_guarded(
+                Identity::extension("o"),
+                move |x: &u64| x.is_multiple_of(i + 2),
+                move |_| 100 + i,
+            )
+            .expect("install opaque");
+        }
+        (d, ev)
+    };
+    let stream: Vec<u64> = (0..50).map(|i| i % 9).collect();
+    let expected_matches: u64 = stream
+        .iter()
+        .map(|&v| {
+            let keyed = u64::from(v < KEYED);
+            let opaque = (0..OPAQUE).filter(|i| v % (i + 2) == 0).count() as u64;
+            keyed + opaque
+        })
+        .sum();
+
+    let (d, ev) = build();
+    for &v in &stream {
+        ev.raise(v).expect("raise");
+    }
+    let stats = d.stats(&ev).expect("alive");
+    let n = stream.len() as u64;
+    assert_eq!(stats.raises, n);
+    assert_eq!(stats.fast_path_raises, 0, "multiple handlers: slow path");
+    assert_eq!(
+        stats.compiled_raises, n,
+        "a plan with keyed entries dispatches compiled"
+    );
+    assert_eq!(
+        stats.guard_evaluations,
+        n * (KEYED + OPAQUE),
+        "one charged evaluation per guarded entry per raise, exactly as sequential"
+    );
+    assert_eq!(
+        stats.guards_elided,
+        n * KEYED,
+        "every keyed entry's decision came from the dispatch table"
+    );
+    assert_eq!(
+        stats.handlers_run,
+        n + expected_matches,
+        "primary + matches"
+    );
+    assert_eq!(stats.batched_raises, 0);
+
+    // The same stream as one burst reconciles identically, plus the
+    // batched counter.
+    let (d, ev) = build();
+    for r in ev.raise_batch(stream.clone()) {
+        r.expect("batched raise");
+    }
+    let batched = d.stats(&ev).expect("alive");
+    assert_eq!(batched.raises, n);
+    assert_eq!(batched.batched_raises, n);
+    assert_eq!(batched.compiled_raises, n);
+    assert_eq!(batched.guard_evaluations, stats.guard_evaluations);
+    assert_eq!(batched.guards_elided, stats.guards_elided);
+    assert_eq!(batched.handlers_run, stats.handlers_run);
+}
+
+/// Raisers hammer a keyed event while a churn thread installs and
+/// uninstalls keyed handlers, forcing plan recompiles under fire. The
+/// compiled counters must stay consistent: every slow-path raise against
+/// a plan holding a keyed entry is a compiled raise, and elisions never
+/// exceed charged evaluations.
+#[test]
+fn concurrent_keyed_churn_reconciles() {
+    let d = Dispatcher::unmetered();
+    let (ev, owner) = d.define::<u64, u64>("Stress.KeyedChurn", Identity::kernel("stress"));
+
+    let primary_runs = Arc::new(AtomicU64::new(0));
+    let extra_runs = Arc::new(AtomicU64::new(0));
+
+    let pr = primary_runs.clone();
+    owner
+        .set_primary(move |x| {
+            pr.fetch_add(1, Ordering::Relaxed);
+            *x
+        })
+        .expect("fresh event");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut raisers = Vec::new();
+    for t in 0..RAISERS {
+        let ev = ev.clone();
+        raisers.push(thread::spawn(move || {
+            for i in 0..RAISES_PER_THREAD {
+                let v = (t as u64) << 32 | i;
+                ev.raise(v).expect("raise must not fail under churn");
+            }
+        }));
+    }
+
+    let churn = {
+        let d = d.clone();
+        let ev = ev.clone();
+        let stop = stop.clone();
+        let extra = extra_runs.clone();
+        thread::spawn(move || {
+            let ident = Identity::extension("churner");
+            let key = KeyFn::new(|x: &u64| x & 1);
+            let mut cycles = 0u64;
+            while !stop.load(Ordering::Relaxed) && cycles < CHURN_CYCLES * 50 {
+                cycles += 1;
+                let e1 = extra.clone();
+                let id1 = ev
+                    .install_keyed(ident.clone(), &key, 0, move |x: &u64| {
+                        e1.fetch_add(1, Ordering::Relaxed);
+                        x + 1
+                    })
+                    .expect("install keyed even");
+                let e2 = extra.clone();
+                let id2 = ev
+                    .install_keyed(ident.clone(), &key, 1, move |x: &u64| {
+                        e2.fetch_add(1, Ordering::Relaxed);
+                        x + 2
+                    })
+                    .expect("install keyed odd");
+                d.uninstall(&ev, id1, &ident).expect("uninstall even");
+                d.uninstall(&ev, id2, &ident).expect("uninstall odd");
+            }
+        })
+    };
+
+    for t in raisers {
+        t.join().expect("no panics");
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().expect("churn thread must not panic");
+
+    let expected = RAISERS as u64 * RAISES_PER_THREAD;
+    let stats = d.stats(&ev).expect("alive");
+    assert_eq!(stats.raises, expected, "every raise was counted");
+    assert_eq!(
+        primary_runs.load(Ordering::Relaxed),
+        expected,
+        "the primary ran exactly once per raise"
+    );
+    let slow_raises = stats.raises - stats.fast_path_raises;
+    assert_eq!(
+        stats.handlers_run,
+        slow_raises + extra_runs.load(Ordering::Relaxed),
+        "slow-path executions reconcile: primary per slow raise + extras"
+    );
+    // Keyed extras disqualify the fast path AND index the plan: every
+    // slow-path snapshot here holds at least one keyed entry, so every
+    // slow raise is a compiled raise — and each evaluated its keyed
+    // guards via the table.
+    assert_eq!(
+        stats.compiled_raises, slow_raises,
+        "slow raises under keyed churn all dispatch compiled"
+    );
+    assert!(stats.guards_elided <= stats.guard_evaluations);
+    assert_eq!(stats.handlers_aborted, 0);
 }
 
 /// Many threads raising concurrently with no writers: pure read-side

@@ -43,6 +43,8 @@ pub const SITE_RT_HEAP: &str = "rt.heap";
 pub const SITE_NET_STACK: &str = "net.stack";
 /// Cross-shard mailbox post (multicore mode).
 pub const SITE_MAILBOX: &str = "sal.mailbox";
+/// Batch edge of `raise_batch` bursts (one draw per burst).
+pub const SITE_DISPATCH_BATCH: &str = "core.dispatch.batch";
 
 /// One injected outcome, decided by [`FaultHook::draw`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

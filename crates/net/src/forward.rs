@@ -16,7 +16,7 @@ use crate::pkt::{proto, IpAddr, TcpHeader, UdpHeader};
 use crate::stack::{NetStack, TcpSegment, UdpPacket};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use spin_core::Identity;
+use spin_core::{GuardSpec, Identity};
 use spin_sal::Nanos;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -142,14 +142,17 @@ impl Forwarder {
         }));
 
         // Outbound: client → forwarder:port ⇒ forwarder → target:port.
+        // Keyed on the shared UDP port key, so the forwarder joins the
+        // port binds in one compiled dispatch-table lookup.
         let st2 = state.clone();
         let stack2 = stack.clone();
         stack
             .events()
             .udp_arrived
-            .install_guarded(
+            .install_keyed(
                 Identity::extension("Forward"),
-                move |p: &UdpPacket| p.header.dst_port == port,
+                &stack.events().udp_port_key,
+                u64::from(port),
                 move |p: &UdpPacket| {
                     let rewritten = {
                         let mut st = st2.lock();
@@ -164,14 +167,19 @@ impl Forwarder {
         stack.topology().note("UDP.PktArrived", "Forward");
 
         // Inbound: target's replies to a rewritten port ⇒ original client.
+        // A key range over the rewritten-port space, on the same key.
         let st3 = state.clone();
         let stack3 = stack.clone();
         stack
             .events()
             .udp_arrived
-            .install_guarded(
+            .install_specs(
                 Identity::extension("Forward"),
-                move |p: &UdpPacket| p.header.dst_port >= 40_000,
+                vec![GuardSpec::KeyRange(
+                    stack.events().udp_port_key.clone(),
+                    40_000,
+                    u64::from(u16::MAX),
+                )],
                 move |p: &UdpPacket| {
                     let client = {
                         let mut st = st3.lock();
@@ -208,9 +216,10 @@ impl Forwarder {
         stack
             .events()
             .tcp_arrived
-            .install_guarded(
+            .install_keyed(
                 Identity::extension("Forward"),
-                move |s: &TcpSegment| s.header.dst_port == port,
+                &stack.events().tcp_port_key,
+                u64::from(port),
                 move |s: &TcpSegment| {
                     let rewritten = {
                         let mut st = st2.lock();
@@ -236,9 +245,13 @@ impl Forwarder {
         stack
             .events()
             .tcp_arrived
-            .install_guarded(
+            .install_specs(
                 Identity::extension("Forward"),
-                move |s: &TcpSegment| s.header.dst_port >= 40_000,
+                vec![GuardSpec::KeyRange(
+                    stack.events().tcp_port_key.clone(),
+                    40_000,
+                    u64::from(u16::MAX),
+                )],
                 move |s: &TcpSegment| {
                     let client = {
                         let mut st = st3.lock();

@@ -26,7 +26,7 @@ use crate::pkt::{
 };
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use spin_core::{Dispatcher, Event, Identity};
+use spin_core::{Dispatcher, Event, Identity, KeyFn};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::board::vectors;
 use spin_sal::devices::nic::Nic;
@@ -147,6 +147,15 @@ pub struct NetEvents {
     pub tcp_arrived: Event<TcpSegment, ()>,
     pub icmp_arrived: Event<IcmpPacket, ()>,
     pub send_packet: Event<SendRequest, SendVerdict>,
+    /// The shared protocol-number key on `IP.PacketArrived`. Handlers
+    /// keyed on it (UDP/TCP/ICMP demux, extensions) collapse into one
+    /// dispatch-table lookup per raise — install with
+    /// [`Event::install_keyed`] to join the compiled path.
+    pub ip_proto_key: KeyFn<IpPacket>,
+    /// The shared destination-port key on `UDP.PktArrived` (port binds).
+    pub udp_port_key: KeyFn<UdpPacket>,
+    /// The shared destination-port key on `TCP.PktArrived`.
+    pub tcp_port_key: KeyFn<TcpSegment>,
 }
 
 /// Edges of the Figure 5 graph, recorded as extensions install handlers.
@@ -320,6 +329,9 @@ impl NetStack {
                     .expect("fresh event");
                 ev
             },
+            ip_proto_key: KeyFn::new(|p: &IpPacket| u64::from(p.header.protocol)),
+            udp_port_key: KeyFn::new(|p: &UdpPacket| u64::from(p.header.dst_port)),
+            tcp_port_key: KeyFn::new(|s: &TcpSegment| u64::from(s.header.dst_port)),
         };
 
         let mut my_ips = HashMap::new();
@@ -347,6 +359,13 @@ impl NetStack {
                 loop {
                     let mut any = false;
                     for (medium, nic) in &nics {
+                        // Drain the ring into a burst, then deliver it as
+                        // one batched raise: the link event's plan
+                        // snapshot, obs hooks and fault draws amortize
+                        // across the burst. `nic.receive()` charges its
+                        // driver/PIO costs here, during collection, exactly
+                        // as it did when each frame was raised singly.
+                        let mut burst: Vec<LinkFrame> = Vec::new();
                         while let Some(frame) = nic.receive() {
                             any = true;
                             stats2.frames_in.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
@@ -366,15 +385,18 @@ impl NetStack {
                                     *medium as u64,
                                 );
                             }
+                            burst.push(LinkFrame {
+                                medium: *medium,
+                                bytes: frame.payload,
+                            });
+                        }
+                        if !burst.is_empty() {
                             let ev = match medium {
                                 Medium::Ethernet => &ev2.ether_arrived,
                                 Medium::Atm => &ev2.atm_arrived,
                                 Medium::T3 => &ev2.t3_arrived,
                             };
-                            let _ = ev.raise(LinkFrame {
-                                medium: *medium,
-                                bytes: frame.payload,
-                            });
+                            let _ = ev.raise_batch(burst);
                         }
                     }
                     if !any {
@@ -458,12 +480,16 @@ impl NetStack {
         }
 
         // IP → transports, guarded by the protocol type field (§3.2's
-        // worked example of guards).
+        // worked example of guards). Keyed on the shared protocol-number
+        // key so the three demux guards compile into a single table
+        // lookup per raise; the virtual-time charges are the same as the
+        // opaque closures they replace.
         let udp_ev = ev.udp_arrived.clone();
         ev.ip_arrived
-            .install_guarded(
+            .install_keyed(
                 Identity::kernel("UDP"),
-                |p: &IpPacket| p.header.protocol == proto::UDP,
+                &ev.ip_proto_key,
+                u64::from(proto::UDP),
                 move |p: &IpPacket| {
                     if let Some((header, payload)) = UdpHeader::decode(&p.payload) {
                         let _ = udp_ev.raise(UdpPacket {
@@ -479,9 +505,10 @@ impl NetStack {
 
         let tcp_ev = ev.tcp_arrived.clone();
         ev.ip_arrived
-            .install_guarded(
+            .install_keyed(
                 Identity::kernel("TCP"),
-                |p: &IpPacket| p.header.protocol == proto::TCP,
+                &ev.ip_proto_key,
+                u64::from(proto::TCP),
                 move |p: &IpPacket| {
                     if let Some((header, payload)) = TcpHeader::decode(&p.payload) {
                         let _ = tcp_ev.raise(TcpSegment {
@@ -497,9 +524,10 @@ impl NetStack {
 
         let icmp_ev = ev.icmp_arrived.clone();
         ev.ip_arrived
-            .install_guarded(
+            .install_keyed(
                 Identity::kernel("ICMP"),
-                |p: &IpPacket| p.header.protocol == proto::ICMP,
+                &ev.ip_proto_key,
+                u64::from(proto::ICMP),
                 move |p: &IpPacket| {
                     if let Some((header, payload)) = IcmpHeader::decode(&p.payload) {
                         let _ = icmp_ev.raise(IcmpPacket {
@@ -679,9 +707,12 @@ impl NetStack {
         handler: impl Fn(&UdpPacket) + Send + Sync + 'static,
     ) -> Result<spin_core::HandlerId, spin_core::DispatchError> {
         self.inner.topology.note("UDP.PktArrived", label);
-        self.inner.events.udp_arrived.install_guarded(
+        // Keyed on the shared port key: N bound ports cost one lookup per
+        // datagram, not N guard evaluations.
+        self.inner.events.udp_arrived.install_keyed(
             Identity::extension(label),
-            move |p: &UdpPacket| p.header.dst_port == port,
+            &self.inner.events.udp_port_key,
+            u64::from(port),
             move |p: &UdpPacket| handler(p),
         )
     }

@@ -77,11 +77,18 @@ pub struct DomainCounters {
     /// Deterministic retries performed on this domain's behalf (RPC
     /// retransmits, forwarder transmit retries).
     pub retries: AtomicU64,
+    /// Slow-path raises served by a compiled (key-indexed) guard plan.
+    pub dispatch_compiled_raises: AtomicU64,
+    /// Guard closure calls the compiled plan avoided (key hits resolved by
+    /// table lookup + key misses ruled out by it).
+    pub dispatch_compiled_elided: AtomicU64,
+    /// Raises delivered through `raise_batch` bursts.
+    pub dispatch_batched: AtomicU64,
 }
 
 impl DomainCounters {
     /// Snapshot as `(metric name, value)` pairs, in a stable order.
-    pub fn snapshot(&self) -> [(&'static str, u64); 16] {
+    pub fn snapshot(&self) -> [(&'static str, u64); 19] {
         let ld = |c: &AtomicU64| c.load(Ordering::Acquire); // ordering: Acquire — pairs with the recording sides' AcqRel RMWs.
         [
             ("cpu_virtual_ns", ld(&self.cpu_ns)),
@@ -100,6 +107,15 @@ impl DomainCounters {
             ("syscalls", ld(&self.syscalls)),
             ("faults", ld(&self.faults)),
             ("retries", ld(&self.retries)),
+            (
+                "dispatch_compiled_raises",
+                ld(&self.dispatch_compiled_raises),
+            ),
+            (
+                "dispatch_compiled_elided",
+                ld(&self.dispatch_compiled_elided),
+            ),
+            ("dispatch_batched", ld(&self.dispatch_batched)),
         ]
     }
 

@@ -119,6 +119,14 @@ impl Clock {
     pub fn clear_advance_hook(&self) {
         self.inner.hooks.clear();
     }
+
+    /// Whether any advance hook is installed — i.e. whether the *number and
+    /// granularity* of individual charges is observable, not just their
+    /// total. Charge-coalescing optimisations (the dispatcher's compiled
+    /// guard walk) must replay charges one by one when this is true.
+    pub fn charges_observed(&self) -> bool {
+        self.inner.hooks.is_armed()
+    }
 }
 
 /// Identifier of a scheduled timer, usable for cancellation.

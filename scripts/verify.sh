@@ -63,6 +63,31 @@ test -s "$SMOKE_DIR/BENCH_multicore.json" || {
     exit 1
 }
 
+echo "==> compiled dispatch: guard-set compilation invariance"
+# Keyed (compiled) vs opaque (sequential) installations must charge
+# identical virtual time on the real workloads, with observability absent
+# (coalesced miss charges) and wired (charge-by-charge replay) alike.
+cargo test -q -p spin-bench --test compiled_invariance
+# s1_dispatcher_scaling asserts in-binary that compiled and sequential
+# sweep columns are equal at every guard count, then measures the
+# wall-clock win; its virtual rows — and the keyed forwarder's Table 6
+# numbers — are golden-gated byte-for-byte with compilation enabled.
+for bin in table6_forward s1_dispatcher_scaling; do
+    (cd "$SMOKE_DIR" && cargo run -q --release --manifest-path "$OLDPWD/Cargo.toml" \
+        -p spin-bench --bin "$bin" -- --json > /dev/null)
+    diff -u "scripts/goldens/BENCH_$bin.json" "$SMOKE_DIR/BENCH_$bin.json" || {
+        echo "verify: $bin diverged from scripts/goldens/BENCH_$bin.json" >&2
+        exit 1
+    }
+done
+# The wall-clock report (nondeterministic, never golden-diffed) must still
+# be emitted; the concurrent raise-vs-plan-rebuild model runs in the
+# spin-check suite below (raise_vs_keyed_plan_rebuild_swap, bound 2).
+test -s "$SMOKE_DIR/BENCH_dispatch_compiled.json" || {
+    echo "verify: s1_dispatcher_scaling emitted no BENCH_dispatch_compiled.json" >&2
+    exit 1
+}
+
 echo "==> spin-audit: unsafe/ordering audit gate"
 cargo run -q -p spin-check --bin spin-audit
 

@@ -1,0 +1,217 @@
+//! The hot-swap cost-model invariant, enforced on the real workloads
+//! behind Tables 2, 5 and 6: the quiesce-gate check on the raise path,
+//! the hold-queue machinery and a wired-but-idle [`SwapCoordinator`] must
+//! never move a reported virtual-time number — and a swap that commits a
+//! *semantically identical* new version mid-workload must be invisible in
+//! the numbers too (the paper's online-upgrade promise: byte-identical
+//! outputs wherever the versions agree).
+//!
+//! The byte-for-byte golden diffs in `scripts/verify.sh` gate the same
+//! property on the emitted `BENCH_*.json` files; these tests pin it at
+//! the workload level, with observability absent and wired alike.
+
+use spin_core::GatedEvent;
+use spin_net::{reliable_bandwidth, udp_round_trip, Forwarder, Medium, ThreeHosts, TwoHosts};
+use spin_obs::Obs;
+use spin_sal::Nanos;
+use spin_swap::SwapCoordinator;
+use std::sync::Arc;
+
+const ECHO_PORT: u16 = 7;
+
+/// Wires an idle swap coordinator over the rig's UDP arrival events: obs
+/// gauges registered, gates referenced — but no swap ever begun. This is
+/// the "compiled in but idle" configuration the cost model must ignore.
+fn idle_coordinator(stacks: &[&spin_net::NetStack], obs: Option<&Obs>) -> SwapCoordinator {
+    let coord = SwapCoordinator::new(stacks[0].executor().clock().clone());
+    if let Some(obs) = obs {
+        coord.wire_obs(obs);
+    }
+    let _gates: Vec<Arc<dyn GatedEvent>> = stacks
+        .iter()
+        .map(|s| Arc::new(s.events().udp_arrived.clone()) as Arc<dyn GatedEvent>)
+        .collect();
+    coord
+}
+
+/// Table 2's protocol-latency workload (UDP round trip) with and without
+/// the idle swap machinery wired.
+fn table2_rtt(idle_swap: bool, obs: Option<&Obs>) -> Nanos {
+    let rig = TwoHosts::new();
+    if let Some(obs) = obs {
+        rig.wire_obs(obs);
+    }
+    let coord = idle_swap.then(|| idle_coordinator(&[&rig.a, &rig.b], obs));
+    let rtt = udp_round_trip(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 16, 8);
+    if let Some(coord) = coord {
+        let stats = coord.stats();
+        assert_eq!(stats.attempted, 0, "the idle coordinator never swapped");
+    }
+    rtt
+}
+
+/// Table 5's bulk-throughput workload (windowed reliable transfer) with
+/// and without the idle swap machinery wired.
+fn table5_bandwidth(idle_swap: bool, obs: Option<&Obs>) -> f64 {
+    let rig = TwoHosts::new();
+    if let Some(obs) = obs {
+        rig.wire_obs(obs);
+    }
+    let _coord = idle_swap.then(|| idle_coordinator(&[&rig.a, &rig.b], obs));
+    reliable_bandwidth(&rig.exec, &rig.a, &rig.b, Medium::Ethernet, 1024, 64, 8)
+}
+
+/// Table 6's forward workload (client → forwarder → echo). `swap_mid_run`
+/// hot-swaps the forwarder to a v2 built from the live flow snapshot —
+/// same port, same target, transferred flows — between warm-up and the
+/// measured rounds.
+fn table6_rtt(idle_swap: bool, swap_mid_run: bool, obs: Option<&Obs>) -> Nanos {
+    let rig = ThreeHosts::new();
+    if let Some(obs) = obs {
+        rig.wire_obs(obs);
+    }
+    let coord = if idle_swap || swap_mid_run {
+        Some(idle_coordinator(&[&rig.a, &rig.b, &rig.c], obs))
+    } else {
+        None
+    };
+    let medium = Medium::Ethernet;
+    let target = rig.c.ip_on(medium);
+    let fwd = Forwarder::install_udp(&rig.b, ECHO_PORT, target);
+    let c2 = rig.c.clone();
+    rig.c
+        .udp_bind(ECHO_PORT, "echo", move |p| {
+            let _ = c2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .expect("bind echo");
+    let reply = rig.a.udp_channel(9000, "client", 4).expect("bind client");
+    let b_ip = rig.b.ip_on(medium);
+    let clock = rig.exec.clock().clone();
+
+    // Warm-up round (opens the client's flow through the forwarder).
+    {
+        let a = rig.a.clone();
+        let ch = reply.clone();
+        rig.exec.spawn("warmup", move |ctx| {
+            a.udp_send(9000, b_ip, ECHO_PORT, &[0u8; 16]).unwrap();
+            ch.recv(ctx);
+        });
+        rig.exec.run_until_idle();
+    }
+
+    if swap_mid_run {
+        let coord = coord.as_ref().expect("mid-run swap needs a coordinator");
+        let ev = &rig.b.events().udp_arrived;
+        let report = coord
+            .swap(
+                "Forward",
+                vec![Arc::new(ev.clone())],
+                fwd.identity(),
+                &fwd,
+                |old| old.snapshot(),
+                None,
+                |snapshot| {
+                    let (_v2, specs) = Forwarder::udp_swap_specs(
+                        &rig.b,
+                        ECHO_PORT,
+                        target,
+                        "Forward-v2",
+                        snapshot,
+                    );
+                    let receipt = ev
+                        .rebind(fwd.identity(), fwd.identity(), specs)
+                        .expect("rebind forwarder");
+                    let ev = ev.clone();
+                    let ident = fwd.identity().clone();
+                    vec![Box::new(move || {
+                        ev.restore(&ident, receipt).expect("restore forwarder");
+                    }) as spin_swap::UndoAction]
+                },
+            )
+            .expect("mid-run swap commits");
+        assert_eq!(report.held, 0, "no traffic in flight between rounds");
+    }
+
+    let a = rig.a.clone();
+    let out = Arc::new(parking_lot::Mutex::new(0u64));
+    let o2 = out.clone();
+    const ROUNDS: u64 = 8;
+    rig.exec.spawn("driver", move |ctx| {
+        let t0 = clock.now();
+        for _ in 0..ROUNDS {
+            a.udp_send(9000, b_ip, ECHO_PORT, &[0u8; 16]).unwrap();
+            reply.recv(ctx);
+        }
+        *o2.lock() = (clock.now() - t0) / ROUNDS;
+    });
+    rig.exec.run_until_idle();
+    let rtt = *out.lock();
+    rtt
+}
+
+#[test]
+fn idle_swap_machinery_charges_identical_table2_rtt() {
+    for obs in [None, Some(Obs::new(4096))] {
+        let obs = obs.as_ref();
+        let plain = table2_rtt(false, obs);
+        let idle = table2_rtt(true, obs);
+        assert!(plain > 0, "round trips must complete");
+        assert_eq!(
+            plain,
+            idle,
+            "idle swap machinery moved the Table 2 RTT (obs={})",
+            obs.is_some()
+        );
+    }
+}
+
+#[test]
+fn idle_swap_machinery_charges_identical_table5_bandwidth() {
+    for obs in [None, Some(Obs::new(4096))] {
+        let obs = obs.as_ref();
+        let plain = table5_bandwidth(false, obs);
+        let idle = table5_bandwidth(true, obs);
+        assert!(plain > 0.0, "the transfer must complete");
+        assert_eq!(
+            plain.to_bits(),
+            idle.to_bits(),
+            "idle swap machinery moved the Table 5 bandwidth (obs={})",
+            obs.is_some()
+        );
+    }
+}
+
+#[test]
+fn idle_swap_machinery_charges_identical_table6_rtt() {
+    for obs in [None, Some(Obs::new(4096))] {
+        let obs = obs.as_ref();
+        let plain = table6_rtt(false, false, obs);
+        let idle = table6_rtt(true, false, obs);
+        assert!(plain > 0, "the forward workload must complete");
+        assert_eq!(
+            plain,
+            idle,
+            "idle swap machinery moved the Table 6 RTT (obs={})",
+            obs.is_some()
+        );
+    }
+}
+
+/// The online-upgrade promise on the Table 6 workload: committing a swap
+/// to a semantically identical forwarder between warm-up and measurement
+/// leaves the measured RTT byte-identical — the swap itself charges
+/// nothing the workload can see.
+#[test]
+fn mid_run_swap_to_identical_version_is_invisible_in_table6() {
+    for obs in [None, Some(Obs::new(4096))] {
+        let obs = obs.as_ref();
+        let plain = table6_rtt(false, false, obs);
+        let swapped = table6_rtt(true, true, obs);
+        assert_eq!(
+            plain,
+            swapped,
+            "a committed identical-version swap moved the Table 6 RTT (obs={})",
+            obs.is_some()
+        );
+    }
+}

@@ -16,10 +16,10 @@
 #![cfg(all(spin_check, not(spin_check_mutant)))]
 
 use spin_check::model::Checker;
-use spin_check::sync::{Arc, Mutex};
+use spin_check::sync::{Arc, AtomicU64, Mutex, Ordering};
 use spin_check::thread;
 use spin_core::fault::{Containment, ContainmentPolicy};
-use spin_core::{DispatchError, Dispatcher, Identity, KeyFn};
+use spin_core::{Constraints, DispatchError, Dispatcher, Identity, InstallSpec, KeyFn};
 use spin_obs::account::DomainId;
 use spin_obs::ring::{Ring, TraceKind, TraceRecord};
 use spin_sal::Clock;
@@ -243,6 +243,76 @@ fn breaker_trip_and_quarantine_vs_concurrent_raises() {
         );
     });
     assert_clean("breaker", &report);
+}
+
+/// A raise racing the hot-swap protocol — quiesce, rebind v1 → v2,
+/// resume. The quiesce gate and the raise path form a store-buffer pair
+/// (`in_flight` increment vs `gate` load against `gate` store vs
+/// `in_flight` load), so this check exhausts exactly the interleavings
+/// where a weaker ordering would let a raise neither park nor drain. The
+/// allowed outcomes: the raise ran v1 (pre-rebind snapshot), ran v2
+/// (post-resume, or parked-then-unparked under the hold lock), or parked
+/// and was replayed by resume. Exactly one version runs exactly once.
+///
+/// `drain_in_flight` is exercised only after the raiser joins: its spin
+/// loop terminates under every *fair* schedule, but bounded DFS explores
+/// unfair ones too, where a spinning drain would never yield to the
+/// raiser it waits for.
+#[test]
+fn raise_vs_quiesce_rebind_resume() {
+    let report = checker().check(|| {
+        let d = Dispatcher::unmetered();
+        let (ev, _owner) = d.define::<u64, u64>("chk.hotswap", Identity::kernel("chk"));
+        let v1 = Identity::extension("v1");
+        let runs = Arc::new(AtomicU64::new(0));
+        let r1 = Arc::clone(&runs);
+        ev.install(v1.clone(), move |x: &u64| {
+            r1.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — model-checked counter, read after join.
+            *x + 1
+        })
+        .expect("install v1");
+
+        let ev2 = ev.clone();
+        let t = thread::spawn(move || ev2.raise(5));
+
+        ev.quiesce().expect("event alive");
+        let r2 = Arc::clone(&runs);
+        ev.rebind(
+            &v1,
+            &v1,
+            vec![InstallSpec {
+                installer: Identity::extension("v2"),
+                handler: std::sync::Arc::new(move |x: &u64| {
+                    r2.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — model-checked counter, read after join.
+                    *x + 2
+                }),
+                guards: Vec::new(),
+                constraints: Constraints::default(),
+            }],
+        )
+        .expect("rebind v1 -> v2");
+        let replayed = ev.resume().expect("event alive");
+
+        let raised = t.join().expect("raiser thread");
+        ev.drain_in_flight().expect("event alive");
+        match raised {
+            Ok(6) => assert_eq!(replayed, 0, "a completed v1 raise never parked"),
+            Ok(7) => {}
+            Err(DispatchError::Held { .. }) => {
+                assert_eq!(replayed, 1, "a parked raise must be replayed by resume")
+            }
+            other => panic!("raise racing a hot-swap leaked: {other:?}"),
+        }
+        assert_eq!(
+            runs.load(Ordering::Relaxed), // ordering: Relaxed — raiser joined; no concurrent writers remain.
+            1,
+            "exactly one version ran exactly once"
+        );
+        let hold = ev.hold_stats().expect("event alive");
+        assert_eq!(hold.held, hold.replayed, "nothing stays parked");
+        assert_eq!(hold.overflowed, 0);
+    });
+    assert_clean("hot-swap-gate", &report);
 }
 
 /// Arming an advance hook while another thread draws a clock charge: the

@@ -543,18 +543,150 @@ struct WriteSide<A, R> {
     reducer: Option<Reducer<R>>,
 }
 
+/// Counters for an event's hold queue (the quiesce/park/replay path of a
+/// hot swap). All monotonic; reconciles against [`EventStats`] as
+/// `attempts = (raises - replayed) + held + overflowed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HoldStats {
+    /// Raises parked while the event was quiesced.
+    pub held: u64,
+    /// Parked raises dispatched by a resume (each also counts in
+    /// `EventStats::raises` when it replays).
+    pub replayed: u64,
+    /// Raises dropped because the bounded hold queue was full.
+    pub overflowed: u64,
+}
+
+/// One parked raise: the virtual instant it arrived plus its total-order
+/// key, mirroring the mailbox `(deliver_at, lane, seq)` order so a resume
+/// replays exactly the sequence an uninterrupted run would have seen.
+struct HeldRaise<A> {
+    deliver_at: Nanos,
+    lane: u64,
+    seq: u64,
+    args: A,
+}
+
+/// The hold queue proper, guarded by a mutex the raise hot path never
+/// touches (parking is reached only behind the quiesce gate).
+struct HoldSide<A> {
+    queue: Vec<HeldRaise<A>>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl<A> Default for HoldSide<A> {
+    fn default() -> Self {
+        HoldSide {
+            queue: Vec::new(),
+            capacity: 65_536,
+            seq: 0,
+        }
+    }
+}
+
+/// One handler to install during an [`Event::rebind`]: the new version's
+/// replacement for the old version's handlers, applied in the same atomic
+/// plan swap that removes them.
+pub struct InstallSpec<A, R> {
+    /// The identity the new handlers are installed under (the new
+    /// version's domain identity — quarantine and fault attribution key
+    /// off it).
+    pub installer: Identity,
+    /// The handler procedure.
+    pub handler: Handler<A, R>,
+    /// Structured guards, exactly as [`Dispatcher::install_spec`] takes.
+    pub guards: Vec<GuardSpec<A>>,
+    /// Execution constraints.
+    pub constraints: Constraints,
+}
+
+/// Undo record for one [`Event::rebind`]: the removed entries with their
+/// plan positions and the ids the rebind installed. Feeding it to
+/// [`Event::restore`] reverses the rebind in one plan swap.
+pub struct RebindReceipt<A, R> {
+    old_installer: Identity,
+    removed: Vec<(usize, Entry<A, R>)>,
+    installed: Vec<HandlerId>,
+}
+
+impl<A, R> RebindReceipt<A, R> {
+    /// Handler ids the rebind installed (the new version's handlers).
+    pub fn installed(&self) -> &[HandlerId] {
+        &self.installed
+    }
+
+    /// How many of the old version's handlers the rebind removed.
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// The identity whose handlers were removed.
+    pub fn old_installer(&self) -> &Identity {
+        &self.old_installer
+    }
+}
+
+/// RAII marker counting one raise (or one posted async invocation) as
+/// in-flight for the quiesce drain.
+struct FlightGuard(Arc<AtomicU64>);
+
+impl FlightGuard {
+    fn enter(counter: &Arc<AtomicU64>) -> FlightGuard {
+        // The quiesce protocol is a store-buffer pair (increment-then-
+        // load-gate vs store-gate-then-load-count); both sides need the
+        // single total order or both can miss each other and a raise
+        // neither parks nor drains. See `Event::quiesce`.
+        // ordering: SeqCst — the store-buffer pair's single total order.
+        counter.fetch_add(1, Ordering::SeqCst);
+        FlightGuard(counter.clone())
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        // ordering: Release — publishes the dispatch's effects before the
+        // drain's zero-read (Acquire-or-stronger) can observe the count.
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
 struct EventState<A, R> {
     owner: Identity,
     write: Mutex<WriteSide<A, R>>,
     plan: RwLock<Arc<RaisePlan<A, R>>>,
     stats: AtomicEventStats,
     destroyed: AtomicBool,
+    /// Quiesce gate: while set, raises park in `held` instead of
+    /// dispatching. Checked (one atomic load) on every raise.
+    gate: AtomicBool,
+    /// Dispatches currently between snapshot and settle, plus async
+    /// invocations posted but not finished. `Arc` so [`FlightGuard`]s can
+    /// outlive the borrow that created them (async runners).
+    in_flight: Arc<AtomicU64>,
+    /// Parked raises; only touched behind the gate.
+    held: Mutex<HoldSide<A>>,
+    /// Plan generation: bumped once per `republish` (so one rebind — or
+    /// one rollback — is exactly one bump).
+    generation: AtomicU64,
+    held_total: AtomicU64,
+    replayed_total: AtomicU64,
+    overflowed_total: AtomicU64,
 }
 
 impl<A, R> EventState<A, R> {
     /// Republishes the raise plan from the (locked) write side.
     fn republish(&self, ws: &WriteSide<A, R>) {
         *self.plan.write() = RaisePlan::build(&ws.handlers, &ws.reducer);
+        self.generation.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic plan version; the plan RwLock is the real publication barrier.
+    }
+
+    fn hold_stats(&self) -> HoldStats {
+        HoldStats {
+            held: self.held_total.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            replayed: self.replayed_total.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            overflowed: self.overflowed_total.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        }
     }
 }
 
@@ -810,6 +942,13 @@ impl Dispatcher {
             plan: RwLock::new(RaisePlan::build(&[], &None)),
             stats: AtomicEventStats::default(),
             destroyed: AtomicBool::new(false),
+            gate: AtomicBool::new(false),
+            in_flight: Arc::new(AtomicU64::new(0)),
+            held: Mutex::new(HoldSide::default()),
+            generation: AtomicU64::new(0),
+            held_total: AtomicU64::new(0),
+            replayed_total: AtomicU64::new(0),
+            overflowed_total: AtomicU64::new(0),
         });
         self.inner
             .events
@@ -1036,6 +1175,21 @@ impl Dispatcher {
         R: Send + 'static,
     {
         let state = ev.resolved()?;
+        // Count this raise in-flight *before* consulting the quiesce gate
+        // (SeqCst on both sides): a quiescer that misses the increment
+        // sees a raiser that saw the closed gate and parked; one that
+        // sees it waits for the dispatch to settle. Either way no raise
+        // slips past the drain.
+        let _flight = FlightGuard::enter(&state.in_flight);
+        // ordering: SeqCst — store-buffer pair with `quiesce`'s gate store; see FlightGuard::enter.
+        let args = if state.gate.load(Ordering::SeqCst) {
+            // `park` hands the args back if the gate cleared while it
+            // took the hold lock: the resume that cleared it already
+            // replayed everything parked before us, so dispatch normally.
+            self.park(ev, &state, args)?
+        } else {
+            args
+        };
         // Snapshot: one refcount bump; handlers run outside any lock
         // (they may install/uninstall or re-raise).
         let plan = state.plan.read().clone();
@@ -1092,6 +1246,22 @@ impl Dispatcher {
             Ok(state) => state,
             Err(e) => return batch.iter().map(|_| Err(e.clone())).collect(),
         };
+        let _flight = FlightGuard::enter(&state.in_flight);
+        // A gated burst parks item by item — before the batch-edge fault
+        // draw, which belongs to dispatched bursts only. Parked items keep
+        // their burst order (consecutive hold-queue seqs) and replay as
+        // individual raises on resume.
+        // ordering: SeqCst — store-buffer pair with `quiesce`'s gate store; see FlightGuard::enter.
+        if state.gate.load(Ordering::SeqCst) {
+            return batch
+                .into_iter()
+                .map(|args| match self.park(ev, &state, args) {
+                    // Gate cleared mid-burst: dispatch the item singly.
+                    Ok(args) => self.raise(ev, args),
+                    Err(parked) => Err(parked),
+                })
+                .collect();
+        }
         let plan = state.plan.read().clone();
         // ordering: Acquire — pairs with destroy's Release flag store; runs after the plan snapshot.
         if state.destroyed.load(Ordering::Acquire) {
@@ -1133,6 +1303,53 @@ impl Dispatcher {
             out.push(self.dispatch_one(ev, &state, &plan, obs, faults, args));
         }
         out
+    }
+
+    /// Parks one raise behind the quiesce gate. Returns `Ok(args)` when
+    /// the gate cleared between the caller's fast check and the hold
+    /// lock (the caller dispatches normally), otherwise the parked
+    /// outcome: [`DispatchError::Held`] with the raise queued, or
+    /// [`DispatchError::HoldOverflow`] with it dropped and counted.
+    ///
+    /// Parking charges no virtual time — the full dispatch cost is
+    /// charged when the raise replays, so a resumed timeline carries
+    /// exactly the charges an uninterrupted run would.
+    fn park<A, R>(
+        &self,
+        ev: &Event<A, R>,
+        state: &Arc<EventState<A, R>>,
+        args: A,
+    ) -> Result<A, DispatchError>
+    where
+        A: Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let mut held = state.held.lock();
+        // Re-check under the hold lock: `resume` clears the gate under
+        // this same lock, so seeing it still set here proves the queue
+        // has not been taken yet and this raise cannot be stranded.
+        // ordering: SeqCst — part of the quiesce protocol's total order; see FlightGuard::enter.
+        if !state.gate.load(Ordering::SeqCst) {
+            return Ok(args);
+        }
+        if held.queue.len() >= held.capacity {
+            state.overflowed_total.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            return Err(DispatchError::HoldOverflow {
+                name: ev.name.to_string(),
+            });
+        }
+        let seq = held.seq;
+        held.seq += 1;
+        held.queue.push(HeldRaise {
+            deliver_at: self.inner.clock.now(),
+            lane: 0,
+            seq,
+            args,
+        });
+        state.held_total.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        Err(DispatchError::Held {
+            name: ev.name.to_string(),
+        })
     }
 
     /// Dispatches one already-resolved, already-counted raise against a
@@ -1466,9 +1683,14 @@ impl Dispatcher {
         let event_id = ev.id;
         let handler_id = entry.id;
         let installer = entry.installer.clone();
+        // The invocation stays in-flight for the quiesce drain until the
+        // runner finishes it (or drops it unrun — the guard's Drop still
+        // settles the count).
+        let flight = FlightGuard::enter(&state.in_flight);
         AsyncInvocation {
             time_bound: bound,
             run: Box::new(move || {
+                let _flight = flight;
                 let t0 = clock.now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let _ = handler(&args);
@@ -1743,6 +1965,230 @@ where
     /// snapshot (see [`Dispatcher::raise_batch`]).
     pub fn raise_batch(&self, batch: Vec<A>) -> Vec<Result<R, DispatchError>> {
         self.dispatcher.raise_batch(self, batch)
+    }
+
+    /// Closes the quiesce gate: subsequent raises park in the bounded
+    /// hold queue (the raiser sees [`DispatchError::Held`]) until
+    /// [`Event::resume`] replays them. Raises already past the gate check
+    /// finish normally — [`Event::drain_in_flight`] waits them out.
+    ///
+    /// This is phase 1 of the hot-swap protocol (see `spin-swap`): gate,
+    /// drain, transfer/rebind at a deterministic virtual instant, resume.
+    pub fn quiesce(&self) -> Result<(), DispatchError> {
+        let state = self.resolved()?;
+        // Store-buffer pair with the raise path's increment-then-gate-
+        // load; both sides need the single total order or a racing
+        // raise could neither park nor be drained.
+        // ordering: SeqCst — the store-buffer pair's single total order.
+        state.gate.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Spins (yielding) until every in-flight dispatch — including posted
+    /// async invocations — has settled. Call after [`Event::quiesce`];
+    /// calling it from inside one of this event's own handlers deadlocks,
+    /// as would waiting on an async invocation whose runner needs this
+    /// thread.
+    pub fn drain_in_flight(&self) -> Result<(), DispatchError> {
+        let state = self.resolved()?;
+        // ordering: SeqCst — pairs with FlightGuard's SeqCst increment (store-buffer pair, see FlightGuard::enter) and observes its Release decrement.
+        while state.in_flight.load(Ordering::SeqCst) != 0 {
+            spin_check::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Dispatches currently in flight (diagnostic; racy by nature).
+    pub fn in_flight(&self) -> Result<u64, DispatchError> {
+        // ordering: SeqCst — same protocol as drain_in_flight's probe.
+        Ok(self.resolved()?.in_flight.load(Ordering::SeqCst))
+    }
+
+    /// Reopens the gate and replays every parked raise in
+    /// `(deliver_at, lane, seq)` order — the mailbox total order, so the
+    /// replayed timeline is exactly the one an uninterrupted run would
+    /// have dispatched. Replayed results are unobservable (like the
+    /// paper's asynchronous handlers); each replay charges full dispatch
+    /// cost at the *current* virtual instant. Returns how many replayed.
+    pub fn resume(&self) -> Result<u64, DispatchError> {
+        let state = self.resolved()?;
+        let mut parked = {
+            let mut held = state.held.lock();
+            // Clear the gate *under* the hold lock: a parker acquiring
+            // the lock after us sees the open gate and dispatches
+            // itself; one that got in before us is in the queue we take.
+            // ordering: SeqCst — part of the quiesce protocol's total order; see FlightGuard::enter.
+            state.gate.store(false, Ordering::SeqCst);
+            std::mem::take(&mut held.queue)
+        };
+        parked.sort_by_key(|h| (h.deliver_at, h.lane, h.seq));
+        let n = parked.len() as u64;
+        for h in parked {
+            let _ = self.dispatcher.raise(self, h.args);
+        }
+        state.replayed_total.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        Ok(n)
+    }
+
+    /// Raises currently parked in the hold queue.
+    pub fn held_len(&self) -> Result<usize, DispatchError> {
+        Ok(self.resolved()?.held.lock().queue.len())
+    }
+
+    /// Hold-queue counters (see [`HoldStats`]).
+    pub fn hold_stats(&self) -> Result<HoldStats, DispatchError> {
+        Ok(self.resolved()?.hold_stats())
+    }
+
+    /// Bounds the hold queue (default 65 536 parked raises); raises
+    /// beyond it are dropped with [`DispatchError::HoldOverflow`].
+    pub fn set_hold_capacity(&self, capacity: usize) -> Result<(), DispatchError> {
+        self.resolved()?.held.lock().capacity = capacity;
+        Ok(())
+    }
+
+    /// The plan generation: bumped once per republish, so one rebind (or
+    /// one rollback) is exactly one observable bump.
+    pub fn generation(&self) -> Result<u64, DispatchError> {
+        // ordering: Relaxed — monotonic plan version; the plan RwLock is the real publication barrier.
+        Ok(self.resolved()?.generation.load(Ordering::Relaxed))
+    }
+
+    /// Atomically replaces every handler installed by `old_installer`
+    /// with the given specs, in **one** plan swap (one generation bump):
+    /// no raise ever observes a plan with the old version half-removed or
+    /// the new one half-installed.
+    ///
+    /// Allowed for the event owner and for `old_installer` itself (the
+    /// swap coordinator acts with the old version's identity). The
+    /// owner's install authorizer is *not* consulted — a rebind is a
+    /// capability operation, not a third-party installation; guards and
+    /// constraints come verbatim from the specs. Returns the undo record
+    /// for [`Event::restore`].
+    pub fn rebind(
+        &self,
+        caller: &Identity,
+        old_installer: &Identity,
+        installs: Vec<InstallSpec<A, R>>,
+    ) -> Result<RebindReceipt<A, R>, DispatchError> {
+        let state = self.resolved()?;
+        if state.owner != *caller && old_installer != caller {
+            return Err(DispatchError::NotOwner);
+        }
+        let disp = &self.dispatcher;
+        let mut ws = state.write.lock();
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(ws.handlers.len());
+        for (pos, entry) in ws.handlers.drain(..).enumerate() {
+            if entry.installer == *old_installer {
+                removed.push((pos, entry));
+            } else {
+                kept.push(entry);
+            }
+        }
+        ws.handlers = kept;
+        let mut installed = Vec::with_capacity(installs.len());
+        for spec in installs {
+            let id = HandlerId(disp.inner.next_handler.fetch_add(1, Ordering::Relaxed)); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
+            installed.push(id);
+            ws.handlers.push(Entry {
+                id,
+                handler: spec.handler,
+                guards: spec.guards,
+                constraints: spec.constraints,
+                installer: spec.installer,
+                is_primary: false,
+                fault_flag: Arc::new(AtomicBool::new(false)),
+            });
+        }
+        state.republish(&ws);
+        Ok(RebindReceipt {
+            old_installer: old_installer.clone(),
+            removed,
+            installed,
+        })
+    }
+
+    /// Reverses a rebind: removes the handlers it installed and restores
+    /// the removed entries at their original plan positions — again in
+    /// one plan swap. Handler ids, guards, constraints and sticky fault
+    /// flags of the restored entries are preserved. Allowed for the event
+    /// owner and the receipt's old installer.
+    pub fn restore(
+        &self,
+        caller: &Identity,
+        receipt: RebindReceipt<A, R>,
+    ) -> Result<(), DispatchError> {
+        let state = self.resolved()?;
+        if state.owner != *caller && receipt.old_installer != *caller {
+            return Err(DispatchError::NotOwner);
+        }
+        let mut ws = state.write.lock();
+        ws.handlers.retain(|e| !receipt.installed.contains(&e.id));
+        // `removed` is in ascending original position, so inserting in
+        // order lands each entry back where the old plan had it.
+        for (pos, entry) in receipt.removed {
+            let at = pos.min(ws.handlers.len());
+            ws.handlers.insert(at, entry);
+        }
+        state.republish(&ws);
+        Ok(())
+    }
+}
+
+/// Type-erased quiesce surface of an [`Event`]: what a hot-swap
+/// coordinator holds over the events of a domain whose argument/result
+/// types it does not know. Implemented by every `Event<A, R>`; errors
+/// (destroyed events) degrade to `false`/`0` — a destroyed event is
+/// trivially quiescent.
+pub trait GatedEvent: Send + Sync {
+    /// The event's qualified name.
+    fn gated_name(&self) -> &str;
+    /// [`Event::quiesce`]; `false` if the event is gone.
+    fn quiesce(&self) -> bool;
+    /// [`Event::drain_in_flight`]; `false` if the event is gone.
+    fn drain_in_flight(&self) -> bool;
+    /// [`Event::resume`]; how many parked raises replayed.
+    fn resume(&self) -> u64;
+    /// [`Event::held_len`].
+    fn held_len(&self) -> usize;
+    /// [`Event::hold_stats`].
+    fn hold_stats(&self) -> HoldStats;
+    /// [`Event::generation`].
+    fn generation(&self) -> u64;
+}
+
+impl<A, R> GatedEvent for Event<A, R>
+where
+    A: Send + Sync + 'static,
+    R: Send + 'static,
+{
+    fn gated_name(&self) -> &str {
+        self.name()
+    }
+
+    fn quiesce(&self) -> bool {
+        Event::quiesce(self).is_ok()
+    }
+
+    fn drain_in_flight(&self) -> bool {
+        Event::drain_in_flight(self).is_ok()
+    }
+
+    fn resume(&self) -> u64 {
+        Event::resume(self).unwrap_or(0)
+    }
+
+    fn held_len(&self) -> usize {
+        Event::held_len(self).unwrap_or(0)
+    }
+
+    fn hold_stats(&self) -> HoldStats {
+        Event::hold_stats(self).unwrap_or_default()
+    }
+
+    fn generation(&self) -> u64 {
+        Event::generation(self).unwrap_or(0)
     }
 }
 

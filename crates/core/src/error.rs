@@ -134,6 +134,13 @@ pub enum DispatchError {
     NotOwner,
     /// No handler with that id is installed.
     NoSuchHandler,
+    /// The event is quiesced for a hot swap: the raise was parked in the
+    /// hold queue and will be dispatched — in `(deliver_at, lane, seq)`
+    /// order — when the swap resumes the event.
+    Held { name: String },
+    /// The event is quiesced and its hold queue is full; the raise was
+    /// dropped (counted in [`crate::HoldStats::overflowed`]).
+    HoldOverflow { name: String },
 }
 
 impl fmt::Display for DispatchError {
@@ -148,6 +155,12 @@ impl fmt::Display for DispatchError {
             }
             DispatchError::NotOwner => write!(f, "caller is not the event owner"),
             DispatchError::NoSuchHandler => write!(f, "no such handler"),
+            DispatchError::Held { name } => {
+                write!(f, "`{name}` is quiesced; raise parked in the hold queue")
+            }
+            DispatchError::HoldOverflow { name } => {
+                write!(f, "`{name}` is quiesced and its hold queue is full")
+            }
         }
     }
 }

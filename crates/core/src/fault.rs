@@ -220,6 +220,21 @@ impl Containment {
         st.trips.remove(domain);
     }
 
+    /// Accounts a fault contained *outside* the dispatcher — e.g. a
+    /// hot-swap state transfer that panicked and was unwound by the swap
+    /// coordinator. The fault is attributed to `domain` in the obs
+    /// accounting (the `spin_faults{domain=...}` series in `/metrics`)
+    /// and counted in `faults_seen`. No breaker strike is charged: there
+    /// is no installed handler to strike, and the caller's rollback *is*
+    /// the containment action.
+    pub fn note_external_fault(&self, domain: &Identity) {
+        if let Some(obs) = self.obs.get() {
+            let (_, counters) = obs.accounting().register(domain.name());
+            counters.faults.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        }
+        self.state.lock().faults_seen += 1;
+    }
+
     /// The sink: account the fault, charge a strike, and trip/quarantine
     /// when the budget is exhausted. Breaker actions (uninstall, purge,
     /// revoke, the `Core.DomainFault` raise) run *after* the breaker

@@ -45,8 +45,9 @@ pub mod objfile;
 
 pub use capability::{ExternRef, ExternTable};
 pub use dispatch::{
-    AsyncInvocation, Constraints, Dispatcher, Event, EventOwner, EventStats, Guard, GuardSpec,
-    Handler, HandlerId, HandlerMode, InstallDecision, InstallRequest, KeyFn, Reducer, XcallRouter,
+    AsyncInvocation, Constraints, Dispatcher, Event, EventOwner, EventStats, GatedEvent, Guard,
+    GuardSpec, Handler, HandlerId, HandlerMode, HoldStats, InstallDecision, InstallRequest,
+    InstallSpec, KeyFn, RebindReceipt, Reducer, XcallRouter,
 };
 pub use domain::{Domain, ResolveReport};
 pub use error::{CoreError, DispatchError, SymbolConflict};
@@ -57,5 +58,5 @@ pub use fault::{
 pub use identity::{Identity, IdentityKind};
 pub use interface::{Interface, Symbol};
 pub use kernel::{Kernel, SysResult, Syscall, ENOSYS};
-pub use nameserver::{Authorizer, NameServer, ServiceRef};
+pub use nameserver::{Authorizer, ExportRebind, NameServer, ServiceRef};
 pub use objfile::{ImportDecl, ImportSlot, ObjectFile, ObjectFileBuilder, Provenance};

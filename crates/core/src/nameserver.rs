@@ -76,6 +76,37 @@ struct Registration {
     denials: u64,
 }
 
+/// Undo record for one [`NameServer::rebind_exports`]: the names that
+/// were re-pointed, each with the domain it pointed at before. Feeding it
+/// to [`NameServer::restore_exports`] reverses the rebind.
+pub struct ExportRebind {
+    old_exporter: Identity,
+    new_exporter: Identity,
+    rebound: Vec<(String, Domain)>,
+}
+
+impl ExportRebind {
+    /// The rebound names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.rebound.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// How many registrations were re-pointed.
+    pub fn len(&self) -> usize {
+        self.rebound.len()
+    }
+
+    /// `true` when the old exporter had no registrations.
+    pub fn is_empty(&self) -> bool {
+        self.rebound.is_empty()
+    }
+
+    /// The identity the rebind installed as exporter.
+    pub fn new_exporter(&self) -> &Identity {
+        &self.new_exporter
+    }
+}
+
 /// The kernel's name → domain registry.
 #[derive(Clone, Default)]
 pub struct NameServer {
@@ -125,22 +156,10 @@ impl NameServer {
         Ok(())
     }
 
-    /// Imports the domain registered under `name`, consulting the
-    /// exporter's authorizer with the importer's identity.
-    ///
-    /// Deprecated (API v2): string lookups bypass the interface type ids
-    /// that make linking safe — use [`NameServer::import_typed`], which
-    /// resolves through `Interface::export::<T>` types instead of names.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use import_typed::<T>() — string lookups bypass interface type ids"
-    )]
-    pub fn import(&self, name: &str, importer: &Identity) -> Result<Domain, CoreError> {
-        self.import_by_name(name, importer)
-    }
-
-    /// Shared lookup behind both the deprecated string path and the typed
-    /// path once it has picked its unique registration.
+    /// Name-keyed lookup behind the typed path once it has picked its
+    /// unique registration. The string `import` this once backed is gone
+    /// (API v2): string lookups bypassed the interface type ids that make
+    /// linking safe — [`NameServer::import_typed`] is the import surface.
     fn import_by_name(&self, name: &str, importer: &Identity) -> Result<Domain, CoreError> {
         let mut names = self.names.lock();
         let reg = names.get_mut(name).ok_or_else(|| CoreError::NameNotFound {
@@ -247,6 +266,52 @@ impl NameServer {
         revoked
     }
 
+    /// Atomically re-points every registration exported by
+    /// `old_exporter` at `new_domain` under `new_exporter`, keeping the
+    /// names, authorizers and import/denial counters — under **one** lock
+    /// acquisition, so no importer ever observes a name revoked but not
+    /// yet re-registered. This is the hot-swap rebind: `import_typed`
+    /// holders resolving those names get the new version from the instant
+    /// the lock drops. Returns the undo record for
+    /// [`NameServer::restore_exports`]; its names are sorted.
+    pub fn rebind_exports(
+        &self,
+        old_exporter: &Identity,
+        new_domain: &Domain,
+        new_exporter: &Identity,
+    ) -> ExportRebind {
+        let mut names = self.names.lock();
+        let mut rebound: Vec<(String, Domain)> = Vec::new();
+        for (name, reg) in names.iter_mut() {
+            if reg.exporter == *old_exporter {
+                let old_domain = std::mem::replace(&mut reg.domain, new_domain.clone());
+                reg.exporter = new_exporter.clone();
+                rebound.push((name.clone(), old_domain));
+            }
+        }
+        rebound.sort_by(|a, b| a.0.cmp(&b.0));
+        ExportRebind {
+            old_exporter: old_exporter.clone(),
+            new_exporter: new_exporter.clone(),
+            rebound,
+        }
+    }
+
+    /// Reverses a [`NameServer::rebind_exports`]: restores the old domain
+    /// and exporter on every rebound name still registered — again under
+    /// one lock acquisition. Names unregistered in between are skipped.
+    /// Counters accumulated while the new version served stay (they are
+    /// per-name, not per-version).
+    pub fn restore_exports(&self, receipt: ExportRebind) {
+        let mut names = self.names.lock();
+        for (name, old_domain) in receipt.rebound {
+            if let Some(reg) = names.get_mut(&name) {
+                reg.domain = old_domain;
+                reg.exporter = receipt.old_exporter.clone();
+            }
+        }
+    }
+
     /// All registered names, sorted (diagnostics).
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.names.lock().keys().cloned().collect();
@@ -290,8 +355,11 @@ mod tests {
         assert_eq!(ns.stats("ConsoleService"), Some((1, 0)));
     }
 
+    /// The deprecated string `import` is gone; what it used to give a
+    /// caller — the exporting domain for hand-rolled symbol lookups — is
+    /// still reachable through the typed path's [`ServiceRef::domain`].
     #[test]
-    fn deprecated_string_import_still_resolves() {
+    fn typed_path_covers_removed_string_import() {
         let ns = NameServer::new();
         ns.register(
             "ConsoleService",
@@ -299,12 +367,56 @@ mod tests {
             Identity::kernel("console"),
         )
         .unwrap();
-        #[allow(deprecated)]
-        let d = ns
-            .import("ConsoleService", &Identity::extension("gatekeeper"))
+        let svc = ns
+            .import_typed::<u32>(&Identity::extension("gatekeeper"))
             .unwrap();
+        let d = svc.domain();
         assert_eq!(*d.get::<u32>("Console", "version").unwrap(), 1);
         assert_eq!(ns.stats("ConsoleService"), Some((1, 0)));
+    }
+
+    #[test]
+    fn rebind_exports_swaps_domain_atomically_and_restores() {
+        let ns = NameServer::new();
+        let v1 = Identity::extension("fwd-v1");
+        let v2 = Identity::extension("fwd-v2");
+        ns.register("Forward", console_domain(), v1.clone())
+            .unwrap();
+        let who = Identity::extension("client");
+        assert_eq!(*ns.import_typed::<u32>(&who).unwrap(), 1);
+
+        let new_domain = Domain::create_from_module(
+            "console2",
+            vec![Interface::new("Console").export("version", Arc::new(2u32))],
+        );
+        let receipt = ns.rebind_exports(&v1, &new_domain, &v2);
+        assert_eq!(receipt.names(), vec!["Forward"]);
+        assert_eq!(receipt.len(), 1);
+        assert_eq!(receipt.new_exporter(), &v2);
+        // Same name, new version — and the import counter carried over.
+        assert_eq!(*ns.import_typed::<u32>(&who).unwrap(), 2);
+        assert_eq!(ns.stats("Forward"), Some((2, 0)));
+        // The new exporter owns the name now; the old one cannot touch it.
+        assert!(ns.unregister("Forward", &v1).is_err());
+
+        ns.restore_exports(receipt);
+        assert_eq!(*ns.import_typed::<u32>(&who).unwrap(), 1);
+        assert!(ns.unregister("Forward", &v1).is_ok());
+    }
+
+    #[test]
+    fn rebind_exports_of_unknown_exporter_is_empty() {
+        let ns = NameServer::new();
+        ns.register("X", console_domain(), Identity::kernel("a"))
+            .unwrap();
+        let receipt = ns.rebind_exports(
+            &Identity::extension("nobody"),
+            &console_domain(),
+            &Identity::extension("new"),
+        );
+        assert!(receipt.is_empty());
+        ns.restore_exports(receipt);
+        assert_eq!(ns.names(), vec!["X".to_string()]);
     }
 
     #[test]

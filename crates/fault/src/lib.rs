@@ -45,6 +45,9 @@ pub const SITE_NET_STACK: &str = "net.stack";
 pub const SITE_MAILBOX: &str = "sal.mailbox";
 /// Batch edge of `raise_batch` bursts (one draw per burst).
 pub const SITE_DISPATCH_BATCH: &str = "core.dispatch.batch";
+/// Hot-swap state transfer (one draw per swap attempt, inside the
+/// transfer's unwind containment — a panic here exercises rollback).
+pub const SITE_SWAP: &str = "swap.transfer";
 
 /// One injected outcome, decided by [`FaultHook::draw`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -16,7 +16,7 @@ use crate::pkt::{proto, IpAddr, TcpHeader, UdpHeader};
 use crate::stack::{NetStack, TcpSegment, UdpPacket};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use spin_core::{GuardSpec, Identity};
+use spin_core::{Constraints, GuardSpec, Identity, InstallSpec};
 use spin_sal::Nanos;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -111,6 +111,20 @@ struct FlowTable {
     stats: ForwardStats,
 }
 
+/// A deterministic export of a forwarder's flow table — the `Old` state a
+/// hot-swap transfers into the next version (`crates/swap`). Flows are
+/// sorted by rewritten port, so two snapshots of equal tables are equal
+/// regardless of hash-map iteration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSnapshot {
+    /// `(client ip, client port, rewritten port)` per live flow.
+    pub flows: Vec<(IpAddr, u16, u16)>,
+    /// Next rewritten port the table would allocate.
+    pub next_port: u16,
+    /// Counters at the snapshot instant (carried across the swap).
+    pub stats: ForwardStats,
+}
+
 impl FlowTable {
     fn translate(&mut self, client: (IpAddr, u16)) -> u16 {
         if let Some(&p) = self.out.get(&client) {
@@ -128,12 +142,60 @@ impl FlowTable {
 /// A transparent forwarder for one service port.
 pub struct Forwarder {
     state: Arc<Mutex<FlowTable>>,
+    identity: Identity,
+}
+
+/// Builds the outbound UDP handler: client → forwarder:`port` ⇒
+/// forwarder → `target`:`port`.
+fn udp_out_handler(
+    stack: &NetStack,
+    state: &Arc<Mutex<FlowTable>>,
+    port: u16,
+    target: IpAddr,
+) -> impl Fn(&UdpPacket) + Send + Sync + 'static {
+    let state = state.clone();
+    let stack = stack.clone();
+    move |p: &UdpPacket| {
+        let rewritten = {
+            let mut st = state.lock();
+            st.stats.forwarded += 1;
+            st.translate((p.ip.src, p.header.src_port))
+        };
+        let datagram = UdpHeader::encode(rewritten, port, &p.payload);
+        transmit_with_retry(&stack, &state, target, proto::UDP, datagram);
+    }
+}
+
+/// Builds the inbound UDP handler: target's replies to a rewritten port ⇒
+/// original client.
+fn udp_back_handler(
+    stack: &NetStack,
+    state: &Arc<Mutex<FlowTable>>,
+    port: u16,
+) -> impl Fn(&UdpPacket) + Send + Sync + 'static {
+    let state = state.clone();
+    let stack = stack.clone();
+    move |p: &UdpPacket| {
+        let client = {
+            let mut st = state.lock();
+            match st.back.get(&p.header.dst_port).copied() {
+                Some(c) => {
+                    st.stats.replies += 1;
+                    c
+                }
+                None => return,
+            }
+        };
+        let datagram = UdpHeader::encode(port, client.1, &p.payload);
+        transmit_with_retry(&stack, &state, client.0, proto::UDP, datagram);
+    }
 }
 
 impl Forwarder {
     /// Installs a UDP forwarder on `stack`: datagrams to `port` are
     /// redirected to `target`; replies retrace to the original client.
     pub fn install_udp(stack: &NetStack, port: u16, target: IpAddr) -> Forwarder {
+        let identity = Identity::extension("Forward");
         let state = Arc::new(Mutex::new(FlowTable {
             out: HashMap::new(),
             back: HashMap::new(),
@@ -141,69 +203,98 @@ impl Forwarder {
             stats: ForwardStats::default(),
         }));
 
-        // Outbound: client → forwarder:port ⇒ forwarder → target:port.
-        // Keyed on the shared UDP port key, so the forwarder joins the
-        // port binds in one compiled dispatch-table lookup.
-        let st2 = state.clone();
-        let stack2 = stack.clone();
+        // Outbound traffic is keyed on the shared UDP port key, so the
+        // forwarder joins the port binds in one compiled dispatch-table
+        // lookup.
         stack
             .events()
             .udp_arrived
             .install_keyed(
-                Identity::extension("Forward"),
+                identity.clone(),
                 &stack.events().udp_port_key,
                 u64::from(port),
-                move |p: &UdpPacket| {
-                    let rewritten = {
-                        let mut st = st2.lock();
-                        st.stats.forwarded += 1;
-                        st.translate((p.ip.src, p.header.src_port))
-                    };
-                    let datagram = UdpHeader::encode(rewritten, port, &p.payload);
-                    transmit_with_retry(&stack2, &st2, target, proto::UDP, datagram);
-                },
+                udp_out_handler(stack, &state, port, target),
             )
             .expect("install UDP forwarder (out)");
         stack.topology().note("UDP.PktArrived", "Forward");
 
-        // Inbound: target's replies to a rewritten port ⇒ original client.
-        // A key range over the rewritten-port space, on the same key.
-        let st3 = state.clone();
-        let stack3 = stack.clone();
+        // Replies: a key range over the rewritten-port space, same key.
         stack
             .events()
             .udp_arrived
             .install_specs(
-                Identity::extension("Forward"),
+                identity.clone(),
                 vec![GuardSpec::KeyRange(
                     stack.events().udp_port_key.clone(),
                     40_000,
                     u64::from(u16::MAX),
                 )],
-                move |p: &UdpPacket| {
-                    let client = {
-                        let mut st = st3.lock();
-                        match st.back.get(&p.header.dst_port).copied() {
-                            Some(c) => {
-                                st.stats.replies += 1;
-                                c
-                            }
-                            None => return,
-                        }
-                    };
-                    let datagram = UdpHeader::encode(port, client.1, &p.payload);
-                    transmit_with_retry(&stack3, &st3, client.0, proto::UDP, datagram);
-                },
+                udp_back_handler(stack, &state, port),
             )
             .expect("install UDP forwarder (back)");
 
-        Forwarder { state }
+        Forwarder { state, identity }
+    }
+
+    /// Builds a successor version of a UDP forwarder from a transferred
+    /// [`FlowSnapshot`] *without installing it*: the returned
+    /// [`InstallSpec`]s are handed to [`spin_core::Event::rebind`] so the
+    /// hot-swap replaces the old version's handlers in one atomic
+    /// generation bump (`crates/swap` orchestrates the protocol).
+    ///
+    /// The new version keeps the snapshot's flow table, so replies for
+    /// flows opened under the old version still retrace, and forwarding is
+    /// semantically identical — which is what makes the post-swap virtual
+    /// outputs byte-identical to an uninterrupted run.
+    pub fn udp_swap_specs(
+        stack: &NetStack,
+        port: u16,
+        target: IpAddr,
+        version: &str,
+        snapshot: FlowSnapshot,
+    ) -> (Forwarder, Vec<InstallSpec<UdpPacket, ()>>) {
+        let identity = Identity::extension(version);
+        let mut out = HashMap::new();
+        let mut back = HashMap::new();
+        for &(ip, client_port, rewritten) in &snapshot.flows {
+            out.insert((ip, client_port), rewritten);
+            back.insert(rewritten, (ip, client_port));
+        }
+        let state = Arc::new(Mutex::new(FlowTable {
+            out,
+            back,
+            next_port: snapshot.next_port,
+            stats: snapshot.stats,
+        }));
+        let specs = vec![
+            InstallSpec {
+                installer: identity.clone(),
+                handler: Arc::new(udp_out_handler(stack, &state, port, target)),
+                guards: vec![GuardSpec::KeyEq(
+                    stack.events().udp_port_key.clone(),
+                    u64::from(port),
+                )],
+                constraints: Constraints::default(),
+            },
+            InstallSpec {
+                installer: identity.clone(),
+                handler: Arc::new(udp_back_handler(stack, &state, port)),
+                guards: vec![GuardSpec::KeyRange(
+                    stack.events().udp_port_key.clone(),
+                    40_000,
+                    u64::from(u16::MAX),
+                )],
+                constraints: Constraints::default(),
+            },
+        ];
+        (Forwarder { state, identity }, specs)
     }
 
     /// Installs a TCP forwarder: whole segments (including SYN/FIN/RST
     /// control) to `port` are redirected to `target` — this is what
     /// preserves end-to-end semantics.
     pub fn install_tcp(stack: &NetStack, port: u16, target: IpAddr) -> Forwarder {
+        let identity = Identity::extension("Forward");
         let state = Arc::new(Mutex::new(FlowTable {
             out: HashMap::new(),
             back: HashMap::new(),
@@ -277,12 +368,35 @@ impl Forwarder {
             )
             .expect("install TCP forwarder (back)");
 
-        Forwarder { state }
+        Forwarder { state, identity }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> ForwardStats {
         self.state.lock().stats
+    }
+
+    /// The identity this forwarder's handlers are installed under — the
+    /// `old_installer` a hot-swap rebind replaces.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// A deterministic export of the flow table (sorted by rewritten
+    /// port) — the typed `Old` state for a hot-swap transfer.
+    pub fn snapshot(&self) -> FlowSnapshot {
+        let st = self.state.lock();
+        let mut flows: Vec<(IpAddr, u16, u16)> = st
+            .out
+            .iter()
+            .map(|(&(ip, client_port), &rewritten)| (ip, client_port, rewritten))
+            .collect();
+        flows.sort_by_key(|&(_, _, rewritten)| rewritten);
+        FlowSnapshot {
+            flows,
+            next_port: st.next_port,
+            stats: st.stats,
+        }
     }
 }
 
@@ -326,6 +440,51 @@ mod tests {
         assert_eq!(s.forwarded, 1);
         assert_eq!(s.replies, 1);
         assert_eq!(s.flows, 1);
+    }
+
+    #[test]
+    fn v2_from_snapshot_keeps_flows_and_counters_across_a_rebind() {
+        // Open a flow under v1, hot-swap the handlers to a v2 built from
+        // the snapshot, and check the same client's next request reuses
+        // the transferred flow (same rewritten port, counters carried).
+        let rig = ThreeHosts::new();
+        let target = rig.c.ip_on(Medium::Ethernet);
+        let fwd = Forwarder::install_udp(&rig.b, 7, target);
+        let c2 = rig.c.clone();
+        rig.c
+            .udp_bind(7, "echo", move |p| {
+                let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+            })
+            .unwrap();
+        let b_ip = rig.b.ip_on(Medium::Ethernet);
+        let reply_ch = rig.a.udp_channel(5555, "client", 4).unwrap();
+        let round = |tag: &'static [u8]| {
+            let a = rig.a.clone();
+            let ch = reply_ch.clone();
+            rig.exec.spawn("client", move |ctx| {
+                a.udp_send(5555, b_ip, 7, tag).unwrap();
+                ch.recv(ctx).expect("echo reply");
+            });
+            rig.exec.run_until_idle();
+        };
+        round(b"before swap");
+        let snapshot = fwd.snapshot();
+        assert_eq!(snapshot.flows.len(), 1);
+
+        let (v2, specs) = Forwarder::udp_swap_specs(&rig.b, 7, target, "Forward-v2", snapshot);
+        rig.b
+            .events()
+            .udp_arrived
+            .rebind(fwd.identity(), fwd.identity(), specs)
+            .unwrap();
+
+        round(b"after swap");
+        let s = v2.stats();
+        assert_eq!(s.forwarded, 2, "v1's counters carried into v2");
+        assert_eq!(s.replies, 2);
+        assert_eq!(s.flows, 1, "the client's flow survived the swap");
+        // The old handle's table is no longer fed.
+        assert_eq!(fwd.stats().forwarded, 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod video;
 
 pub use am::{ActiveMessages, AM_PORT};
 pub use debugger::{DebugClient, NetDebugger, DEBUG_PORT};
-pub use forward::{ForwardStats, Forwarder};
+pub use forward::{FlowSnapshot, ForwardStats, Forwarder};
 pub use http::{http_get, HttpServer, HttpStats};
 pub use measure::{reliable_bandwidth, udp_round_trip};
 pub use metrics::install_metrics;

@@ -170,54 +170,6 @@ impl ShardedPair {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use parking_lot::Mutex;
-    use spin_sal::Nanos;
-    use spin_sched::IdleOutcome;
-
-    /// UDP ping-pong across two kernel shards: every virtual arrival
-    /// time, reply time and mailbox count is identical at 1, 2 and 4
-    /// workers.
-    #[test]
-    fn sharded_udp_ping_pong_is_worker_count_invariant() {
-        let run = |workers: usize| -> (Vec<Nanos>, Nanos, u64) {
-            let rig = ShardedPair::new(workers);
-            let echo = rig.b.clone();
-            rig.b
-                .udp_bind(7, "echo", move |p| {
-                    let src = p.ip.src;
-                    let port = p.header.src_port;
-                    echo.udp_send(7, src, port, &p.payload).unwrap();
-                })
-                .unwrap();
-            let arrivals: Arc<Mutex<Vec<Nanos>>> = Arc::new(Mutex::new(Vec::new()));
-            let arr = arrivals.clone();
-            let clock_a = rig.host_a.clock.clone();
-            rig.a
-                .udp_bind(9, "pong-sink", move |_| arr.lock().push(clock_a.now()))
-                .unwrap();
-            let a = rig.a.clone();
-            let dst = rig.b_ip(Medium::Ethernet);
-            rig.exec_a.spawn("pinger", move |ctx| {
-                for _ in 0..4 {
-                    a.udp_send(9, dst, 7, b"ping").unwrap();
-                    ctx.sleep(200_000);
-                }
-            });
-            assert_eq!(rig.mc.run_until_idle(), IdleOutcome::AllComplete);
-            let arrivals = arrivals.lock().clone();
-            assert_eq!(arrivals.len(), 4, "all four pongs arrived");
-            let st = rig.mc.stats();
-            (arrivals, rig.host_b.clock.now(), st.mail_posted)
-        };
-        let base = run(1);
-        assert_eq!(run(2), base, "2 workers diverged");
-        assert_eq!(run(4), base, "4 workers diverged");
-    }
-}
-
 /// A three-workstation rig (client, forwarder, server) for the Table 6
 /// protocol-forwarding experiments.
 pub struct ThreeHosts {
@@ -286,5 +238,53 @@ impl ThreeHosts {
             stack.set_obs(obs.domain("net"));
         }
         self.dispatcher.set_obs(obs.domain("dispatcher"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use spin_sal::Nanos;
+    use spin_sched::IdleOutcome;
+
+    /// UDP ping-pong across two kernel shards: every virtual arrival
+    /// time, reply time and mailbox count is identical at 1, 2 and 4
+    /// workers.
+    #[test]
+    fn sharded_udp_ping_pong_is_worker_count_invariant() {
+        let run = |workers: usize| -> (Vec<Nanos>, Nanos, u64) {
+            let rig = ShardedPair::new(workers);
+            let echo = rig.b.clone();
+            rig.b
+                .udp_bind(7, "echo", move |p| {
+                    let src = p.ip.src;
+                    let port = p.header.src_port;
+                    echo.udp_send(7, src, port, &p.payload).unwrap();
+                })
+                .unwrap();
+            let arrivals: Arc<Mutex<Vec<Nanos>>> = Arc::new(Mutex::new(Vec::new()));
+            let arr = arrivals.clone();
+            let clock_a = rig.host_a.clock.clone();
+            rig.a
+                .udp_bind(9, "pong-sink", move |_| arr.lock().push(clock_a.now()))
+                .unwrap();
+            let a = rig.a.clone();
+            let dst = rig.b_ip(Medium::Ethernet);
+            rig.exec_a.spawn("pinger", move |ctx| {
+                for _ in 0..4 {
+                    a.udp_send(9, dst, 7, b"ping").unwrap();
+                    ctx.sleep(200_000);
+                }
+            });
+            assert_eq!(rig.mc.run_until_idle(), IdleOutcome::AllComplete);
+            let arrivals = arrivals.lock().clone();
+            assert_eq!(arrivals.len(), 4, "all four pongs arrived");
+            let st = rig.mc.stats();
+            (arrivals, rig.host_b.clock.now(), st.mail_posted)
+        };
+        let base = run(1);
+        assert_eq!(run(2), base, "2 workers diverged");
+        assert_eq!(run(4), base, "4 workers diverged");
     }
 }

@@ -74,6 +74,11 @@ pub enum TraceKind {
     /// The multicore barrier opened an epoch (`a` = the epoch's global
     /// virtual time).
     ShardEpoch = 10,
+    /// A hot-swap protocol phase was entered (`a` = phase ordinal:
+    /// 0 quiesce, 1 transfer, 2 rebind, 3 resume, 4 committed,
+    /// 5 rolled back; `b` = phase-specific count — raises held at
+    /// quiesce, raises replayed at resume, plan generation at rebind).
+    SwapPhase = 11,
 }
 
 impl TraceKind {
@@ -91,6 +96,7 @@ impl TraceKind {
             TraceKind::SyscallTrap => "syscall_trap",
             TraceKind::MailDeliver => "mail_deliver",
             TraceKind::ShardEpoch => "shard_epoch",
+            TraceKind::SwapPhase => "swap_phase",
         }
     }
 
@@ -107,6 +113,7 @@ impl TraceKind {
             8 => TraceKind::SyscallTrap,
             9 => TraceKind::MailDeliver,
             10 => TraceKind::ShardEpoch,
+            11 => TraceKind::SwapPhase,
             _ => return None,
         })
     }

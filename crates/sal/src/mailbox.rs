@@ -32,6 +32,10 @@ pub mod lanes {
     pub const ATM_BASE: u64 = 0x3_0000;
     /// T3 frames: lane = base + the source wire endpoint.
     pub const T3_BASE: u64 = 0x4_0000;
+    /// Control-plane actions (`Multicore::post_control` — hot-swap
+    /// phases): lane = base + the target host id (one controller drives
+    /// a target at a time).
+    pub const CONTROL_BASE: u64 = 0x5_0000;
 }
 
 /// What a post hook decided about one envelope (deterministic fault

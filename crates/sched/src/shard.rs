@@ -183,6 +183,31 @@ impl Multicore {
         });
     }
 
+    /// Posts a control action — e.g. one hot-swap phase — into `target`'s
+    /// mailbox for execution at virtual time `deliver_at`. The envelope is
+    /// drained onto the shard's timer queue at the next conservative epoch
+    /// boundary and the action runs on the shard's own pumping thread,
+    /// totally ordered (`(deliver_at, lane, seq)`) with all cross-shard
+    /// traffic. That total order is what lets a swap coordinator quiesce
+    /// a domain *across shards*: the gate closes at the same virtual
+    /// point of the timeline no matter how many workers pump the plan.
+    /// Returns `false` for an unknown host (or a dropped envelope).
+    pub fn post_control(
+        &self,
+        target: HostId,
+        deliver_at: Nanos,
+        action: impl FnOnce(Nanos) + Send + 'static,
+    ) -> bool {
+        match self.shard(target) {
+            Some(sh) => {
+                sh.host
+                    .mailbox
+                    .post(deliver_at, lanes::CONTROL_BASE + target.0 as u64, action)
+            }
+            None => false,
+        }
+    }
+
     /// Installs deterministic fault injection on every mailbox post edge
     /// (the `sal.mailbox` site): delays shift delivery, failures drop the
     /// envelope, panics unwind the posting strand (contained as usual).
@@ -501,6 +526,35 @@ mod tests {
         assert!(base.2 >= 1, "travelled via the mailbox");
         assert_eq!(run(2), base, "2 workers diverged");
         assert_eq!(run(4), base, "4 workers diverged");
+    }
+
+    /// A control action posted mid-run fires at its virtual deliver time
+    /// on the target shard, identically at every worker count.
+    #[test]
+    fn control_actions_execute_at_their_virtual_instant() {
+        let run = |workers: usize| -> Nanos {
+            let board = MulticoreBoard::new();
+            let mut mc = Multicore::new(workers, board.lookahead());
+            let host = board.new_host(16);
+            let id = host.id;
+            let exec = mc.add_host(host);
+            exec.spawn("busy", |ctx| ctx.work(100_000));
+            let fired = Arc::new(AtomicU64::new(0));
+            let f = fired.clone();
+            let clock = exec.clock().clone();
+            assert!(mc.post_control(id, 40_000, move |_| {
+                f.store(clock.now(), Ordering::Relaxed); // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
+            }));
+            assert!(
+                !mc.post_control(HostId(999), 40_000, |_| {}),
+                "unknown host is refused"
+            );
+            assert_eq!(mc.run_until_idle(), IdleOutcome::AllComplete);
+            fired.load(Ordering::Relaxed) // ordering: Relaxed — test plumbing; the join/assert sequencing is the sync.
+        };
+        let base = run(1);
+        assert!(base >= 40_000, "control action ran at its virtual instant");
+        assert_eq!(run(2), base, "2 workers diverged");
     }
 
     #[test]

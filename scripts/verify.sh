@@ -88,6 +88,24 @@ test -s "$SMOKE_DIR/BENCH_dispatch_compiled.json" || {
     exit 1
 }
 
+echo "==> hot-swap invariance: idle machinery, mid-run swap, mid-storm bench"
+# Tables 2/5/6 must not move by a byte with the swap machinery compiled in
+# but idle — and a committed swap to a semantically identical forwarder
+# must be invisible in the Table 6 numbers.
+cargo test -q -p spin-bench --test swap_invariance
+# Hold-queue reconciliation under raise/swap/rollback churn, and the
+# seeded SITE_SWAP chaos storms (rollback restores the old version) run in
+# the chaos/stress suites above; s8_hotswap swaps the UDP forwarder with
+# >=10k packets in flight and exits nonzero on any dropped packet, any
+# semantic divergence from the uninterrupted run, or any worker-count
+# divergence. Its virtual outputs are golden-gated byte-for-byte.
+(cd "$SMOKE_DIR" && cargo run -q --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p spin-bench --bin s8_hotswap -- --json > /dev/null)
+diff -u "scripts/goldens/BENCH_hotswap.json" "$SMOKE_DIR/BENCH_hotswap.json" || {
+    echo "verify: s8_hotswap diverged from scripts/goldens/BENCH_hotswap.json" >&2
+    exit 1
+}
+
 echo "==> spin-audit: unsafe/ordering audit gate"
 cargo run -q -p spin-check --bin spin-audit
 

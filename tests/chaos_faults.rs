@@ -11,14 +11,17 @@
 //! on virtual time, two identical storms produce identical wreckage.
 
 use parking_lot::Mutex;
-use spin_core::{ContainmentPolicy, Domain, DomainFaultInfo, Identity, Kernel};
+use spin_core::{
+    Constraints, ContainmentPolicy, Domain, DomainFaultInfo, Event, Identity, InstallSpec, Kernel,
+};
 use spin_fault::{
     FaultPlan, Injection, SiteConfig, SiteReport, SITE_DISPATCH, SITE_NET_STACK, SITE_RT_HEAP,
-    SITE_SCHED, SITE_VM_PAGER,
+    SITE_SCHED, SITE_SWAP, SITE_VM_PAGER,
 };
 use spin_net::{Medium, TwoHosts};
 use spin_obs::Obs;
 use spin_sal::{SimBoard, PAGE_SHIFT};
+use spin_swap::{SwapCoordinator, SwapError, SwapSupervisor, UndoAction};
 use spin_vm::{DiskPager, PhysAddrService, TranslationService, VirtAddrService};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -283,6 +286,199 @@ fn chaos_storm_is_contained_and_attributed() {
 #[test]
 fn chaos_storms_are_deterministic_for_a_seed() {
     assert_eq!(storm(42), storm(42));
+}
+
+/// A rebind closure swapping the service's handlers (same installer
+/// identity across versions) to a new bias, returning the restore undo.
+fn rebind_service(ev: &Event<u64, u64>, svc: &Identity, bias: u64) -> Vec<UndoAction> {
+    let receipt = ev
+        .rebind(
+            svc,
+            svc,
+            vec![InstallSpec {
+                installer: svc.clone(),
+                handler: Arc::new(move |x: &u64| x + bias),
+                guards: Vec::new(),
+                constraints: Constraints::default(),
+            }],
+        )
+        .expect("rebind service");
+    let ev = ev.clone();
+    let svc = svc.clone();
+    vec![Box::new(move || {
+        ev.restore(&svc, receipt).expect("restore service");
+    })]
+}
+
+/// One seeded hot-swap storm: repeated upgrade attempts with panics
+/// injected at the swap transfer site. Every injected panic must roll the
+/// service back to the exact version that was serving, the kernel keeps
+/// serving traffic throughout, and the rollbacks are domain-attributed on
+/// `/metrics`. Returns `(committed, rolled_back, by_domain)` for the
+/// determinism check.
+fn swap_storm(seed: u64) -> (u64, u64, Vec<(String, u64)>) {
+    const ATTEMPTS: u64 = 16;
+
+    let board = SimBoard::new();
+    let kernel = Kernel::boot(board.new_host(64));
+    let obs = Obs::new(4_096);
+    let snapshot = kernel.install_obs(&obs);
+    let containment = kernel.install_fault_containment(ContainmentPolicy {
+        strikes: u32::MAX,
+        window: u64::MAX,
+        trips_to_quarantine: u32::MAX,
+    });
+    containment.set_obs(&obs);
+
+    let coord = SwapCoordinator::new(board.clock.clone());
+    coord.wire_obs(&obs);
+    coord.set_containment(&containment);
+    let plan = FaultPlan::new(seed);
+    plan.configure(
+        SITE_SWAP,
+        SiteConfig {
+            panic_every: 2,
+            ..SiteConfig::default()
+        },
+    );
+    coord.set_fault_hook(&plan);
+
+    let (ev, _owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Svc.Call", Identity::kernel("svc"));
+    let svc = Identity::extension("svc");
+    let mut bias = 1u64;
+    ev.install(svc.clone(), move |x: &u64| x + 1)
+        .expect("install v1");
+
+    let (mut committed, mut rolled_back) = (0u64, 0u64);
+    for attempt in 0..ATTEMPTS {
+        let next = bias + 1;
+        match coord.swap(
+            "svc",
+            vec![Arc::new(ev.clone())],
+            &svc,
+            &bias,
+            |old| old + 1,
+            None,
+            |nb| rebind_service(&ev, &svc, nb),
+        ) {
+            Ok(_) => {
+                bias = next;
+                committed += 1;
+            }
+            Err(SwapError::TransferPanicked { .. }) => rolled_back += 1,
+            Err(e) => panic!("unexpected swap failure: {e}"),
+        }
+        // The kernel is serving after every attempt, on the version the
+        // protocol says is live — rolled-back upgrades leave the old one.
+        assert_eq!(
+            ev.raise(100 * attempt),
+            Ok(100 * attempt + bias),
+            "service must keep serving on the committed version"
+        );
+    }
+
+    plan.set_enabled(false);
+    assert_eq!(committed + rolled_back, ATTEMPTS);
+    assert!(committed > 0, "seed produced no committed swaps");
+    assert!(rolled_back > 0, "seed produced no rollbacks");
+    assert_eq!(
+        plan.injected_panics(),
+        rolled_back,
+        "every injected transfer panic rolled one swap back"
+    );
+    assert_eq!(
+        containment.faults_seen(),
+        rolled_back,
+        "every rollback was noted by the containment layer"
+    );
+    let stats = coord.stats();
+    assert_eq!(
+        (stats.attempted, stats.committed, stats.rolled_back),
+        (ATTEMPTS, committed, rolled_back)
+    );
+
+    // Attribution: the rollbacks are charged to the old domain on
+    // /metrics, next to the spin_swap_* gauges.
+    let body = snapshot.raise(()).expect("snapshot renders");
+    let by_domain = faults_by_domain(&body);
+    assert!(
+        by_domain
+            .iter()
+            .any(|(d, v)| d == "svc" && *v == rolled_back),
+        "rollbacks must be domain-attributed: {by_domain:?}"
+    );
+    assert!(body.contains(&format!("spin_swap_rolled_back_total {rolled_back}")));
+    assert!(body.contains(&format!("spin_swap_committed_total {committed}")));
+    (committed, rolled_back, by_domain)
+}
+
+#[test]
+fn injected_swap_panics_roll_back_with_service_intact() {
+    swap_storm(0xBADC0DE);
+}
+
+#[test]
+fn swap_storms_are_deterministic_for_a_seed() {
+    assert_eq!(swap_storm(99), swap_storm(99));
+}
+
+/// The fault-driven auto-swap loop (`Core.DomainFault` →
+/// [`SwapSupervisor`]): a quarantined domain's registered fallback swap
+/// runs at the next supervisor pump and restores service.
+#[test]
+fn domain_fault_triggers_fallback_swap_on_pump() {
+    let board = SimBoard::new();
+    let kernel = Kernel::boot(board.new_host(64));
+    let containment = kernel.install_fault_containment(ContainmentPolicy {
+        strikes: 1,
+        window: u64::MAX,
+        trips_to_quarantine: 1,
+    });
+    let sup = SwapSupervisor::install(&containment).expect("install supervisor");
+    let coord = SwapCoordinator::new(board.clock.clone());
+
+    let (svc, owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Svc.Flaky", Identity::kernel("svc"));
+    owner.set_primary(|_| 0).expect("fresh event");
+    let flaky = Identity::extension("flaky-ext");
+    svc.install(flaky.clone(), |_| panic!("flaky boom"))
+        .expect("install flaky");
+
+    // Register the fallback: swap the (already-quarantined) flaky version
+    // out for a known-good one under the same identity.
+    let ev2 = svc.clone();
+    let flaky2 = flaky.clone();
+    let coord2 = coord.clone();
+    sup.register_fallback("flaky-ext", move || {
+        coord2
+            .swap(
+                "flaky-ext",
+                vec![Arc::new(ev2.clone())],
+                &flaky2,
+                &(),
+                |_| 7u64,
+                None,
+                |bias| rebind_service(&ev2, &flaky2, bias),
+            )
+            .expect("fallback swap commits");
+    });
+
+    // One faulting raise: strike → trip → quarantine → Core.DomainFault.
+    // The handler is gone, the primary's result stands, and the fallback
+    // has NOT run yet (it must not run inside the faulting raise).
+    assert_eq!(svc.raise(1), Ok(0));
+    assert!(containment.is_quarantined("flaky-ext"));
+    assert_eq!(sup.pending(), vec!["flaky-ext"]);
+    assert_eq!(svc.raise(1), Ok(0), "no fallback inside the raise");
+
+    // The pump runs the fallback swap; the service serves v-fallback.
+    assert_eq!(sup.pump(), 1);
+    assert_eq!(svc.raise(1), Ok(8), "fallback version serving");
+    assert_eq!(coord.stats().committed, 1);
+    assert!(sup.pending().is_empty());
 }
 
 /// The breaker under injected fire: with `strikes = 2` and

@@ -330,6 +330,76 @@ fn bench_fault(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ablation (DESIGN.md #12): the cost of *being meterable*. An event
+/// bound to a quota cell pays the cell's admission CAS and window probe
+/// on every raise even while the budgets are zero-valued (unlimited) and
+/// nothing ever refuses; an unbound event pays one relaxed atomic load
+/// to see no cell is bound. The unbound/bound-unlimited gap is the price
+/// every dispatch pays for overload containment existing; EXPERIMENTS.md
+/// records it. The refusal rows price the cheap path callers are shunted
+/// onto once a budget trips.
+fn bench_quota(c: &mut Criterion) {
+    use spin_core::{QuotaLedger, QuotaSpec};
+
+    let mut g = c.benchmark_group("quota");
+    g.measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150));
+
+    let raise_bench = |g: &mut criterion::BenchmarkGroup<'_>, name: &str, metered: bool| {
+        let d = Dispatcher::unmetered();
+        let (ev, owner) = d.define::<u64, u64>("probe", Identity::kernel("b"));
+        owner.set_primary(|x| x + 1).expect("fresh");
+        if metered {
+            let ledger = QuotaLedger::new();
+            let cell = ledger.register("tenant", QuotaSpec::default());
+            assert_eq!(ev.bind_quota(cell), Ok(true));
+        }
+        g.bench_function(name, |b| b.iter(|| ev.raise(black_box(1)).expect("ok")));
+    };
+    raise_bench(&mut g, "raise/unbound", false);
+    raise_bench(&mut g, "raise/bound_unlimited", true);
+
+    // The refused paths: a throttled raise (Normal, budget spent) and a
+    // shed raise (Shedding) never reach the handler at all.
+    let refused_bench = |g: &mut criterion::BenchmarkGroup<'_>, name: &str, shed: bool| {
+        let d = Dispatcher::unmetered();
+        let (ev, owner) = d.define::<u64, u64>("probe", Identity::kernel("b"));
+        owner.set_primary(|x| x + 1).expect("fresh");
+        let ledger = QuotaLedger::new();
+        let cell = ledger.register(
+            "tenant",
+            QuotaSpec {
+                window: u64::MAX,
+                window_vt_budget: 1,
+                // Trip counts saturate far below these bounds, so the
+                // measured raises stay on one ladder rung throughout.
+                shed_after_trips: if shed { 1 } else { u32::MAX },
+                quarantine_after_sheds: u32::MAX,
+                ..QuotaSpec::default()
+            },
+        );
+        cell.admit(0).expect("budget fresh");
+        cell.complete(1); // spend the window budget
+        assert_eq!(ev.bind_quota(cell), Ok(true));
+        g.bench_function(name, |b| {
+            b.iter(|| ev.raise(black_box(1)).expect_err("refused"))
+        });
+    };
+    refused_bench(&mut g, "raise/throttled", false);
+    refused_bench(&mut g, "raise/shed", true);
+
+    // The raw admission primitive, isolated from dispatch.
+    let ledger = QuotaLedger::new();
+    let cell = ledger.register("tenant", QuotaSpec::default());
+    g.bench_function("cell/admit_complete_unlimited", |b| {
+        b.iter(|| {
+            cell.admit(black_box(7)).expect("unlimited");
+            cell.complete(1);
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_dispatch,
@@ -338,6 +408,7 @@ criterion_group!(
     bench_capabilities,
     bench_gc,
     bench_obs,
-    bench_fault
+    bench_fault,
+    bench_quota
 );
 criterion_main!(benches);

@@ -19,7 +19,10 @@ use spin_check::model::Checker;
 use spin_check::sync::{Arc, AtomicU64, Mutex, Ordering};
 use spin_check::thread;
 use spin_core::fault::{Containment, ContainmentPolicy};
-use spin_core::{Constraints, DispatchError, Dispatcher, Identity, InstallSpec, KeyFn};
+use spin_core::{
+    Constraints, DispatchError, Dispatcher, Identity, InstallSpec, KeyFn, QuotaLedger, QuotaSpec,
+    QuotaVerdict,
+};
 use spin_obs::account::DomainId;
 use spin_obs::ring::{Ring, TraceKind, TraceRecord};
 use spin_sal::Clock;
@@ -313,6 +316,52 @@ fn raise_vs_quiesce_rebind_resume() {
         assert_eq!(hold.overflowed, 0);
     });
     assert_clean("hot-swap-gate", &report);
+}
+
+/// The quota admission gate racing a concurrent budget release: with a
+/// one-slot in-flight budget held by a settled dispatch, an admit racing
+/// that dispatch's `complete` must either observe the held slot and
+/// refuse with `Throttled` (the ladder's first rung — never `Shed`), or
+/// observe the release and take the slot. The CAS loop pins the required
+/// orderings: a stale in-flight load re-loops or refuses, so no
+/// interleaving admits past the budget, double-spends a release, or
+/// strands the slot. After the race the slot is free, a fresh admit
+/// succeeds, and the ledger identity holds exactly.
+#[test]
+fn raise_vs_throttle_release() {
+    let report = checker().check(|| {
+        let ledger = QuotaLedger::new();
+        let cell = ledger.register(
+            "chk.tenant",
+            QuotaSpec {
+                max_in_flight: 1,
+                window: 1_000_000,
+                ..QuotaSpec::default()
+            },
+        );
+        assert_eq!(cell.admit(0), Ok(()), "the budget's one slot");
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || c2.complete(10));
+        match cell.admit(0) {
+            Ok(()) => {
+                // Saw the release: the slot is ours, and only ours.
+                assert!(cell.snapshot().in_flight <= 1, "budget overspent");
+                cell.complete(5);
+            }
+            Err(QuotaVerdict::Throttled) => {} // saw the held slot
+            Err(QuotaVerdict::Shed) => {
+                panic!("a lone throttle must stay on the ladder's first rung")
+            }
+        }
+        t.join().expect("releaser thread");
+        let s = cell.snapshot();
+        assert_eq!(s.in_flight, 0, "every admitted raise released its slot");
+        assert_eq!(s.attempts, s.admitted + s.throttled + s.shed + s.held);
+        assert_eq!(s.admitted, s.completed + s.in_flight);
+        assert_eq!(cell.admit(0), Ok(()), "released budget re-admits");
+        cell.complete(1);
+    });
+    assert_clean("throttle-release", &report);
 }
 
 /// Arming an advance hook while another thread draws a clock charge: the

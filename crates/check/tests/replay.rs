@@ -25,9 +25,10 @@ use spin_core::{DispatchError, Dispatcher, Identity};
 /// First schedule (bounded DFS order, preemption bound 2) in which the
 /// raise loses the race and observes the destroyed flag. The raise path
 /// gained two scheduling points with the hot-swap quiesce gate (the
-/// in-flight count increment and the gate load), which shifted the DFS
-/// enumeration by two serial steps.
-const PINNED_SEED: &str = "pb2-0-0-0-0-0-0-0-1-1-1-1-0-1";
+/// in-flight count increment and the gate load) and one more with the
+/// overload ledger (the quota-cell bind load at the admission edge),
+/// which shifted the DFS enumeration by three serial steps in total.
+const PINNED_SEED: &str = "pb2-0-0-0-0-0-0-0-0-1-1-1-1-0-1";
 
 const HARVEST: &str = "HARVEST: raise lost the race";
 

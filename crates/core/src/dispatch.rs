@@ -105,6 +105,7 @@
 use crate::error::DispatchError;
 use crate::fault::{DeadlineExceeded, FaultKind, FaultSink, HandlerFault};
 use crate::identity::Identity;
+use crate::quota::QuotaCell;
 use spin_check::sync::{Arc, OnceLock, Weak};
 use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
 use spin_check::sync::{Mutex, RwLock};
@@ -672,6 +673,10 @@ struct EventState<A, R> {
     held_total: AtomicU64,
     replayed_total: AtomicU64,
     overflowed_total: AtomicU64,
+    /// Quota cell the event's raises are metered under (see
+    /// [`crate::quota`]). Absent — the overwhelming default — every raise
+    /// pays exactly one relaxed load here and no admission logic runs.
+    quota: OnceLock<Arc<QuotaCell>>,
 }
 
 impl<A, R> EventState<A, R> {
@@ -949,6 +954,7 @@ impl Dispatcher {
             held_total: AtomicU64::new(0),
             replayed_total: AtomicU64::new(0),
             overflowed_total: AtomicU64::new(0),
+            quota: OnceLock::new(),
         });
         self.inner
             .events
@@ -1181,12 +1187,16 @@ impl Dispatcher {
         // sees it waits for the dispatch to settle. Either way no raise
         // slips past the drain.
         let _flight = FlightGuard::enter(&state.in_flight);
+        // Quota: absent (the default) this is one relaxed load and the
+        // rest of the raise is untouched — the unarmed path charges the
+        // identical virtual time.
+        let quota = state.quota.get();
         // ordering: SeqCst — store-buffer pair with `quiesce`'s gate store; see FlightGuard::enter.
         let args = if state.gate.load(Ordering::SeqCst) {
             // `park` hands the args back if the gate cleared while it
             // took the hold lock: the resume that cleared it already
             // replayed everything parked before us, so dispatch normally.
-            self.park(ev, &state, args)?
+            self.park(ev, &state, quota, args)?
         } else {
             args
         };
@@ -1201,6 +1211,15 @@ impl Dispatcher {
         if state.destroyed.load(Ordering::Acquire) {
             return Err(ev.unknown());
         }
+        // Admission control: an over-budget domain gets a typed refusal
+        // *before* any virtual time is charged or stats are counted —
+        // throttled raises never dispatched, so they are ledger entries,
+        // not event raises.
+        if let Some(q) = quota {
+            if let Err(verdict) = q.admit(self.inner.clock.now()) {
+                return Err(verdict.into_error(&ev.name, q.name()));
+            }
+        }
         state.stats.raises.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         let obs = self.inner.obs.get();
         if let Some(obs) = obs {
@@ -1208,7 +1227,18 @@ impl Dispatcher {
             obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
         }
         let faults = self.inner.faults.get();
-        self.dispatch_one(ev, &state, &plan, obs, faults, args)
+        match quota {
+            None => self.dispatch_one(ev, &state, &plan, obs, faults, args),
+            Some(q) => {
+                // Bracket the dispatch so the synchronous virtual time it
+                // charged lands on the domain's window, then release the
+                // admission slot.
+                let before = self.inner.clock.now();
+                let out = self.dispatch_one(ev, &state, &plan, obs, faults, args);
+                q.complete(self.inner.clock.now().saturating_sub(before));
+                out
+            }
+        }
     }
 
     /// Raises a burst of events against a single plan snapshot.
@@ -1247,6 +1277,7 @@ impl Dispatcher {
             Err(e) => return batch.iter().map(|_| Err(e.clone())).collect(),
         };
         let _flight = FlightGuard::enter(&state.in_flight);
+        let quota = state.quota.get();
         // A gated burst parks item by item — before the batch-edge fault
         // draw, which belongs to dispatched bursts only. Parked items keep
         // their burst order (consecutive hold-queue seqs) and replay as
@@ -1255,7 +1286,7 @@ impl Dispatcher {
         if state.gate.load(Ordering::SeqCst) {
             return batch
                 .into_iter()
-                .map(|args| match self.park(ev, &state, args) {
+                .map(|args| match self.park(ev, &state, quota, args) {
                     // Gate cleared mid-burst: dispatch the item singly.
                     Ok(args) => self.raise(ev, args),
                     Err(parked) => Err(parked),
@@ -1285,22 +1316,63 @@ impl Dispatcher {
                 None => {}
             }
         }
-        state.stats.raises.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-        state.stats.batched_raises.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        // An unmetered burst settles its statistics up front (the batched
+        // fast path); a metered one counts only admitted items, after the
+        // per-item admission below.
+        if quota.is_none() {
+            state.stats.raises.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            state.stats.batched_raises.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        }
         let obs = self.inner.obs.get();
-        if let Some(obs) = obs {
-            obs.counters.events_raised.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-            obs.counters
-                .dispatch_batched
-                .fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        if quota.is_none() {
+            if let Some(obs) = obs {
+                obs.counters.events_raised.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                obs.counters
+                    .dispatch_batched
+                    .fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            }
         }
         let faults = self.inner.faults.get();
         let mut out = Vec::with_capacity(batch.len());
+        let mut admitted = 0u64;
         for args in batch {
+            // Per-item admission: throttled items of a burst surface their
+            // typed refusal in place and are never counted as raises, so
+            // the batched identity (each item charges what a lone raise
+            // would) holds for the admitted remainder.
+            if let Some(q) = quota {
+                if let Err(verdict) = q.admit(self.inner.clock.now()) {
+                    out.push(Err(verdict.into_error(&ev.name, q.name())));
+                    continue;
+                }
+                admitted += 1;
+            }
             if let Some(obs) = obs {
                 obs.trace(TraceKind::EventRaise, ev.id, plan.entries.len() as u64);
             }
-            out.push(self.dispatch_one(ev, &state, &plan, obs, faults, args));
+            match quota {
+                None => out.push(self.dispatch_one(ev, &state, &plan, obs, faults, args)),
+                Some(q) => {
+                    let before = self.inner.clock.now();
+                    out.push(self.dispatch_one(ev, &state, &plan, obs, faults, args));
+                    q.complete(self.inner.clock.now().saturating_sub(before));
+                }
+            }
+        }
+        if quota.is_some() && admitted > 0 {
+            state.stats.raises.fetch_add(admitted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            state
+                .stats
+                .batched_raises
+                .fetch_add(admitted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            if let Some(obs) = obs {
+                obs.counters
+                    .events_raised
+                    .fetch_add(admitted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                obs.counters
+                    .dispatch_batched
+                    .fetch_add(admitted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            }
         }
         out
     }
@@ -1318,6 +1390,7 @@ impl Dispatcher {
         &self,
         ev: &Event<A, R>,
         state: &Arc<EventState<A, R>>,
+        quota: Option<&Arc<QuotaCell>>,
         args: A,
     ) -> Result<A, DispatchError>
     where
@@ -1331,6 +1404,15 @@ impl Dispatcher {
         // ordering: SeqCst — part of the quiesce protocol's total order; see FlightGuard::enter.
         if !state.gate.load(Ordering::SeqCst) {
             return Ok(args);
+        }
+        // The hold-queue budget: a metered domain may not flood the gate's
+        // queue past its `max_held` — refusals walk the ladder (throttle,
+        // then shed) instead of parking.
+        if let Some(q) = quota {
+            if q.hold_over_budget(held.queue.len()) {
+                let verdict = q.refuse(self.inner.clock.now());
+                return Err(verdict.into_error(&ev.name, q.name()));
+            }
         }
         if held.queue.len() >= held.capacity {
             state.overflowed_total.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
@@ -1347,6 +1429,9 @@ impl Dispatcher {
             args,
         });
         state.held_total.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        if let Some(q) = quota {
+            q.note_held();
+        }
         Err(DispatchError::Held {
             name: ev.name.to_string(),
         })
@@ -1909,6 +1994,16 @@ where
     /// Raises this event through its dispatcher.
     pub fn raise(&self, args: A) -> Result<R, DispatchError> {
         self.dispatcher.raise(self, args)
+    }
+
+    /// Binds the [`QuotaCell`] this event's raises are metered under:
+    /// subsequent raises pass admission control against the cell's
+    /// [`crate::QuotaSpec`] budgets and charge their dispatch virtual time
+    /// to its window ledger. One-shot; returns `false` if a cell was
+    /// already bound (the original binding stays). Unbound events pay one
+    /// relaxed pointer load per raise and no admission logic runs.
+    pub fn bind_quota(&self, cell: Arc<QuotaCell>) -> Result<bool, DispatchError> {
+        Ok(self.resolved()?.quota.set(cell).is_ok())
     }
 
     /// Installs a handler (authorized by the owner's policy).

@@ -141,6 +141,16 @@ pub enum DispatchError {
     /// The event is quiesced and its hold queue is full; the raise was
     /// dropped (counted in [`crate::HoldStats::overflowed`]).
     HoldOverflow { name: String },
+    /// The raise was refused by admission control: the domain the event is
+    /// metered under is over one of its [`crate::QuotaSpec`] budgets. The
+    /// caller may retry once budget is released (a completed dispatch or a
+    /// window roll); nothing was queued or charged.
+    Throttled { name: String, domain: String },
+    /// The raise was deterministically dropped by load shedding: the
+    /// metered domain escalated past throttling (counted in
+    /// [`crate::QuotaSnapshot::shed`]). Retrying is futile until the
+    /// domain's shedding window rolls or a supervisor intervenes.
+    Shed { name: String, domain: String },
 }
 
 impl fmt::Display for DispatchError {
@@ -160,6 +170,12 @@ impl fmt::Display for DispatchError {
             }
             DispatchError::HoldOverflow { name } => {
                 write!(f, "`{name}` is quiesced and its hold queue is full")
+            }
+            DispatchError::Throttled { name, domain } => {
+                write!(f, "`{name}` throttled: domain `{domain}` is over budget")
+            }
+            DispatchError::Shed { name, domain } => {
+                write!(f, "`{name}` shed: domain `{domain}` is shedding load")
             }
         }
     }

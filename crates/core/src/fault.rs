@@ -235,6 +235,44 @@ impl Containment {
         self.state.lock().faults_seen += 1;
     }
 
+    /// Reports a resource-overload escalation from the quota ledger
+    /// (see [`crate::quota`]): the breach is attributed to `domain` in
+    /// the obs accounting and counted as an external fault, a breaker
+    /// trip is charged, and `Core.DomainFault` is raised so a supervisor
+    /// (e.g. the swap supervisor's fallback machinery) can respond —
+    /// typically by swapping the domain to a degraded-mode build. With
+    /// `quarantine` set the domain is additionally quarantined: its
+    /// handlers are purged and its exports revoked, exactly the breaker's
+    /// own quarantine path. Idempotent for an already-quarantined domain.
+    pub fn report_overload(&self, domain: &Identity, at: Nanos, quarantine: bool) {
+        self.note_external_fault(domain);
+        let trips = {
+            let mut st = self.state.lock();
+            if st.quarantined.contains(domain.name()) {
+                return; // already contained; stragglers are no-ops
+            }
+            let entry = st.trips.entry(domain.name().to_string()).or_insert(0);
+            *entry += 1;
+            let trips = *entry;
+            if quarantine {
+                st.quarantined.insert(domain.name().to_string());
+            }
+            trips
+        };
+        if quarantine {
+            self.dispatcher.purge_installer(domain);
+            if let Some(ns) = &self.nameserver {
+                let _ = ns.revoke_exports(domain);
+            }
+        }
+        let _ = self.domain_fault.raise(DomainFaultInfo {
+            domain: domain.name().to_string(),
+            trips,
+            at,
+            quarantined: quarantine,
+        });
+    }
+
     /// The sink: account the fault, charge a strike, and trip/quarantine
     /// when the budget is exhausted. Breaker actions (uninstall, purge,
     /// revoke, the `Core.DomainFault` raise) run *after* the breaker

@@ -42,6 +42,7 @@ pub mod interface;
 pub mod kernel;
 pub mod nameserver;
 pub mod objfile;
+pub mod quota;
 
 pub use capability::{ExternRef, ExternTable};
 pub use dispatch::{
@@ -60,3 +61,7 @@ pub use interface::{Interface, Symbol};
 pub use kernel::{Kernel, SysResult, Syscall, ENOSYS};
 pub use nameserver::{Authorizer, ExportRebind, NameServer, ServiceRef};
 pub use objfile::{ImportDecl, ImportSlot, ObjectFile, ObjectFileBuilder, Provenance};
+pub use quota::{
+    post_with_backpressure, BackoffPolicy, EscalationSink, PostOutcome, QuotaBreach, QuotaCell,
+    QuotaLedger, QuotaSnapshot, QuotaSpec, QuotaState, QuotaVerdict,
+};

@@ -48,6 +48,11 @@ pub const SITE_DISPATCH_BATCH: &str = "core.dispatch.batch";
 /// Hot-swap state transfer (one draw per swap attempt, inside the
 /// transfer's unwind containment — a panic here exercises rollback).
 pub const SITE_SWAP: &str = "swap.transfer";
+/// Quota admission gate (one draw per metered raise): a `Fail` is a
+/// spurious throttle, a `Delay` is a delayed budget release (the window
+/// keeps the charge that much longer), a `Panic` is contained at the
+/// admission edge and counted as a throttle.
+pub const SITE_QUOTA: &str = "core.quota";
 
 /// One injected outcome, decided by [`FaultHook::draw`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

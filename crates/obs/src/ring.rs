@@ -79,6 +79,10 @@ pub enum TraceKind {
     /// 5 rolled back; `b` = phase-specific count — raises held at
     /// quiesce, raises replayed at resume, plan generation at rebind).
     SwapPhase = 11,
+    /// A domain crossed a resource-quota escalation boundary (`a` =
+    /// ledger ordinal of the domain, `b` = escalation level: 1 throttle
+    /// trip, 2 entered shedding, 3 quarantined).
+    QuotaBreach = 12,
 }
 
 impl TraceKind {
@@ -97,6 +101,7 @@ impl TraceKind {
             TraceKind::MailDeliver => "mail_deliver",
             TraceKind::ShardEpoch => "shard_epoch",
             TraceKind::SwapPhase => "swap_phase",
+            TraceKind::QuotaBreach => "quota_breach",
         }
     }
 
@@ -114,6 +119,7 @@ impl TraceKind {
             9 => TraceKind::MailDeliver,
             10 => TraceKind::ShardEpoch,
             11 => TraceKind::SwapPhase,
+            12 => TraceKind::QuotaBreach,
             _ => return None,
         })
     }

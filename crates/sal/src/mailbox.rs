@@ -49,6 +49,11 @@ pub enum MailFate {
 
 type MailAction = Box<dyn FnOnce(Nanos) + Send>;
 type PostHook = Box<dyn Fn(Nanos) -> MailFate + Send + Sync>;
+/// Per-lane occupancy gate (kernel resource quotas): consulted on every
+/// post with `(lane, entries already pending on that lane)`; returning
+/// `false` refuses the post (counted as dropped). Absent, posts pay one
+/// `Option` check and no occupancy bookkeeping happens.
+type QuotaGate = Box<dyn Fn(u64, u64) -> bool + Send + Sync>;
 
 /// A drained envelope: fire `action` at virtual time `deliver_at` on the
 /// destination shard.
@@ -66,6 +71,10 @@ struct MailboxState {
     /// Per-lane sequence counters (program order within one sender).
     lane_seq: HashMap<u64, u64>,
     hook: Option<PostHook>,
+    /// Per-lane pending counts, maintained only while a quota gate is
+    /// installed (the ungated path does no occupancy bookkeeping).
+    lane_pending: HashMap<u64, u64>,
+    quota_gate: Option<QuotaGate>,
 }
 
 /// One shard's inbound message queue.
@@ -107,6 +116,18 @@ impl Mailbox {
             Some(MailFate::Deliver(at)) => at,
             None => deliver_at,
         };
+        if st.quota_gate.is_some() {
+            let occupancy = st.lane_pending.get(&lane).copied().unwrap_or(0);
+            let admit = st
+                .quota_gate
+                .as_ref()
+                .is_none_or(|gate| gate(lane, occupancy));
+            if !admit {
+                self.dropped.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                return false;
+            }
+            *st.lane_pending.entry(lane).or_insert(0) += 1;
+        }
         let seq = st.lane_seq.entry(lane).or_insert(0);
         let key = (deliver_at, lane, *seq);
         *seq += 1;
@@ -152,6 +173,7 @@ impl Mailbox {
                 action,
             })
             .collect();
+        st.lane_pending.clear();
         self.pending.store(0, Ordering::Release); // ordering: Release — the drain emptied the queue under the lock; publish before the next probe.
         self.drained.fetch_add(out.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         out
@@ -171,6 +193,7 @@ impl Mailbox {
         for k in &keys {
             st.entries.remove(k);
         }
+        st.lane_pending.remove(&lane);
         self.pending.fetch_sub(keys.len() as u64, Ordering::Release); // ordering: Release — keep the mirrored count consistent with the entries removed under the lock.
         self.dropped.fetch_add(keys.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         keys.len()
@@ -180,6 +203,33 @@ impl Mailbox {
     /// edge): the hook may shift or drop each envelope.
     pub fn set_post_hook(&self, hook: impl Fn(Nanos) -> MailFate + Send + Sync + 'static) {
         self.state.lock().hook = Some(Box::new(hook));
+    }
+
+    /// Installs the per-lane occupancy gate (kernel resource quotas): the
+    /// gate sees `(lane, entries already pending on that lane)` and
+    /// returning `false` refuses the post, which is counted as dropped.
+    /// Occupancy bookkeeping starts here — current entries are counted in
+    /// under the lock, so the gate's view is exact from the first post.
+    pub fn set_quota_gate(&self, gate: impl Fn(u64, u64) -> bool + Send + Sync + 'static) {
+        let mut st = self.state.lock();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &(_, lane, _) in st.entries.keys() {
+            *counts.entry(lane).or_insert(0) += 1;
+        }
+        st.lane_pending = counts;
+        st.quota_gate = Some(Box::new(gate));
+    }
+
+    /// Entries currently pending on `lane`. With a quota gate installed
+    /// this is the gate's own occupancy count; without one it is computed
+    /// by scanning (cold path, used by sender-side backpressure probes).
+    pub fn lane_pending(&self, lane: u64) -> u64 {
+        let st = self.state.lock();
+        if st.quota_gate.is_some() {
+            st.lane_pending.get(&lane).copied().unwrap_or(0)
+        } else {
+            st.entries.keys().filter(|&&(_, l, _)| l == lane).count() as u64
+        }
     }
 
     /// Number of pending envelopes.
@@ -260,6 +310,26 @@ mod tests {
         assert!(mb.post(200, 0, |_| {}));
         assert_eq!(mb.next_deadline(), Some(1_200));
         assert_eq!(mb.stats(), (1, 0, 1));
+    }
+
+    #[test]
+    fn quota_gate_bounds_lane_occupancy_exactly() {
+        let mb = Mailbox::new();
+        mb.post(5, 3, |_| {}); // pre-gate entry is counted in
+        mb.set_quota_gate(|lane, pending| lane != 3 || pending < 2);
+        assert_eq!(mb.lane_pending(3), 1);
+        assert!(mb.post(10, 3, |_| {}));
+        assert!(!mb.post(20, 3, |_| {}), "lane 3 at its bound");
+        assert!(mb.post(20, 4, |_| {}), "other lanes unmetered");
+        assert_eq!(mb.lane_pending(3), 2);
+        assert_eq!(mb.stats(), (3, 0, 1));
+        // Draining releases the occupancy; purging a lane clears its count.
+        let _ = mb.drain();
+        assert_eq!(mb.lane_pending(3), 0);
+        assert!(mb.post(30, 3, |_| {}));
+        assert!(mb.post(40, 3, |_| {}));
+        assert_eq!(mb.purge_lane(3), 2);
+        assert!(mb.post(50, 3, |_| {}));
     }
 
     #[test]

@@ -153,6 +153,15 @@ struct ExecState {
 /// [`events::StrandEvents`](crate::events::StrandEvents)).
 type TransitionHook = Box<dyn Fn(StrandId) + Send + Sync>;
 
+/// Quota demotion hook, consulted at every ready-queue enqueue: given the
+/// strand's name, its base priority, and the current virtual instant, it
+/// returns the priority to enqueue at. The quota ledger wires this to
+/// demote strands of a domain that exhausted its window virtual-time
+/// budget to the spec's deferred lane — the strand still runs (demote,
+/// don't starve), just behind well-behaved work. Must be a pure function
+/// of virtual-time state so worker count cannot change outcomes.
+pub type SchedQuotaHook = Arc<dyn Fn(&str, u8, Nanos) -> u8 + Send + Sync>;
+
 #[derive(Default)]
 struct Hooks {
     block: Option<TransitionHook>,
@@ -181,6 +190,9 @@ pub struct Executor {
     /// drawn once at each strand body's entry, inside the containment
     /// `catch_unwind`, so an injected panic never kills the process.
     faults: spin_core::hooks::HookSlot<FaultHook>,
+    /// Quota demotion hook: absent until wired, and every enqueue then
+    /// pays exactly one relaxed load (the unarmed cost-model invariant).
+    quota: spin_core::hooks::HookSlot<SchedQuotaHook>,
 }
 
 impl Executor {
@@ -206,6 +218,7 @@ impl Executor {
             hooks: Mutex::new(Hooks::default()),
             obs: spin_core::hooks::HookSlot::new(),
             faults: spin_core::hooks::HookSlot::new(),
+            quota: spin_core::hooks::HookSlot::new(),
         });
         // Charge the running strand and arm preemption at quantum expiry.
         // Subscribes alongside other clock observers (the obs accounting
@@ -289,6 +302,23 @@ impl Executor {
         let _ = self.faults.set(hook);
     }
 
+    /// Wires the quota demotion hook (see [`SchedQuotaHook`]). One-shot;
+    /// charges zero virtual time — demotion is a pure enqueue-time
+    /// priority rewrite, so the virtual timeline is untouched and the
+    /// unarmed path stays byte-identical.
+    pub fn set_quota_hook(&self, hook: SchedQuotaHook) {
+        let _ = self.quota.set(hook);
+    }
+
+    /// The priority a strand is enqueued at: its base priority, unless the
+    /// quota hook demotes it at the current virtual instant.
+    fn effective_priority(&self, name: &str, base: u8) -> u8 {
+        match self.quota.get() {
+            Some(hook) => hook(name, base, self.clock.now()),
+            None => base,
+        }
+    }
+
     fn on_advance(&self, ns: Nanos) {
         if let Some(obs) = self.obs.get() {
             obs.counters.cpu_ns.fetch_add(ns, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
@@ -348,7 +378,8 @@ impl Executor {
                     deadline: deadline.clone(),
                 },
             );
-            st.policy.enqueue(id, priority);
+            let prio = self.effective_priority(name, priority);
+            st.policy.enqueue(id, prio);
         }
         let exec = self.clone();
         let thread_name = format!("strand-{}", name);
@@ -393,7 +424,7 @@ impl Executor {
                 std::mem::take(&mut info.joiners)
             };
             for j in joiners {
-                Self::make_ready(&mut st, j);
+                self.make_ready(&mut st, j);
             }
             st.current = None;
         }
@@ -401,13 +432,13 @@ impl Executor {
         // Thread exits; the OS thread is never reused.
     }
 
-    fn make_ready(st: &mut ExecState, id: StrandId) {
+    fn make_ready(&self, st: &mut ExecState, id: StrandId) {
         if let Some(info) = st.strands.get_mut(&id) {
             // Already-Ready strands stay queued; anything else (Running,
             // Finished) is not resurrectable here.
             if info.state == RunState::Blocked {
                 info.state = RunState::Ready;
-                let prio = info.priority;
+                let prio = self.effective_priority(&info.name, info.priority);
                 st.policy.enqueue(id, prio);
             }
         }
@@ -421,7 +452,7 @@ impl Executor {
         }
         self.clock.advance(self.profile.sync_op);
         let mut st = self.state.lock();
-        Self::make_ready(&mut st, id);
+        self.make_ready(&mut st, id);
     }
 
     /// Returns control to the coordinator; the calling strand keeps `state`.
@@ -433,7 +464,7 @@ impl Executor {
             info.state = new_state;
             let baton = info.baton.clone();
             if new_state == RunState::Ready {
-                let prio = info.priority;
+                let prio = self.effective_priority(&info.name, info.priority);
                 st.policy.enqueue(cur, prio);
             }
             st.current = None;

@@ -42,7 +42,7 @@ pub use async_runner::install_async_runner;
 pub use cthreads::{measure_fork_join, measure_ping_pong, CThreads, CThreadsImpl};
 pub use events::{StrandEvents, StrandRef};
 pub use executor::{
-    Executor, IdleOutcome, RoundRobinPriority, SchedulerPolicy, StrandCtx, StrandId,
+    Executor, IdleOutcome, RoundRobinPriority, SchedQuotaHook, SchedulerPolicy, StrandCtx, StrandId,
 };
 pub use group::{PackageStats, TaskPackage};
 pub use kthread::{measure_kernel_fork_join, measure_kernel_ping_pong, M3Threads};

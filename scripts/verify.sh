@@ -106,6 +106,25 @@ diff -u "scripts/goldens/BENCH_hotswap.json" "$SMOKE_DIR/BENCH_hotswap.json" || 
     exit 1
 }
 
+echo "==> quota invariance: unlimited budgets, overload containment bench"
+# Metering events, installing the scheduler quota hook and gating a
+# mailbox lane with zero-valued (unlimited) budgets must not move a
+# virtual-time figure by a byte — admission is free until a budget
+# actually refuses.
+cargo test -q -p spin-bench --test quota_invariance
+# s9_overload drives a 12-shard storm (greedy flooder + slowloris +
+# nine tenants) through the full escalation ladder — throttle, shed,
+# quarantine, fallback swap to a degraded build — and exits nonzero if
+# the ledger fails to reconcile, the well-behaved tenants' p99 leaves
+# the containment bound, or any worker count diverges. Its virtual
+# outputs are golden-gated byte-for-byte.
+(cd "$SMOKE_DIR" && cargo run -q --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p spin-bench --bin s9_overload -- --json > /dev/null)
+diff -u "scripts/goldens/BENCH_overload.json" "$SMOKE_DIR/BENCH_overload.json" || {
+    echo "verify: s9_overload diverged from scripts/goldens/BENCH_overload.json" >&2
+    exit 1
+}
+
 echo "==> spin-audit: unsafe/ordering audit gate"
 cargo run -q -p spin-check --bin spin-audit
 

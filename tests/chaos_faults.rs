@@ -12,11 +12,12 @@
 
 use parking_lot::Mutex;
 use spin_core::{
-    Constraints, ContainmentPolicy, Domain, DomainFaultInfo, Event, Identity, InstallSpec, Kernel,
+    Constraints, ContainmentPolicy, DispatchError, Domain, DomainFaultInfo, Event, Identity,
+    InstallSpec, Kernel, QuotaLedger, QuotaSnapshot, QuotaSpec,
 };
 use spin_fault::{
-    FaultPlan, Injection, SiteConfig, SiteReport, SITE_DISPATCH, SITE_NET_STACK, SITE_RT_HEAP,
-    SITE_SCHED, SITE_SWAP, SITE_VM_PAGER,
+    FaultPlan, Injection, SiteConfig, SiteReport, SITE_DISPATCH, SITE_NET_STACK, SITE_QUOTA,
+    SITE_RT_HEAP, SITE_SCHED, SITE_SWAP, SITE_VM_PAGER,
 };
 use spin_net::{Medium, TwoHosts};
 use spin_obs::Obs;
@@ -479,6 +480,137 @@ fn domain_fault_triggers_fallback_swap_on_pump() {
     assert_eq!(svc.raise(1), Ok(8), "fallback version serving");
     assert_eq!(coord.stats().committed, 1);
     assert!(sup.pending().is_empty());
+}
+
+/// One seeded quota storm: the `core.quota` site injects spurious
+/// throttles (`Fail`), delayed budget releases (`Delay` — the window
+/// keeps the charge longer) and admission-edge panics (contained on the
+/// spot and counted as throttles) into a metered domain's raises, on top
+/// of the organic window-budget throttling the raise volume earns by
+/// itself. The kernel survives — every refusal is a typed error, never
+/// an unwind — the ledger reconciles exactly, and every shed/throttle is
+/// domain-attributed on `/metrics` through the `spin_quota_*` gauges.
+/// Returns the wreckage for the determinism check.
+fn quota_storm(seed: u64) -> (Vec<SiteReport>, QuotaSnapshot, Vec<String>) {
+    const RAISES: u64 = 600;
+
+    let board = SimBoard::new();
+    let kernel = Kernel::boot(board.new_host(64));
+    let obs = Obs::new(16_384);
+    let snapshot = kernel.install_obs(&obs);
+
+    let ledger = QuotaLedger::new();
+    ledger.wire_obs(&obs);
+    let plan = FaultPlan::new(seed);
+    plan.configure(
+        SITE_QUOTA,
+        SiteConfig {
+            fail_every: 7,
+            delay_every: 5,
+            delay_ns: 40_000,
+            panic_every: 11,
+        },
+    );
+    ledger.set_fault_hook(plan.hook(SITE_QUOTA));
+
+    let cell = ledger.register(
+        "greedy",
+        QuotaSpec {
+            window: 1_000_000,
+            window_vt_budget: 200_000,
+            shed_after_trips: 8,
+            ..QuotaSpec::default()
+        },
+    );
+    let (ev, owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Quota.Svc", Identity::kernel("quota"));
+    let clock = board.clock.clone();
+    owner
+        .set_primary(move |x| {
+            clock.advance(3_000);
+            *x
+        })
+        .expect("fresh event");
+    assert_eq!(ev.bind_quota(cell.clone()), Ok(true));
+
+    let (mut ok, mut throttled, mut shed) = (0u64, 0u64, 0u64);
+    for i in 0..RAISES {
+        match ev.raise(i) {
+            Ok(v) => {
+                assert_eq!(v, i);
+                ok += 1;
+            }
+            Err(DispatchError::Throttled { domain, .. }) => {
+                assert_eq!(domain, "greedy", "throttles are domain-attributed");
+                throttled += 1;
+            }
+            Err(DispatchError::Shed { domain, .. }) => {
+                assert_eq!(domain, "greedy", "sheds are domain-attributed");
+                shed += 1;
+            }
+            Err(e) => panic!("a quota refusal must be typed, got: {e}"),
+        }
+        // Idle time between raises lets windows roll and shedding decay.
+        board.clock.advance(2_000);
+    }
+    plan.set_enabled(false);
+    let report = plan.report();
+    let site = report
+        .iter()
+        .find(|r| r.site == SITE_QUOTA)
+        .expect("the quota site drew");
+
+    // Volume: a real storm — injected and organic refusals both fired.
+    assert!(site.fails > 0 && site.panics > 0 && site.delays > 0);
+    assert!(throttled > 0, "no throttles in {RAISES} raises");
+    assert!(shed > 0, "the ladder never escalated to shedding");
+    assert!(ok > 0, "the domain was starved outright");
+    assert!(
+        throttled + shed >= site.fails + site.panics,
+        "every injected fail/panic forces a refusal"
+    );
+
+    // Exact reconciliation: nothing lost, double-counted, or unattributed.
+    let s = cell.snapshot();
+    assert_eq!(s.attempts, RAISES);
+    assert_eq!((s.admitted, s.throttled, s.shed), (ok, throttled, shed));
+    assert_eq!(s.completed, ok, "every admitted raise completed");
+    assert_eq!(s.in_flight, 0);
+    assert_eq!(s.attempts, s.admitted + s.throttled + s.shed + s.held);
+
+    // The kernel survived: lift the quarantine-free ladder state and the
+    // event serves again, unmetered by leftover window charge.
+    cell.release(board.clock.now());
+    assert_eq!(ev.raise(7), Ok(7), "the dispatcher still dispatches");
+
+    // Attribution on /metrics: the spin_quota_* gauges carry the ledger,
+    // per domain.
+    let body = snapshot.raise(()).expect("snapshot renders");
+    for (gauge, value) in [
+        ("spin_quota_throttle_trips", s.trips),
+        ("spin_quota_shed", s.shed),
+        ("spin_quota_breaches", s.breaches),
+    ] {
+        let line = format!("{gauge}{{domain=\"greedy\"}} {value}");
+        assert!(body.contains(&line), "missing `{line}` in:\n{body}");
+    }
+    let quota_lines: Vec<String> = body
+        .lines()
+        .filter(|l| l.starts_with("spin_quota_"))
+        .map(str::to_string)
+        .collect();
+    (report, cell.snapshot(), quota_lines)
+}
+
+#[test]
+fn quota_storm_is_contained_and_attributed() {
+    quota_storm(0x0BE5E);
+}
+
+#[test]
+fn quota_storms_are_deterministic_for_a_seed() {
+    assert_eq!(quota_storm(1234), quota_storm(1234));
 }
 
 /// The breaker under injected fire: with `strikes = 2` and

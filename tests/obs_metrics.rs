@@ -108,6 +108,116 @@ fn metrics_endpoint_reports_every_instrumented_subsystem() {
     );
 }
 
+/// The quota ledger's gauges, scraped end-to-end: a metered domain is
+/// throttled into shedding and refused at a mailbox gate, and the
+/// per-domain `spin_quota_*` series show up — with exact values — in the
+/// `/metrics` body a simulated HTTP client scrapes off the wire. The
+/// escalation also leaves a `quota_breach` record in the trace ring.
+#[test]
+fn quota_gauges_scrape_end_to_end() {
+    let rig = TwoHosts::new();
+    let obs = Obs::new(4_096);
+    rig.wire_obs(&obs);
+    let kernel = Kernel::boot(rig.host_a.clone());
+    let snapshot = kernel.install_obs(&obs);
+
+    let ledger = spin_core::QuotaLedger::new();
+    ledger.wire_obs(&obs);
+    let cell = ledger.register(
+        "greedy",
+        spin_core::QuotaSpec {
+            window: 1_000_000,
+            window_vt_budget: 1,
+            shed_after_trips: 2,
+            max_lane_occupancy: 1,
+            ..spin_core::QuotaSpec::default()
+        },
+    );
+    let (ev, owner) = kernel
+        .dispatcher()
+        .define::<u64, u64>("Quota.Svc", Identity::kernel("quota"));
+    let clock = rig.board.clock.clone();
+    owner
+        .set_primary(move |x| {
+            clock.advance(100);
+            *x
+        })
+        .expect("fresh event");
+    assert_eq!(ev.bind_quota(cell.clone()), Ok(true));
+
+    // One admitted raise burns the (tiny) window budget; the next two
+    // throttle (trip, trip -> shedding: a breach), the one after sheds.
+    assert_eq!(ev.raise(1), Ok(1));
+    for _ in 0..2 {
+        assert!(matches!(
+            ev.raise(2),
+            Err(spin_core::DispatchError::Throttled { .. })
+        ));
+    }
+    assert!(matches!(
+        ev.raise(3),
+        Err(spin_core::DispatchError::Shed { .. })
+    ));
+
+    // The mailbox gate refuses a post past the lane budget.
+    let mb = spin_sal::Mailbox::new();
+    ledger.install_mailbox_gate(&mb, vec![(5, cell.clone())]);
+    assert!(mb.post(10, 5, |_| {}));
+    assert!(!mb.post(11, 5, |_| {}), "lane occupancy budget refuses");
+
+    // Serve and scrape /metrics over the simulated wire.
+    let tcp_a = TcpStack::install(&rig.a);
+    let tcp_b = TcpStack::install(&rig.b);
+    let bc = BufferCache::new(
+        rig.host_b.disk.clone(),
+        rig.exec.clone(),
+        64,
+        Box::new(NoCachePolicy),
+    );
+    let fs = FileSystem::format(bc, 0, 200);
+    let cache = Arc::new(WebCache::new(
+        1 << 20,
+        Box::new(HybridBySize {
+            large_threshold: 65_536,
+        }),
+    ));
+    let server = HttpServer::start(&rig.b, &tcp_b, fs, cache, 80);
+    install_metrics(&server, snapshot);
+    let dst = rig.b.ip_on(Medium::Ethernet);
+    let got = Arc::new(Mutex::new(None));
+    let g2 = got.clone();
+    rig.exec.spawn("scraper", move |ctx| {
+        *g2.lock() = http_get(ctx, &tcp_a, dst, 80, "/metrics");
+    });
+    rig.exec.run_until_idle();
+
+    let (status, body) = got.lock().clone().expect("scrape completed");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    let body = String::from_utf8(body).expect("utf-8 exposition");
+
+    let s = cell.snapshot();
+    assert_eq!((s.throttled, s.shed, s.breaches), (2, 1, 1));
+    for (m, want) in [
+        ("quota_in_flight", 0),
+        ("quota_held", 0),
+        ("quota_shed", 1),
+        ("quota_throttle_trips", 2),
+        ("quota_mail_refused", 1),
+        ("quota_breaches", 1),
+    ] {
+        let v = metric(&body, m, "greedy")
+            .unwrap_or_else(|| panic!("missing spin_{m}{{domain=\"greedy\"}} in:\n{body}"));
+        assert_eq!(v, want, "spin_{m}{{domain=\"greedy\"}}");
+    }
+
+    // The escalation crossing left a trace record under the quota domain.
+    let dump = obs.dump();
+    assert!(
+        dump.contains("quota_breach"),
+        "no quota_breach trace record in:\n{dump}"
+    );
+}
+
 #[test]
 fn obs_service_is_importable_from_the_nameserver() {
     let rig = TwoHosts::new();

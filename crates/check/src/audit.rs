@@ -1,461 +1,17 @@
-//! Static audit gate over the workspace source (the `spin-audit` bin).
+//! Back-compat shim: `spin-audit` is now a thin alias for `spin-lint`.
 //!
-//! Four rules, enforced on `crates/*/src/**/*.rs` (plus the root crate's
-//! `src/`), after a small lexer splits every line into *code* and
-//! *comment* text so string literals and comments can't fool the checks:
-//!
-//! 1. `unsafe` is forbidden outside the allowlisted `crates/obs/src/ring.rs`.
-//! 2. Inside the allowlist, every `unsafe` needs a `// SAFETY:` comment on
-//!    the same line or within the five preceding lines.
-//! 3. Every `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` site needs
-//!    an `// ordering:` justification on the same line or within the two
-//!    preceding lines.
-//! 4. Facade-covered crates (`core`, `obs`, `sal`, `sched`) must not mention
-//!    `std::sync::atomic` or `parking_lot` in code — they import from
-//!    `spin_check::sync` so the model checker can instrument them.
-//! 5. Every crate root declares `#![forbid(unsafe_code)]`, except
-//!    `spin-obs` which declares `#![deny(unsafe_op_in_unsafe_fn)]`.
-//!
-//! `crates/check` itself is exempt from rules 3–4: it *is* the facade and
-//! must name the real primitives and orderings to implement them.
+//! The original audit was a substring scanner with four rules over four
+//! crates. It grew into the token-level verifier in [`crate::lint`]
+//! (six rules, whole workspace, declarative `lint.toml` allowlist); this
+//! module keeps the old entry point and types alive for callers that
+//! predate the rename. New code should use [`crate::lint`] directly.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+pub use crate::lint::{Config, Finding, Report};
+use std::path::Path;
 
-/// Files allowed to contain `unsafe` (workspace-relative, `/`-separated).
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/obs/src/ring.rs"];
-
-/// Crates whose sources must import sync primitives via the facade.
-const FACADE_CRATES: &[&str] = &[
-    "crates/core/src",
-    "crates/obs/src",
-    "crates/sal/src",
-    "crates/sched/src",
-];
-
-/// Paths exempt from the ordering-justification and direct-import rules.
-const TOOL_EXEMPT: &[&str] = &["crates/check/src"];
-
-/// How far above a site its justification comment may sit.
-const SAFETY_WINDOW: usize = 5;
-const ORDERING_WINDOW: usize = 2;
-
-/// One audit violation.
-#[derive(Clone, Debug)]
-pub struct Finding {
-    pub file: PathBuf,
-    pub line: usize,
-    pub rule: &'static str,
-    pub excerpt: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.excerpt.trim()
-        )
-    }
-}
-
-/// A source line split into code and comment halves by [`lex`].
-#[derive(Debug, Default, Clone)]
-struct LexedLine {
-    code: String,
-    comment: String,
-}
-
-/// Split source into per-line code/comment text. String and char literal
-/// contents are blanked from the code half; comment text (line, block,
-/// doc) is collected separately. Handles nested block comments, raw
-/// strings, and the char-literal/lifetime ambiguity.
-fn lex(src: &str) -> Vec<LexedLine> {
-    let mut lines: Vec<LexedLine> = vec![LexedLine::default()];
-    let chars: Vec<char> = src.chars().collect();
-    let mut i = 0;
-    let mut block_depth = 0usize;
-    let mut in_line_comment = false;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            in_line_comment = false;
-            lines.push(LexedLine::default());
-            i += 1;
-            continue;
-        }
-        let cur = lines.last_mut().expect("line present");
-        if in_line_comment {
-            cur.comment.push(c);
-            i += 1;
-            continue;
-        }
-        if block_depth > 0 {
-            if c == '*' && chars.get(i + 1) == Some(&'/') {
-                block_depth -= 1;
-                i += 2;
-                continue;
-            }
-            if c == '/' && chars.get(i + 1) == Some(&'*') {
-                block_depth += 1;
-                i += 2;
-                continue;
-            }
-            cur.comment.push(c);
-            i += 1;
-            continue;
-        }
-        match c {
-            '/' if chars.get(i + 1) == Some(&'/') => {
-                in_line_comment = true;
-                i += 2;
-            }
-            '/' if chars.get(i + 1) == Some(&'*') => {
-                block_depth += 1;
-                i += 2;
-            }
-            '"' => {
-                cur.code.push('"');
-                i += 1;
-                while i < chars.len() {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        '\n' => {
-                            lines.push(LexedLine::default());
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                lines.last_mut().expect("line present").code.push('"');
-            }
-            'r' if chars.get(i + 1) == Some(&'"') || chars.get(i + 1) == Some(&'#') => {
-                // Raw string: r"..." or r#"..."# (any hash count).
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while chars.get(j) == Some(&'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if chars.get(j) == Some(&'"') {
-                    j += 1;
-                    'raw: while j < chars.len() {
-                        if chars[j] == '\n' {
-                            lines.push(LexedLine::default());
-                            j += 1;
-                            continue;
-                        }
-                        if chars[j] == '"' {
-                            let mut k = 0;
-                            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        j += 1;
-                    }
-                    lines.last_mut().expect("line present").code.push('"');
-                    i = j;
-                } else {
-                    cur.code.push(c);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime: a literal is 'x' or '\..'.
-                let is_char = matches!(chars.get(i + 1), Some('\\'))
-                    || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''));
-                if is_char {
-                    i += 1;
-                    if chars.get(i) == Some(&'\\') {
-                        i += 2;
-                        while i < chars.len() && chars[i] != '\'' {
-                            i += 1;
-                        }
-                        i += 1;
-                    } else {
-                        i += 3;
-                    }
-                    cur.code.push('\'');
-                } else {
-                    cur.code.push(c);
-                    i += 1;
-                }
-            }
-            _ => {
-                cur.code.push(c);
-                i += 1;
-            }
-        }
-    }
-    lines
-}
-
-fn has_word(code: &str, word: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0 || {
-            let b = bytes[at - 1];
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        };
-        let end = at + word.len();
-        let after_ok = end >= bytes.len() || {
-            let b = bytes[end];
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        };
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
-fn ordering_site(code: &str) -> bool {
-    ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
-        .iter()
-        .any(|v| code.contains(&format!("Ordering::{v}")))
-}
-
-fn comment_within(lines: &[LexedLine], at: usize, window: usize, needle: &str) -> bool {
-    let lo = at.saturating_sub(window);
-    lines[lo..=at].iter().any(|l| l.comment.contains(needle))
-}
-
-fn rel_path(root: &Path, file: &Path) -> String {
-    file.strip_prefix(root)
-        .unwrap_or(file)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-/// Audit one file's source text; `rel` is its workspace-relative path.
-fn audit_source(rel: &str, src: &str, findings: &mut Vec<Finding>) {
-    let lines = lex(src);
-    let raw_lines: Vec<&str> = src.lines().collect();
-    let allow_unsafe = UNSAFE_ALLOWLIST.contains(&rel);
-    let tool = TOOL_EXEMPT.iter().any(|p| rel.starts_with(p));
-    let facade = FACADE_CRATES.iter().any(|p| rel.starts_with(p)) && !tool;
-    let excerpt = |n: usize| raw_lines.get(n).copied().unwrap_or("").to_string();
-    for (n, line) in lines.iter().enumerate() {
-        // `unsafe_code` / `unsafe_op_in_unsafe_fn` attribute tokens are
-        // distinct words and do not match the bare `unsafe` keyword.
-        if has_word(&line.code, "unsafe") {
-            if !allow_unsafe {
-                findings.push(Finding {
-                    file: PathBuf::from(rel),
-                    line: n + 1,
-                    rule: "unsafe-outside-allowlist",
-                    excerpt: excerpt(n),
-                });
-            } else if !comment_within(&lines, n, SAFETY_WINDOW, "SAFETY:") {
-                findings.push(Finding {
-                    file: PathBuf::from(rel),
-                    line: n + 1,
-                    rule: "unsafe-missing-safety-comment",
-                    excerpt: excerpt(n),
-                });
-            }
-        }
-        if !tool
-            && ordering_site(&line.code)
-            && !comment_within(&lines, n, ORDERING_WINDOW, "ordering:")
-        {
-            findings.push(Finding {
-                file: PathBuf::from(rel),
-                line: n + 1,
-                rule: "ordering-missing-justification",
-                excerpt: excerpt(n),
-            });
-        }
-        if facade && (line.code.contains("std::sync::atomic") || line.code.contains("parking_lot"))
-        {
-            findings.push(Finding {
-                file: PathBuf::from(rel),
-                line: n + 1,
-                rule: "direct-sync-import",
-                excerpt: excerpt(n),
-            });
-        }
-    }
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<_> = std::fs::read_dir(dir)?
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            walk(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Run the full audit rooted at a workspace directory (the repo root or a
-/// fixture laid out the same way). Returns all findings, sorted.
+/// Run the full lint rooted at a workspace directory, honoring that
+/// workspace's `lint.toml`. Returns the findings alone, as the old audit
+/// did; [`crate::lint::lint_workspace`] returns the full report.
 pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
-            .collect::<Result<Vec<_>, _>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
-        crate_dirs.sort();
-        for krate in &crate_dirs {
-            let src = krate.join("src");
-            if src.is_dir() {
-                walk(&src, &mut files)?;
-            }
-        }
-    }
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        walk(&root_src, &mut files)?;
-    }
-    let mut findings = Vec::new();
-    for file in &files {
-        let src = std::fs::read_to_string(file)?;
-        audit_source(&rel_path(root, file), &src, &mut findings);
-    }
-    // Rule 5: crate-root lints.
-    let mut crate_dirs: Vec<_> = if crates_dir.is_dir() {
-        std::fs::read_dir(&crates_dir)?
-            .collect::<Result<Vec<_>, _>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect()
-    } else {
-        Vec::new()
-    };
-    crate_dirs.sort();
-    for krate in &crate_dirs {
-        let lib = krate.join("src/lib.rs");
-        if !lib.is_file() {
-            continue;
-        }
-        let rel = rel_path(root, &lib);
-        let src = std::fs::read_to_string(&lib)?;
-        let required = if rel == "crates/obs/src/lib.rs" {
-            "#![deny(unsafe_op_in_unsafe_fn)]"
-        } else {
-            "#![forbid(unsafe_code)]"
-        };
-        if !src.contains(required) {
-            findings.push(Finding {
-                file: PathBuf::from(rel),
-                line: 1,
-                rule: "missing-crate-unsafe-lint",
-                excerpt: format!("crate root lacks {required}"),
-            });
-        }
-    }
-    Ok(findings)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lexer_splits_code_and_comments() {
-        let src = "let x = 1; // ordering: tail\nlet s = \"unsafe Ordering::Relaxed\";\n/* block\nunsafe */ let y = 2;\n";
-        let lines = lex(src);
-        assert!(lines[0].code.contains("let x"));
-        assert!(lines[0].comment.contains("ordering: tail"));
-        assert!(!lines[1].code.contains("unsafe"), "string content blanked");
-        assert!(lines[2].comment.contains("block"), "block comment text");
-        assert!(lines[3].comment.contains("unsafe"), "comment spans lines");
-        assert!(lines[3].code.contains("let y"));
-    }
-
-    #[test]
-    fn word_matching_ignores_attribute_tokens() {
-        assert!(has_word("unsafe fn f()", "unsafe"));
-        assert!(!has_word("#![forbid(unsafe_code)]", "unsafe"));
-        assert!(!has_word("#![deny(unsafe_op_in_unsafe_fn)]", "unsafe"));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // ordering: n/a\n";
-        let lines = lex(src);
-        assert!(lines[0].code.contains("fn f"));
-        assert!(lines[0].code.contains("str { x }"));
-    }
-
-    #[test]
-    fn flags_unjustified_ordering() {
-        let mut f = Vec::new();
-        audit_source(
-            "crates/core/src/x.rs",
-            "a.load(Ordering::Acquire);\n",
-            &mut f,
-        );
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "ordering-missing-justification");
-    }
-
-    #[test]
-    fn accepts_justified_ordering_same_or_prior_line() {
-        let mut f = Vec::new();
-        audit_source(
-            "crates/core/src/x.rs",
-            "a.load(Ordering::Acquire); // ordering: pairs with release store\n// ordering: both below pair with the publish\nb.load(Ordering::Acquire);\nc.load(Ordering::Acquire);\n",
-            &mut f,
-        );
-        assert!(f.is_empty(), "{f:?}");
-    }
-
-    #[test]
-    fn flags_direct_imports_only_in_facade_crates() {
-        let mut f = Vec::new();
-        audit_source("crates/core/src/x.rs", "use parking_lot::Mutex;\n", &mut f);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "direct-sync-import");
-        let mut f = Vec::new();
-        audit_source("crates/net/src/x.rs", "use parking_lot::Mutex;\n", &mut f);
-        assert!(f.is_empty(), "non-facade crates may import directly");
-        let mut f = Vec::new();
-        audit_source("crates/check/src/x.rs", "use parking_lot::Mutex;\n", &mut f);
-        assert!(f.is_empty(), "the tool itself is exempt");
-    }
-
-    #[test]
-    fn flags_unsafe_by_location_and_comment() {
-        let mut f = Vec::new();
-        audit_source("crates/net/src/x.rs", "unsafe { foo() }\n", &mut f);
-        assert_eq!(f[0].rule, "unsafe-outside-allowlist");
-        let mut f = Vec::new();
-        audit_source("crates/obs/src/ring.rs", "unsafe { foo() }\n", &mut f);
-        assert_eq!(f[0].rule, "unsafe-missing-safety-comment");
-        let mut f = Vec::new();
-        audit_source(
-            "crates/obs/src/ring.rs",
-            "// SAFETY: index is masked by cap\nunsafe { foo() }\n",
-            &mut f,
-        );
-        assert!(f.is_empty(), "{f:?}");
-    }
+    crate::lint::lint_workspace(root).map(|r| r.findings)
 }

@@ -1,62 +1,14 @@
-//! `spin-audit`: the workspace unsafe/ordering audit gate.
+//! `spin-audit`: back-compat alias for `spin-lint`.
 //!
-//! Walks `crates/*/src` (plus the root crate's `src/`) and fails the build
-//! on unsafe code outside the allowlist, unsafe without `// SAFETY:`,
-//! atomic-ordering sites without `// ordering:` justifications, and direct
-//! `std::sync::atomic` / `parking_lot` imports in facade-covered crates.
-//! See `spin_check::audit` for the rules.
-//!
-//! Usage: `spin-audit [--root <workspace-dir>]` (default: walk up from the
-//! current directory to the first dir containing `Cargo.toml` + `crates/`).
+//! The four-rule substring audit grew into the token-level verifier
+//! behind `spin-lint` (see `spin_check::lint`); this binary keeps the old
+//! name working for scripts that predate the rename. Identical flags,
+//! identical exit codes — it runs the full six-rule lint.
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn find_root() -> Option<PathBuf> {
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
-            return Some(dir);
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
-
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let mut root = None;
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--root" => root = args.next().map(PathBuf::from),
-            other => {
-                eprintln!("spin-audit: unknown argument `{other}`");
-                return ExitCode::from(2);
-            }
-        }
-    }
-    let Some(root) = root.or_else(find_root) else {
-        eprintln!("spin-audit: no workspace root found (use --root)");
-        return ExitCode::from(2);
-    };
-    match spin_check::audit::audit_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("spin-audit: OK ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            eprintln!("spin-audit: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("spin-audit: io error: {e}");
-            ExitCode::from(2)
-        }
-    }
+    spin_check::lint::cli_run("spin-audit", std::env::args().skip(1))
 }

@@ -18,11 +18,15 @@
 //!   operation is a schedule point, weak-memory visibility is modeled with
 //!   vector clocks so stale values are actually observable, and failing
 //!   schedules print a seed that replays the exact interleaving.
-//! - [`audit`] is the static gate behind `spin-audit`: no `unsafe` outside
-//!   the allowlisted `obs::ring` module, every `unsafe` carries a
-//!   `// SAFETY:` comment, every `Ordering::*` site carries an
-//!   `// ordering:` justification, and facade-covered crates must not
-//!   import `std::sync::atomic` or `parking_lot` directly.
+//! - [`lint`] is the static gate behind `spin-lint` (and its back-compat
+//!   alias `spin-audit`, see [`audit`]): a token-level verifier over the
+//!   whole workspace built on the lexer in [`lex`]. Six rules — D1
+//!   determinism (no wall clock / ambient randomness / env reads), D2
+//!   hash-iteration order, F1 facade enforcement, O1 `// ordering:`
+//!   justifications, U1 unsafe containment with `// SAFETY:` comments,
+//!   C1 charge coverage in the hot-path modules — with a declarative
+//!   `lint.toml` allowlist and a machine-readable `--json` report that
+//!   `scripts/verify.sh` gates on.
 //!
 //! The model runtime compiles unconditionally (so the checker checks itself
 //! under the tier-1 gate); only the [`sync`] re-exports switch on
@@ -33,6 +37,8 @@
 pub mod audit;
 pub mod hooks;
 pub mod instr;
+pub mod lex;
+pub mod lint;
 pub mod model;
 pub mod sync;
 pub mod thread;

@@ -8,9 +8,9 @@
 //! acquisition and `OnceLock` touch becomes a schedule point of the
 //! bounded-DFS explorer in [`crate::model`].
 //!
-//! The `spin-audit` gate enforces that `core`, `obs` and `sal` import
-//! these names rather than `std::sync::atomic` / `parking_lot` directly,
-//! so new concurrent code cannot silently bypass the checker.
+//! The `spin-lint` gate (rule F1) enforces that every kernel crate
+//! imports these names rather than `std::sync::atomic` / `parking_lot`
+//! directly, so new concurrent code cannot silently bypass the checker.
 
 pub use std::sync::atomic::Ordering;
 pub use std::sync::{Arc, Weak};
@@ -22,15 +22,15 @@ mod imp {
     // does — `sched` is outside the `--cfg spin_check` build graph and the
     // audit gate still wants it importing through this facade.
     pub use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicUsize};
     pub use std::sync::OnceLock;
 }
 
 #[cfg(spin_check)]
 mod imp {
     pub use crate::instr::{
-        AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard, OnceLock, RwLock,
-        RwLockReadGuard, RwLockWriteGuard,
+        AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard, OnceLock,
+        RwLock, RwLockReadGuard, RwLockWriteGuard,
     };
 }
 

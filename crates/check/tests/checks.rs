@@ -23,6 +23,7 @@ use spin_core::{
     Constraints, DispatchError, Dispatcher, Identity, InstallSpec, KeyFn, QuotaLedger, QuotaSpec,
     QuotaVerdict,
 };
+use spin_fault::{FaultPlan, Injection, SiteConfig};
 use spin_obs::account::DomainId;
 use spin_obs::ring::{Ring, TraceKind, TraceRecord};
 use spin_sal::Clock;
@@ -397,4 +398,54 @@ fn clock_hook_arming_vs_advance_draw() {
         assert_eq!(*v.last().expect("armed hook draws"), 2);
     });
     assert_clean("clock-hook", &report);
+}
+
+/// Two concurrent draws on one armed fault site must take distinct draw
+/// ordinals and reconcile exactly: with `panic_always` both inject, and
+/// the site report shows precisely two hits and two panics — never a
+/// lost or double-counted tally. Checkable at all since PR 9 moved
+/// `spin-fault` onto the `spin_check::sync` facade.
+#[test]
+fn fault_plan_concurrent_draws_reconcile() {
+    let report = checker().check(|| {
+        let plan = FaultPlan::new(7);
+        plan.configure("chk.site", SiteConfig::panic_always());
+        let hook = plan.hook("chk.site");
+        let h2 = hook.clone();
+        let t = thread::spawn(move || h2.draw());
+        let mine = hook.draw();
+        let theirs = t.join().expect("drawer thread");
+        assert!(
+            matches!(mine, Some(Injection::Panic)),
+            "armed site must inject: {mine:?}"
+        );
+        assert!(
+            matches!(theirs, Some(Injection::Panic)),
+            "armed site must inject: {theirs:?}"
+        );
+        let rep = plan.report();
+        assert_eq!(rep.len(), 1, "one site registered");
+        assert_eq!((rep[0].hits, rep[0].panics), (2, 2), "tallies reconcile");
+    });
+    assert_clean("fault-draws", &report);
+}
+
+/// Racing first-use registrations of the same site name through the
+/// double-checked read/write-lock path must agree on a single site
+/// state: one registry entry, both hooks drawing against it.
+#[test]
+fn fault_site_registration_race_is_single() {
+    let report = checker().check(|| {
+        let plan = FaultPlan::new(1);
+        let p2 = plan.clone();
+        let t = thread::spawn(move || p2.hook("chk.reg"));
+        let mine = plan.hook("chk.reg");
+        let theirs = t.join().expect("registrar thread");
+        let _ = mine.draw();
+        let _ = theirs.draw();
+        let rep = plan.report();
+        assert_eq!(rep.len(), 1, "registration must not duplicate the site");
+        assert_eq!(rep[0].hits, 2, "both hooks share the site's draw index");
+    });
+    assert_clean("fault-reg", &report);
 }

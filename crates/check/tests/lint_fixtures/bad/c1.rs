@@ -1,0 +1,15 @@
+//! C1 fixture (linted as a charged module): `stats` neither charges the
+//! clock nor documents its story (must fire on line 9, and only there);
+//! `send` is clean — it reaches `advance` through `push`.
+
+pub fn send(clock: &Clock) {
+    push(clock);
+}
+
+pub fn stats() -> u64 {
+    0
+}
+
+fn push(clock: &Clock) {
+    clock.advance(1);
+}

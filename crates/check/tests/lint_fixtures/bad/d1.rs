@@ -1,0 +1,5 @@
+//! D1 fixture: a wall-clock read (must fire on line 4, and only there).
+
+pub fn now_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! D2 fixture: iteration over a hash-ordered map (must fire on line 7,
+//! and only there).
+
+use std::collections::HashMap;
+
+pub fn keys(m: &HashMap<u64, u64>) -> Vec<u64> {
+    m.keys().copied().collect()
+}

@@ -1,0 +1,8 @@
+//! F1 fixture: a direct `parking_lot` import (must fire on line 4, and
+//! only there).
+
+use parking_lot::Mutex;
+
+pub struct Slot {
+    inner: Mutex<u64>,
+}

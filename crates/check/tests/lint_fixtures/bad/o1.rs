@@ -1,0 +1,8 @@
+//! O1 fixture: an atomic access with no `// ordering:` justification
+//! (must fire on line 7, and only there).
+
+use spin_check::sync::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,6 @@
+//! U1 fixture: `unsafe` outside any allowlisted island (must fire on
+//! line 5, and only there).
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

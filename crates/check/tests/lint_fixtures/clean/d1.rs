@@ -1,0 +1,6 @@
+//! D1-clean fixture: virtual time only — no wall-clock, randomness,
+//! thread identity, or ambient environment.
+
+pub fn now_ns(clock: &Clock) -> u64 {
+    clock.now().0
+}

@@ -1,0 +1,14 @@
+//! D2-clean fixture: hash lookups (order-independent) and ordered
+//! iteration are both fine. Note the distinct names: the rule tracks
+//! hash-typed *names* per file, so reusing `m` for the `BTreeMap` would
+//! (by documented under-approximation policy) still flag it.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(m: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    m.get(&k).copied()
+}
+
+pub fn ordered_keys(b: &BTreeMap<u64, u64>) -> Vec<u64> {
+    b.keys().copied().collect()
+}

@@ -1,0 +1,8 @@
+//! F1-clean fixture: all synchronization through the facade.
+
+use spin_check::sync::{AtomicU64, Mutex};
+
+pub struct Slot {
+    inner: Mutex<u64>,
+    count: AtomicU64,
+}

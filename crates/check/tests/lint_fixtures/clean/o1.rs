@@ -1,0 +1,12 @@
+//! O1-clean fixture: every ordering site carries its justification.
+
+use spin_check::sync::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed) // ordering: Relaxed — monotonic counter; readers snapshot.
+}
+
+pub fn publish(c: &AtomicU64, v: u64) {
+    // ordering: Release — pairs with the Acquire load in `subscribe`.
+    c.store(v, Ordering::Release);
+}

@@ -1,0 +1,6 @@
+//! U1-clean fixture: no `unsafe` anywhere (the string below is a string,
+//! not a keyword — the token-level lexer must not be fooled).
+
+pub fn describe() -> &'static str {
+    "this crate has no unsafe code; // unsafe { } in a string is not code"
+}

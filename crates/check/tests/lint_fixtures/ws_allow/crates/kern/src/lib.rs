@@ -1,0 +1,9 @@
+//! Fixture kernel crate: clean, with one allowlisted unsafe island.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod ring;
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}

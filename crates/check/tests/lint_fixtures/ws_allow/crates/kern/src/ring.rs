@@ -1,0 +1,7 @@
+//! The allowlisted unsafe island: permitted here, but every site still
+//! needs its `// SAFETY:` proof.
+
+pub fn first(xs: &[u64]) -> u64 {
+    // SAFETY: callers guarantee `xs` is non-empty (checked at the gate).
+    unsafe { *xs.get_unchecked(0) }
+}

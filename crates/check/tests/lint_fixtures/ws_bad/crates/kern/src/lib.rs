@@ -1,0 +1,7 @@
+pub fn seed() -> u64 {
+    rand::thread_rng().gen()
+}
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

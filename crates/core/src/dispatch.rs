@@ -113,7 +113,7 @@ use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, HostId, MachineProfile, Nanos};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -155,6 +155,7 @@ impl<A> std::fmt::Debug for KeyFn<A> {
 
 impl<A> KeyFn<A> {
     /// Wraps a key extractor, allocating a fresh identity.
+    // uncharged: constructor; key extraction runs inside the already-charged raise path.
     pub fn new(f: impl Fn(&A) -> u64 + Send + Sync + 'static) -> KeyFn<A> {
         KeyFn {
             id: NEXT_KEYFN.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — allocates a unique id; the value carrying it is published separately.
@@ -163,6 +164,7 @@ impl<A> KeyFn<A> {
     }
 
     /// Extracts the key from an argument value.
+    // uncharged: runs inside the raise path, whose per-handler charge covers key/guard evaluation.
     pub fn extract(&self, args: &A) -> u64 {
         (self.f)(args)
     }
@@ -289,6 +291,7 @@ pub enum InstallDecision<A: ?Sized> {
 
 impl<A> InstallDecision<A> {
     /// Plain acceptance with defaults.
+    // uncharged: pure value constructor (authorizer protocol data).
     pub fn allow() -> Self {
         InstallDecision::Allow {
             owner_guard: None,
@@ -613,16 +616,19 @@ pub struct RebindReceipt<A, R> {
 
 impl<A, R> RebindReceipt<A, R> {
     /// Handler ids the rebind installed (the new version's handlers).
+    // uncharged: receipt accessor.
     pub fn installed(&self) -> &[HandlerId] {
         &self.installed
     }
 
     /// How many of the old version's handlers the rebind removed.
+    // uncharged: receipt accessor.
     pub fn removed_count(&self) -> usize {
         self.removed.len()
     }
 
     /// The identity whose handlers were removed.
+    // uncharged: receipt accessor.
     pub fn old_installer(&self) -> &Identity {
         &self.old_installer
     }
@@ -802,7 +808,7 @@ pub struct XcallRouter {
 }
 
 struct DispatcherInner {
-    events: Mutex<HashMap<u64, Arc<dyn AnyEventState>>>,
+    events: Mutex<BTreeMap<u64, Arc<dyn AnyEventState>>>,
     next_event: AtomicU64,
     next_handler: AtomicU64,
     async_runner: RwLock<AsyncRunner>,
@@ -834,10 +840,11 @@ pub struct Dispatcher {
 
 impl Dispatcher {
     /// Creates a dispatcher charging costs to `clock` per `profile`.
+    // uncharged: construction is control-plane, not the measured dispatch path.
     pub fn new(clock: Clock, profile: Arc<MachineProfile>) -> Self {
         Dispatcher {
             inner: Arc::new(DispatcherInner {
-                events: Mutex::new(HashMap::new()),
+                events: Mutex::new(BTreeMap::new()),
                 next_event: AtomicU64::new(1),
                 next_handler: AtomicU64::new(1),
                 async_runner: RwLock::new(Arc::new(|inv: AsyncInvocation| (inv.run)())),
@@ -853,17 +860,20 @@ impl Dispatcher {
     }
 
     /// A dispatcher with a private clock (unit tests, examples).
+    // uncharged: test/example constructor.
     pub fn unmetered() -> Self {
         Self::new(Clock::new(), Arc::new(MachineProfile::alpha_axp_3000_400()))
     }
 
     /// The clock costs are charged to.
+    // uncharged: accessor.
     pub fn clock(&self) -> &Clock {
         &self.inner.clock
     }
 
     /// Installs the runner used for asynchronous handlers (the scheduler
     /// provides one that runs the closure on a fresh kernel strand).
+    // uncharged: one-shot control-plane wiring.
     pub fn set_async_runner(&self, runner: AsyncRunner) {
         *self.inner.async_runner.write() = runner;
     }
@@ -871,6 +881,7 @@ impl Dispatcher {
     /// Wires the observability subsystem: raises, guard outcomes and
     /// handler runs are traced and accounted to the dispatcher domain.
     /// One-shot; charges zero virtual time.
+    // uncharged: one-shot control-plane wiring.
     pub fn set_obs(&self, hook: ObsHook) {
         let _ = self.inner.obs.set(hook);
     }
@@ -880,6 +891,7 @@ impl Dispatcher {
     /// panics surface as ordinary handler faults. One-shot; charges zero
     /// virtual time and, while the plan is disabled, costs one relaxed
     /// atomic load per handler invocation.
+    // uncharged: one-shot control-plane wiring.
     pub fn set_fault_hook(&self, hook: FaultHook) {
         let _ = self.inner.faults.set(hook);
     }
@@ -889,6 +901,7 @@ impl Dispatcher {
     /// burst. A `Fail` (or contained `Panic`) drops the whole burst before
     /// any item dispatches; a `Delay` charges its latency to the raiser
     /// once, ahead of the burst. One-shot; charges zero virtual time.
+    // uncharged: one-shot control-plane wiring.
     pub fn set_batch_fault_hook(&self, hook: FaultHook) {
         let _ = self.inner.batch_faults.set(hook);
     }
@@ -897,6 +910,7 @@ impl Dispatcher {
     /// (panic or time-bound abort). Called with no dispatcher locks held,
     /// so the sink may uninstall handlers, purge installers or re-raise.
     /// Replaces any previous sink.
+    // uncharged: control-plane wiring.
     pub fn set_fault_sink(&self, sink: FaultSink) {
         *self.inner.fault_sink.write() = Some(sink);
     }
@@ -904,20 +918,15 @@ impl Dispatcher {
     /// Removes every handler installed by `who`, across all events, via
     /// the usual rebuild-and-swap republish. Returns how many handlers
     /// were dropped. This is the quarantine primitive.
+    // uncharged: quarantine control plane; not on the per-raise hot path.
     pub fn purge_installer(&self, who: &Identity) -> usize {
-        // Purge in event-definition order, not `HashMap` hash order: the
-        // quarantine path must be deterministic so a fault schedule
-        // replays identically (the spin-check model checker rejects
-        // divergent re-executions).
-        let mut states: Vec<(u64, Arc<dyn AnyEventState>)> = self
-            .inner
-            .events
-            .lock()
-            .iter()
-            .map(|(id, s)| (*id, Arc::clone(s)))
-            .collect();
-        states.sort_unstable_by_key(|(id, _)| *id);
-        states.iter().map(|(_, s)| s.purge_installer(who)).sum()
+        // Purge in event-definition order: the quarantine path must be
+        // deterministic so a fault schedule replays identically (the
+        // spin-check model checker rejects divergent re-executions). The
+        // `BTreeMap` iterates in key order, so no sort is needed.
+        let states: Vec<Arc<dyn AnyEventState>> =
+            self.inner.events.lock().values().map(Arc::clone).collect();
+        states.iter().map(|s| s.purge_installer(who)).sum()
     }
 
     /// Removes one handler by its id on the event with the given raw id
@@ -930,6 +939,7 @@ impl Dispatcher {
     /// Defines a new event. The returned [`EventOwner`] is the primary
     /// implementation module's capability; the [`Event`] is the raisable,
     /// exportable value.
+    // uncharged: event definition is control-plane; only raises are metered (Table 2).
     pub fn define<A, R>(&self, name: &str, owner: Identity) -> (Event<A, R>, EventOwner<A, R>)
     where
         A: Send + Sync + 'static,
@@ -1002,6 +1012,7 @@ impl Dispatcher {
     /// The event owner's authorizer is consulted; it may deny, attach an
     /// owner guard, or constrain the handler. The installer may stack
     /// additional guards of its own.
+    // uncharged: handler installation is control-plane; only raises are metered.
     pub fn install<A, R>(
         &self,
         ev: &Event<A, R>,
@@ -1028,6 +1039,7 @@ impl Dispatcher {
     /// plan compiler index key-matchable ones (see [`GuardSpec`]). The
     /// authorization protocol and semantics are exactly those of
     /// [`Dispatcher::install`].
+    // uncharged: handler installation is control-plane; only raises are metered.
     pub fn install_spec<A, R>(
         &self,
         ev: &Event<A, R>,
@@ -1086,6 +1098,7 @@ impl Dispatcher {
 
     /// Removes a handler. Allowed for the handler's installer and for the
     /// event owner (who passes the owner identity).
+    // uncharged: handler removal is control-plane; only raises are metered.
     pub fn uninstall<A, R>(
         &self,
         ev: &Event<A, R>,
@@ -1114,6 +1127,7 @@ impl Dispatcher {
     /// Wires the cross-core raise router (multicore mode). One-shot; until
     /// wired — and always on a shared timeline — [`Dispatcher::raise_on`]
     /// degenerates to a local [`Dispatcher::raise`].
+    // uncharged: one-shot control-plane wiring.
     pub fn set_xcall_router(
         &self,
         home: HostId,
@@ -1897,6 +1911,7 @@ impl Dispatcher {
     }
 
     /// Statistics for an event.
+    // uncharged: diagnostics snapshot.
     pub fn stats<A, R>(&self, ev: &Event<A, R>) -> Result<EventStats, DispatchError>
     where
         A: Send + Sync + 'static,
@@ -1906,6 +1921,7 @@ impl Dispatcher {
     }
 
     /// Number of handlers currently installed on an event.
+    // uncharged: diagnostics snapshot.
     pub fn handler_count<A, R>(&self, ev: &Event<A, R>) -> Result<usize, DispatchError>
     where
         A: Send + Sync + 'static,
@@ -1918,6 +1934,7 @@ impl Dispatcher {
     /// fail with [`DispatchError::UnknownEvent`]. Only the owner identity
     /// may destroy. The name may subsequently be redefined (fresh state,
     /// fresh statistics).
+    // uncharged: control-plane teardown.
     pub fn destroy<A, R>(&self, ev: &Event<A, R>, caller: &Identity) -> Result<(), DispatchError>
     where
         A: Send + Sync + 'static,
@@ -1962,6 +1979,7 @@ where
     R: Send + 'static,
 {
     /// The event's qualified name (e.g. `"IP.PacketArrived"`).
+    // uncharged: accessor.
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -2002,11 +2020,13 @@ where
     /// to its window ledger. One-shot; returns `false` if a cell was
     /// already bound (the original binding stays). Unbound events pay one
     /// relaxed pointer load per raise and no admission logic runs.
+    // uncharged: control-plane wiring.
     pub fn bind_quota(&self, cell: Arc<QuotaCell>) -> Result<bool, DispatchError> {
         Ok(self.resolved()?.quota.set(cell).is_ok())
     }
 
     /// Installs a handler (authorized by the owner's policy).
+    // uncharged: owner-capability installation is control-plane; only raises are metered.
     pub fn install(
         &self,
         installer: Identity,
@@ -2017,6 +2037,7 @@ where
     }
 
     /// Installs a handler with stacked installer guards.
+    // uncharged: owner-capability installation is control-plane; only raises are metered.
     pub fn install_guarded(
         &self,
         installer: Identity,
@@ -2028,6 +2049,7 @@ where
     }
 
     /// Installs a handler with structured (compilable) installer guards.
+    // uncharged: owner-capability installation is control-plane; only raises are metered.
     pub fn install_specs(
         &self,
         installer: Identity,
@@ -2041,6 +2063,7 @@ where
     /// Installs a handler guarded on `key(args) == value` — the compilable
     /// analogue of [`Event::install_guarded`] for the common
     /// per-instance-dispatch case (a protocol number, a port).
+    // uncharged: owner-capability installation is control-plane; only raises are metered.
     pub fn install_keyed(
         &self,
         installer: Identity,
@@ -2069,6 +2092,7 @@ where
     ///
     /// This is phase 1 of the hot-swap protocol (see `spin-swap`): gate,
     /// drain, transfer/rebind at a deterministic virtual instant, resume.
+    // uncharged: hot-swap control plane.
     pub fn quiesce(&self) -> Result<(), DispatchError> {
         let state = self.resolved()?;
         // Store-buffer pair with the raise path's increment-then-gate-
@@ -2084,6 +2108,7 @@ where
     /// calling it from inside one of this event's own handlers deadlocks,
     /// as would waiting on an async invocation whose runner needs this
     /// thread.
+    // uncharged: hot-swap control plane.
     pub fn drain_in_flight(&self) -> Result<(), DispatchError> {
         let state = self.resolved()?;
         // ordering: SeqCst — pairs with FlightGuard's SeqCst increment (store-buffer pair, see FlightGuard::enter) and observes its Release decrement.
@@ -2094,6 +2119,7 @@ where
     }
 
     /// Dispatches currently in flight (diagnostic; racy by nature).
+    // uncharged: diagnostics accessor.
     pub fn in_flight(&self) -> Result<u64, DispatchError> {
         // ordering: SeqCst — same protocol as drain_in_flight's probe.
         Ok(self.resolved()?.in_flight.load(Ordering::SeqCst))
@@ -2126,17 +2152,20 @@ where
     }
 
     /// Raises currently parked in the hold queue.
+    // uncharged: diagnostics accessor.
     pub fn held_len(&self) -> Result<usize, DispatchError> {
         Ok(self.resolved()?.held.lock().queue.len())
     }
 
     /// Hold-queue counters (see [`HoldStats`]).
+    // uncharged: diagnostics accessor.
     pub fn hold_stats(&self) -> Result<HoldStats, DispatchError> {
         Ok(self.resolved()?.hold_stats())
     }
 
     /// Bounds the hold queue (default 65 536 parked raises); raises
     /// beyond it are dropped with [`DispatchError::HoldOverflow`].
+    // uncharged: control-plane configuration.
     pub fn set_hold_capacity(&self, capacity: usize) -> Result<(), DispatchError> {
         self.resolved()?.held.lock().capacity = capacity;
         Ok(())
@@ -2144,6 +2173,7 @@ where
 
     /// The plan generation: bumped once per republish, so one rebind (or
     /// one rollback) is exactly one observable bump.
+    // uncharged: diagnostics accessor.
     pub fn generation(&self) -> Result<u64, DispatchError> {
         // ordering: Relaxed — monotonic plan version; the plan RwLock is the real publication barrier.
         Ok(self.resolved()?.generation.load(Ordering::Relaxed))
@@ -2160,6 +2190,7 @@ where
     /// capability operation, not a third-party installation; guards and
     /// constraints come verbatim from the specs. Returns the undo record
     /// for [`Event::restore`].
+    // uncharged: hot-swap control plane (the s8 bench measures the swap at its own grain).
     pub fn rebind(
         &self,
         caller: &Identity,
@@ -2209,6 +2240,7 @@ where
     /// one plan swap. Handler ids, guards, constraints and sticky fault
     /// flags of the restored entries are preserved. Allowed for the event
     /// owner and the receipt's old installer.
+    // uncharged: hot-swap rollback control plane.
     pub fn restore(
         &self,
         caller: &Identity,
@@ -2293,11 +2325,13 @@ where
     R: Send + 'static,
 {
     /// The owned event.
+    // uncharged: accessor.
     pub fn event(&self) -> &Event<A, R> {
         &self.event
     }
 
     /// The owning identity.
+    // uncharged: accessor.
     pub fn identity(&self) -> &Identity {
         &self.token
     }
@@ -2305,6 +2339,7 @@ where
     /// Installs the default implementation (the primary handler), bypassing
     /// authorization: "the primary right to handle an event is restricted
     /// to the default implementation module".
+    // uncharged: owner control-plane operation; only raises are metered.
     pub fn set_primary(
         &self,
         handler: impl Fn(&A) -> R + Send + Sync + 'static,
@@ -2327,6 +2362,7 @@ where
     }
 
     /// Sets the authorization policy consulted on every install.
+    // uncharged: owner control-plane operation; only raises are metered.
     pub fn set_auth(
         &self,
         auth: impl Fn(&InstallRequest) -> InstallDecision<A> + Send + Sync + 'static,
@@ -2337,6 +2373,7 @@ where
     }
 
     /// Sets the result-combination procedure.
+    // uncharged: owner control-plane operation; only raises are metered.
     pub fn set_reducer(
         &self,
         reduce: impl Fn(Vec<R>) -> R + Send + Sync + 'static,
@@ -2349,6 +2386,7 @@ where
     }
 
     /// Removes the primary handler ("or even remove the primary handler").
+    // uncharged: owner control-plane operation; only raises are metered.
     pub fn remove_primary(&self) -> Result<(), DispatchError> {
         let state = self.event.resolved()?;
         let mut ws = state.write.lock();
@@ -2362,6 +2400,7 @@ where
     }
 
     /// Uninstalls any handler by owner right.
+    // uncharged: owner control-plane operation; only raises are metered.
     pub fn uninstall(&self, id: HandlerId) -> Result<(), DispatchError> {
         self.event
             .dispatcher
@@ -2369,6 +2408,7 @@ where
     }
 
     /// Destroys the owned event (owner right).
+    // uncharged: owner control-plane teardown.
     pub fn destroy(self) -> Result<(), DispatchError> {
         self.event.dispatcher.destroy(&self.event, &self.token)
     }

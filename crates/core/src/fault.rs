@@ -29,7 +29,7 @@ use spin_check::sync::{Arc, OnceLock, Weak};
 use spin_check::sync::{Mutex, Ordering};
 use spin_obs::Obs;
 use spin_sal::Nanos;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// What went wrong inside one handler invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,7 +124,7 @@ struct BreakerState {
     /// Breaker trips per domain name.
     trips: HashMap<String, u32>,
     /// Currently quarantined domain names.
-    quarantined: HashSet<String>,
+    quarantined: BTreeSet<String>,
     /// Total faults delivered (diagnostics).
     faults_seen: u64,
 }
@@ -194,11 +194,9 @@ impl Containment {
         self.state.lock().quarantined.contains(domain)
     }
 
-    /// Currently quarantined domains, sorted.
+    /// Currently quarantined domains, sorted (`BTreeSet` key order).
     pub fn quarantined(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.state.lock().quarantined.iter().cloned().collect();
-        v.sort();
-        v
+        self.state.lock().quarantined.iter().cloned().collect()
     }
 
     /// Breaker trips charged to `domain` so far.

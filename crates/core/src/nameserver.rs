@@ -13,7 +13,7 @@ use crate::error::CoreError;
 use crate::identity::Identity;
 use spin_check::sync::Mutex;
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Decides whether `importer` may import the named interface.
@@ -110,7 +110,7 @@ impl ExportRebind {
 /// The kernel's name → domain registry.
 #[derive(Clone, Default)]
 pub struct NameServer {
-    names: Arc<Mutex<HashMap<String, Registration>>>,
+    names: Arc<Mutex<BTreeMap<String, Registration>>>,
 }
 
 impl NameServer {
@@ -194,13 +194,11 @@ impl NameServer {
         let tid = TypeId::of::<T>();
         let candidates: Vec<String> = {
             let names = self.names.lock();
-            let mut v: Vec<String> = names
+            names
                 .iter()
                 .filter(|(_, r)| r.domain.symbol_of_type(tid).is_some())
                 .map(|(n, _)| n.clone())
-                .collect();
-            v.sort();
-            v
+                .collect()
         };
         let name = match candidates.as_slice() {
             [] => {
@@ -254,7 +252,7 @@ impl NameServer {
     /// so no further imports can bind to it.
     pub fn revoke_exports(&self, exporter: &Identity) -> Vec<String> {
         let mut names = self.names.lock();
-        let mut revoked: Vec<String> = names
+        let revoked: Vec<String> = names
             .iter()
             .filter(|(_, r)| r.exporter == *exporter)
             .map(|(n, _)| n.clone())
@@ -262,7 +260,6 @@ impl NameServer {
         for name in &revoked {
             names.remove(name);
         }
-        revoked.sort();
         revoked
     }
 
@@ -289,7 +286,6 @@ impl NameServer {
                 rebound.push((name.clone(), old_domain));
             }
         }
-        rebound.sort_by(|a, b| a.0.cmp(&b.0));
         ExportRebind {
             old_exporter: old_exporter.clone(),
             new_exporter: new_exporter.clone(),
@@ -314,9 +310,7 @@ impl NameServer {
 
     /// All registered names, sorted (diagnostics).
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.names.lock().keys().cloned().collect();
-        v.sort();
-        v
+        self.names.lock().keys().cloned().collect()
     }
 
     /// (successful imports, denials) for a name.

@@ -22,7 +22,7 @@
 #![forbid(unsafe_code)]
 
 use bytes::{BufMut, BytesMut};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::Identity;
 use spin_net::{IpAddr, NetStack, UdpPacket};
 use spin_sal::mmu::ContextId;

@@ -24,8 +24,8 @@
 
 #![forbid(unsafe_code)]
 
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
+use spin_check::sync::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// Virtual nanoseconds (mirrors `spin_sal::Nanos` without the dependency).

@@ -8,10 +8,10 @@
 //! run with LRU, with no caching at all (for servers that cache at object
 //! level), or with anything an extension supplies.
 
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_sal::devices::disk::{BlockId, Disk, DiskRequest, BLOCK_SIZE};
 use spin_sched::{Executor, KChannel, StrandCtx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A replaceable cache eviction policy over block ids.
@@ -87,7 +87,7 @@ pub struct CacheStats {
 }
 
 struct CacheState {
-    resident: HashMap<BlockId, Arc<Vec<u8>>>,
+    resident: BTreeMap<BlockId, Arc<Vec<u8>>>,
     policy: Box<dyn CachePolicy>,
     capacity_blocks: usize,
     stats: CacheStats,
@@ -113,7 +113,7 @@ impl BufferCache {
             disk,
             exec,
             state: Arc::new(Mutex::new(CacheState {
-                resident: HashMap::new(),
+                resident: BTreeMap::new(),
                 policy,
                 capacity_blocks,
                 stats: CacheStats::default(),

@@ -13,10 +13,10 @@
 //! experiments exercise the data path, which is fully disk-backed.
 
 use crate::buffer::BufferCache;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_sal::devices::disk::{BlockId, BLOCK_SIZE};
 use spin_sched::StrandCtx;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Errors from file-system operations.
@@ -36,7 +36,7 @@ pub struct Ino(u64);
 
 enum Node {
     File { blocks: Vec<BlockId>, size: u64 },
-    Dir { entries: HashMap<String, Ino> },
+    Dir { entries: BTreeMap<String, Ino> },
 }
 
 struct FsState {
@@ -62,7 +62,7 @@ impl FileSystem {
         nodes.insert(
             ROOT,
             Node::Dir {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
             },
         );
         FileSystem {
@@ -127,7 +127,7 @@ impl FileSystem {
         st.nodes.insert(
             ino,
             Node::Dir {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
             },
         );
         Ok(())
@@ -299,11 +299,7 @@ impl FileSystem {
         let ino = self.resolve(path)?;
         let st = self.state.lock();
         match st.nodes.get(&ino) {
-            Some(Node::Dir { entries }) => {
-                let mut names: Vec<String> = entries.keys().cloned().collect();
-                names.sort();
-                Ok(names)
-            }
+            Some(Node::Dir { entries }) => Ok(entries.keys().cloned().collect()),
             _ => Err(FsError::NotADirectory {
                 path: path.to_string(),
             }),

@@ -7,7 +7,7 @@
 //! runs the file system with the no-cache block policy and "both control\[s\]
 //! its cache and avoid\[s\] the problem of double buffering".
 
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

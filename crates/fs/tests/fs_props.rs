@@ -2,8 +2,8 @@
 //! in-memory reference model, window reads, and cache-policy transparency
 //! (caching must never change observable contents).
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
+use spin_check::sync::Mutex;
 use spin_fs::{BufferCache, FileSystem, LruPolicy, NoCachePolicy};
 use spin_sal::SimBoard;
 use spin_sched::Executor;

@@ -9,7 +9,7 @@
 use crate::pkt::IpAddr;
 use crate::stack::NetStack;
 use bytes::{Bytes, BytesMut};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::DispatchError;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -10,7 +10,7 @@
 use crate::pkt::IpAddr;
 use crate::stack::NetStack;
 use bytes::{Bytes, BytesMut};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::DispatchError;
 use spin_sal::{FrameId, PhysMem};
 use spin_sched::{KChannel, StrandCtx};

@@ -15,11 +15,11 @@
 use crate::pkt::{proto, IpAddr, TcpHeader, UdpHeader};
 use crate::stack::{NetStack, TcpSegment, UdpPacket};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::Ordering;
 use spin_core::{Constraints, GuardSpec, Identity, InstallSpec};
 use spin_sal::Nanos;
-use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Forwarding statistics.
@@ -104,9 +104,9 @@ fn schedule_retry(
 
 struct FlowTable {
     /// client (ip, port) → rewritten source port on the forwarder.
-    out: HashMap<(IpAddr, u16), u16>,
+    out: BTreeMap<(IpAddr, u16), u16>,
     /// rewritten source port → client (ip, port).
-    back: HashMap<u16, (IpAddr, u16)>,
+    back: BTreeMap<u16, (IpAddr, u16)>,
     next_port: u16,
     stats: ForwardStats,
 }
@@ -197,8 +197,8 @@ impl Forwarder {
     pub fn install_udp(stack: &NetStack, port: u16, target: IpAddr) -> Forwarder {
         let identity = Identity::extension("Forward");
         let state = Arc::new(Mutex::new(FlowTable {
-            out: HashMap::new(),
-            back: HashMap::new(),
+            out: BTreeMap::new(),
+            back: BTreeMap::new(),
             next_port: 40_000,
             stats: ForwardStats::default(),
         }));
@@ -254,8 +254,8 @@ impl Forwarder {
         snapshot: FlowSnapshot,
     ) -> (Forwarder, Vec<InstallSpec<UdpPacket, ()>>) {
         let identity = Identity::extension(version);
-        let mut out = HashMap::new();
-        let mut back = HashMap::new();
+        let mut out = BTreeMap::new();
+        let mut back = BTreeMap::new();
         for &(ip, client_port, rewritten) in &snapshot.flows {
             out.insert((ip, client_port), rewritten);
             back.insert(rewritten, (ip, client_port));
@@ -296,8 +296,8 @@ impl Forwarder {
     pub fn install_tcp(stack: &NetStack, port: u16, target: IpAddr) -> Forwarder {
         let identity = Identity::extension("Forward");
         let state = Arc::new(Mutex::new(FlowTable {
-            out: HashMap::new(),
-            back: HashMap::new(),
+            out: BTreeMap::new(),
+            back: BTreeMap::new(),
             next_port: 40_000,
             stats: ForwardStats::default(),
         }));

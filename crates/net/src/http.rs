@@ -10,7 +10,7 @@
 use crate::pkt::IpAddr;
 use crate::stack::NetStack;
 use crate::tcp::{TcpConn, TcpStack};
-use parking_lot::{Mutex, RwLock};
+use spin_check::sync::{Mutex, RwLock};
 use spin_fs::{FileSystem, WebCache};
 use spin_sched::StrandCtx;
 use std::collections::HashMap;

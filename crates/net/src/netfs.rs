@@ -11,7 +11,7 @@
 use crate::pkt::IpAddr;
 use crate::rpc::{Rpc, RpcError};
 use bytes::{BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_fs::{FileSystem, FsError};
 use spin_sched::{Executor, KChannel, StrandCtx};
 use std::sync::Arc;

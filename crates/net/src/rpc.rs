@@ -14,12 +14,12 @@
 use crate::pkt::IpAddr;
 use crate::stack::NetStack;
 use bytes::{Bytes, BytesMut};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicU64, Ordering};
 use spin_core::DispatchError;
 use spin_sal::Nanos;
 use spin_sched::{KChannel, StrandCtx};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The UDP port carrying RPC traffic.

@@ -25,7 +25,8 @@ use crate::pkt::{
     ETHERTYPE_IPV4,
 };
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use spin_check::sync::{AtomicU16, AtomicU64, Ordering};
+use spin_check::sync::{Mutex, RwLock};
 use spin_core::{Dispatcher, Event, Identity, KeyFn};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::board::vectors;
@@ -33,7 +34,6 @@ use spin_sal::devices::nic::Nic;
 use spin_sal::{Host, Nanos, WireEndpoint};
 use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which attached medium a packet used.
@@ -60,11 +60,13 @@ type AddrTable = HashMap<IpAddr, (Medium, WireEndpoint)>;
 
 impl AddressMap {
     /// An empty map.
+    // uncharged: constructor.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Registers an address (rebuilds and swaps the snapshot).
+    // uncharged: address registration is control-plane.
     pub fn register(&self, ip: IpAddr, medium: Medium, endpoint: WireEndpoint) {
         let mut slot = self.entries.write();
         let mut next = HashMap::clone(&slot);
@@ -73,6 +75,7 @@ impl AddressMap {
     }
 
     /// Resolves an address (per-packet hot path; shared read access).
+    // uncharged: lookup cost is folded into the sender's per-hop charge.
     pub fn resolve(&self, ip: IpAddr) -> Option<(Medium, WireEndpoint)> {
         self.entries.read().get(&ip).copied()
     }
@@ -172,6 +175,7 @@ type EdgeList = Vec<(String, String)>;
 
 impl Topology {
     /// Records "`event` is handled by `handler`".
+    // uncharged: Figure 5 diagnostics recorder.
     pub fn note(&self, event: &str, handler: &str) {
         let mut slot = self.edges.write();
         let mut next = Vec::clone(&slot);
@@ -180,6 +184,7 @@ impl Topology {
     }
 
     /// All recorded edges, sorted.
+    // uncharged: Figure 5 diagnostics recorder.
     pub fn edges(&self) -> Vec<(String, String)> {
         let snapshot = self.edges.read().clone();
         let mut e = Vec::clone(&snapshot);
@@ -189,6 +194,7 @@ impl Topology {
     }
 
     /// Renders the graph as indented text (the Figure 5 printout).
+    // uncharged: Figure 5 diagnostics recorder.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let edges = self.edges();
@@ -574,43 +580,51 @@ impl NetStack {
 
     /// Wires the observability subsystem: frames crossing this stack are
     /// accounted to the net domain. One-shot; charges zero virtual time.
+    // uncharged: one-shot control-plane wiring.
     pub fn set_obs(&self, hook: ObsHook) {
         let _ = self.inner.obs.set(hook);
     }
 
     /// Wires the deterministic fault-injection plan's `net.stack` site.
     /// One-shot; absent hooks cost nothing on the transmit path.
+    // uncharged: one-shot control-plane wiring.
     pub fn set_fault_hook(&self, hook: spin_fault::FaultHook) {
         let _ = self.inner.faults.set(hook);
     }
 
     /// The wired observability hook, if any (measurement harnesses park
     /// their histograms in its accounting registry).
+    // uncharged: accessor.
     pub fn obs(&self) -> Option<&ObsHook> {
         self.inner.obs.get()
     }
 
     /// The event bundle (for extensions).
+    // uncharged: accessor.
     pub fn events(&self) -> &NetEvents {
         &self.inner.events
     }
 
     /// The Figure 5 topology recorder.
+    // uncharged: accessor.
     pub fn topology(&self) -> &Topology {
         &self.inner.topology
     }
 
     /// The executor this stack runs on.
+    // uncharged: accessor.
     pub fn executor(&self) -> &Arc<Executor> {
         &self.inner.exec
     }
 
     /// This host's IP on a medium.
+    // uncharged: accessor.
     pub fn ip_on(&self, medium: Medium) -> IpAddr {
         self.inner.my_ips[&medium]
     }
 
     /// The protocol thread (diagnostics).
+    // uncharged: accessor.
     pub fn protocol_thread(&self) -> StrandId {
         self.inner.proto_thread
     }
@@ -700,6 +714,7 @@ impl NetStack {
 
     /// Binds a handler to a UDP port (a guarded handler on
     /// `UDP.PktArrived`, per the paper's idiom).
+    // uncharged: socket setup is control-plane; the packet path charges per hop.
     pub fn udp_bind(
         &self,
         port: u16,
@@ -718,6 +733,7 @@ impl NetStack {
     }
 
     /// Binds a UDP port to a channel for blocking receives.
+    // uncharged: socket setup is control-plane; the packet path charges per hop.
     pub fn udp_channel(
         &self,
         port: u16,
@@ -754,6 +770,7 @@ impl NetStack {
     }
 
     /// Stack counters.
+    // uncharged: diagnostics snapshot.
     pub fn stats(&self) -> NetStats {
         self.inner.stats.snapshot()
     }

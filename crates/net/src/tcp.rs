@@ -21,12 +21,12 @@
 use crate::pkt::{proto, IpAddr, TcpFlags, TcpHeader};
 use crate::stack::{NetStack, TcpSegment};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicU16, AtomicU32, Ordering};
 use spin_core::Identity;
 use spin_sal::Nanos;
 use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Maximum segment size (fits the Ethernet MTU under IP + TCP headers).

@@ -244,7 +244,7 @@ impl ThreeHosts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use spin_check::sync::Mutex;
     use spin_sal::Nanos;
     use spin_sched::IdleOutcome;
 

@@ -16,7 +16,7 @@
 
 use crate::pkt::{proto, IpAddr, UdpHeader};
 use crate::stack::{NetStack, SendRequest, SendVerdict};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::Identity;
 use spin_fs::FileSystem;
 use spin_sal::Nanos;

@@ -2,8 +2,8 @@
 //! deterministic loss patterns and payload shapes, and sequence-number
 //! arithmetic at the wrap.
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
+use spin_check::sync::Mutex;
 use spin_net::{Medium, TcpStack, TwoHosts};
 use std::sync::Arc;
 

@@ -22,9 +22,9 @@
 //! reference to a freed object" (§5.5).
 
 use crate::trace::{Trace, Tracer};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 use std::sync::{Arc, Weak};
 
@@ -132,7 +132,7 @@ impl Page {
 type RootCell = Arc<Mutex<Addr>>;
 
 struct HeapState {
-    pages: HashMap<u32, Page>,
+    pages: BTreeMap<u32, Page>,
     next_page: u32,
     space: u64,
     /// Page currently receiving small allocations.
@@ -238,7 +238,7 @@ impl KernelHeap {
             obs: Arc::new(spin_check::hooks::HookSlot::new()),
             faults: Arc::new(spin_check::hooks::HookSlot::new()),
             state: Arc::new(Mutex::new(HeapState {
-                pages: HashMap::new(),
+                pages: BTreeMap::new(),
                 next_page: 0,
                 space: 0,
                 alloc_page: None,
@@ -591,7 +591,7 @@ impl KernelHeap {
         st.stats.bytes_freed += cstats.bytes_freed;
         st.stats.pages_pinned += cstats.pages_pinned;
         if let Some(obs) = self.obs.get() {
-            use std::sync::atomic::Ordering;
+            use spin_check::sync::Ordering;
             obs.counters.gc_collections.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.counters
                 .gc_bytes_surviving

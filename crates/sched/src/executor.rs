@@ -26,7 +26,7 @@ use spin_core::DeadlineExceeded;
 use spin_fault::{FaultHook, Injection};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::{Clock, HostId, IrqController, MachineProfile, Nanos, TimerQueue};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -141,10 +141,10 @@ struct StrandInfo {
 }
 
 struct ExecState {
-    strands: HashMap<StrandId, StrandInfo>,
+    strands: BTreeMap<StrandId, StrandInfo>,
     policy: Box<dyn SchedulerPolicy>,
     current: Option<StrandId>,
-    host_busy: HashMap<HostId, Nanos>,
+    host_busy: BTreeMap<HostId, Nanos>,
     switches: u64,
 }
 
@@ -203,10 +203,10 @@ impl Executor {
             timers,
             profile,
             state: Mutex::new(ExecState {
-                strands: HashMap::new(),
+                strands: BTreeMap::new(),
                 policy: Box::new(RoundRobinPriority::default()),
                 current: None,
-                host_busy: HashMap::new(),
+                host_busy: BTreeMap::new(),
                 switches: 0,
             }),
             irqs: Mutex::new(Vec::new()),

@@ -1,7 +1,7 @@
 //! UNIX pipes over the kernel channel primitive.
 
+use spin_check::sync::{AtomicU32, Mutex, Ordering};
 use spin_sched::{Executor, KChannel, StrandCtx};
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// A pipe: a bounded byte stream with reference-counted ends.
@@ -10,7 +10,7 @@ pub struct Pipe {
     readers: AtomicU32,
     writers: AtomicU32,
     /// Residual bytes from a partially-consumed chunk.
-    residue: parking_lot::Mutex<Vec<u8>>,
+    residue: Mutex<Vec<u8>>,
 }
 
 impl Pipe {
@@ -20,7 +20,7 @@ impl Pipe {
             chunks: KChannel::new(exec, 16),
             readers: AtomicU32::new(1),
             writers: AtomicU32::new(1),
-            residue: parking_lot::Mutex::new(Vec::new()),
+            residue: Mutex::new(Vec::new()),
         })
     }
 
@@ -96,7 +96,7 @@ impl Pipe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use spin_check::sync::Mutex;
     use spin_sal::SimBoard;
 
     fn exec() -> Arc<Executor> {

@@ -13,15 +13,15 @@
 
 use crate::pipe::Pipe;
 use crate::proc::{Fd, Pid, Proc, ProcState};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicU32, Ordering};
 use spin_core::{Identity, Kernel};
 use spin_fs::{FileSystem, FsError};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::Protection;
 use spin_sched::{Executor, StrandCtx};
 use spin_vm::{UnixAsExtension, VmError};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// First system-call number of the server's band on `Trap.SystemCall`.
@@ -57,7 +57,7 @@ impl From<VmError> for UnixError {
 }
 
 struct ServerState {
-    procs: HashMap<Pid, Proc>,
+    procs: BTreeMap<Pid, Proc>,
 }
 
 /// Stable call numbers used when tracing server calls (the `a` word of a
@@ -103,7 +103,7 @@ impl UnixServer {
             vm,
             fs,
             state: Arc::new(Mutex::new(ServerState {
-                procs: HashMap::new(),
+                procs: BTreeMap::new(),
             })),
             next_pid: Arc::new(AtomicU32::new(1)),
             obs: Arc::new(spin_core::hooks::HookSlot::new()),

@@ -17,7 +17,7 @@
 use crate::phys::{PhysAddrService, PhysAttrib, PhysRegion};
 use crate::translation::{FaultAction, FaultInfo, TranslationService, VmError};
 use crate::virt::{VirtAddrService, VirtRegion};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::Identity;
 use spin_sal::mmu::ContextId;
 use spin_sal::{PhysMem, Protection, PAGE_SHIFT};

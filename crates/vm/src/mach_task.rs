@@ -9,7 +9,7 @@
 use crate::phys::{PhysAddrService, PhysAttrib, PhysRegion};
 use crate::translation::{TranslationService, VmError};
 use crate::virt::{VirtAddrService, VirtRegion};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_sal::mmu::ContextId;
 use spin_sal::{PhysMem, Protection};
 use std::collections::HashMap;

@@ -11,7 +11,7 @@
 use crate::phys::{PhysAddrService, PhysAttrib, PhysRegion};
 use crate::translation::{FaultAction, FaultInfo, TranslationService};
 use crate::virt::VirtRegion;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::hooks::HookSlot;
 use spin_core::Identity;
 use spin_fault::{FaultHook, Injection};

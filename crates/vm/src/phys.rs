@@ -16,10 +16,10 @@
 //! for this event to volunteer an alternative page" — see
 //! [`PhysAddrService::reclaim`].
 
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicBool, AtomicU64, Ordering};
 use spin_core::{Dispatcher, Event, EventOwner, Identity};
 use spin_sal::{FrameId, PhysMem};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of page colors the allocator distinguishes (cache-conscious

@@ -17,14 +17,14 @@
 
 use crate::phys::{PhysError, PhysRegion};
 use crate::virt::VirtRegion;
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::Ordering;
 use spin_core::hooks::HookSlot;
 use spin_core::{Dispatcher, Event, EventOwner, Identity};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::mmu::{Access, ContextId, MmuFault, Pte};
 use spin_sal::{Clock, FrameId, MachineProfile, Mmu, Protection, PAGE_SHIFT};
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Information passed to fault handlers.
@@ -91,7 +91,7 @@ struct CtxState {
 struct TransState {
     contexts: HashMap<ContextId, CtxState>,
     /// Reverse map: frame → mappings, used to invalidate on reclaim.
-    rmap: HashMap<FrameId, HashSet<(ContextId, u64)>>,
+    rmap: BTreeMap<FrameId, BTreeSet<(ContextId, u64)>>,
 }
 
 /// The translation service for one host.
@@ -112,6 +112,7 @@ pub struct TranslationService {
 
 impl TranslationService {
     /// Creates the service over a host MMU and defines the fault events.
+    // uncharged: service construction is control-plane.
     pub fn new(
         mmu: Mmu,
         clock: Clock,
@@ -142,7 +143,7 @@ impl TranslationService {
             profile,
             state: Arc::new(Mutex::new(TransState {
                 contexts: HashMap::new(),
-                rmap: HashMap::new(),
+                rmap: BTreeMap::new(),
             })),
             events: TranslationEvents {
                 page_not_present: pnp,
@@ -155,17 +156,20 @@ impl TranslationService {
     }
 
     /// The fault events (for extension handler installation).
+    // uncharged: accessor.
     pub fn events(&self) -> &TranslationEvents {
         &self.events
     }
 
     /// Wires the observability subsystem: delivered faults are traced and
     /// accounted to the vm domain. One-shot; charges zero virtual time.
+    // uncharged: one-shot control-plane wiring.
     pub fn set_obs(&self, hook: ObsHook) {
         let _ = self.obs.set(hook);
     }
 
     /// `Translation.Create`: a new addressing context.
+    // charged: in the Mmu (pte_update per context creation).
     pub fn create(&self) -> ContextId {
         let id = self.mmu.create_context();
         self.state
@@ -176,6 +180,7 @@ impl TranslationService {
     }
 
     /// `Translation.Destroy`.
+    // charged: in the Mmu (tlb_invalidate on context teardown).
     pub fn destroy(&self, ctx: ContextId) -> Result<(), VmError> {
         self.state
             .lock()
@@ -195,6 +200,7 @@ impl TranslationService {
     /// Registers a virtual region with a context *without mapping it*, so
     /// accesses fault as `PageNotPresent` rather than `BadAddress` (the
     /// hook demand paging hangs off).
+    // uncharged: bookkeeping only; the later fault/mapping operations carry the charges.
     pub fn reserve(&self, ctx: ContextId, virt: &Arc<VirtRegion>) -> Result<(), VmError> {
         if !virt.is_live() {
             return Err(VmError::Stale);
@@ -207,6 +213,7 @@ impl TranslationService {
 
     /// `Translation.AddMapping`: maps `virt` onto `phys` page-for-page with
     /// `prot` in `ctx`.
+    // charged: in the Mmu (pte_update per installed page).
     pub fn add_mapping(
         &self,
         ctx: ContextId,
@@ -250,6 +257,7 @@ impl TranslationService {
     }
 
     /// Maps a single page of a region (used by fault handlers).
+    // charged: in the Mmu (pte_update for the installed page).
     pub fn map_page(
         &self,
         ctx: ContextId,
@@ -269,6 +277,7 @@ impl TranslationService {
     }
 
     /// `Translation.RemoveMapping` for a whole region.
+    // charged: in the Mmu (pte_update + tlb_invalidate per removed page).
     pub fn remove_mapping(&self, ctx: ContextId, virt: &Arc<VirtRegion>) -> Result<(), VmError> {
         for i in 0..virt.pages() {
             let vpn = virt.vpn(i);
@@ -327,6 +336,7 @@ impl TranslationService {
     /// Invalidates every mapping of the frames in `phys` (the reclaim
     /// path: "the translation service ultimately invalidates any mappings
     /// to a reclaimed page").
+    // charged: in the Mmu (pte_update + tlb_invalidate per invalidated mapping).
     pub fn invalidate_phys(&self, phys: &Arc<PhysRegion>) -> Result<usize, VmError> {
         // Raw access: the region may already have been reclaimed.
         let frames: Vec<FrameId> = phys.with_frames_raw(|f| f.to_vec());
@@ -449,6 +459,7 @@ impl TranslationService {
     }
 
     /// The underlying MMU (trusted services only).
+    // uncharged: accessor.
     pub fn mmu(&self) -> &Mmu {
         &self.mmu
     }

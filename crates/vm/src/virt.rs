@@ -5,9 +5,9 @@
 //! address, a length, and an address space identifier that makes the
 //! address unique" (§4.1).
 
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
+use spin_check::sync::{AtomicBool, Ordering};
 use spin_sal::{PAGE_SHIFT, PAGE_SIZE};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Errors from the virtual address service.

@@ -22,7 +22,7 @@
 use crate::phys::{PhysAddrService, PhysAttrib, PhysRegion};
 use crate::translation::{FaultAction, FaultInfo, TranslationService};
 use crate::virt::{VirtAddrService, VirtRegion};
-use parking_lot::Mutex;
+use spin_check::sync::Mutex;
 use spin_core::{Dispatcher, Identity};
 use spin_sal::mmu::{Access, ContextId};
 use spin_sal::{Clock, MachineProfile, Nanos, PhysMem, Protection, SimBoard, PAGE_SHIFT};

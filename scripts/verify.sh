@@ -125,8 +125,34 @@ diff -u "scripts/goldens/BENCH_overload.json" "$SMOKE_DIR/BENCH_overload.json" |
     exit 1
 }
 
-echo "==> spin-audit: unsafe/ordering audit gate"
-cargo run -q -p spin-check --bin spin-audit
+echo "==> spin-lint: token-level safety & determinism gate"
+# The six-rule verifier (D1 determinism, D2 hash iteration, F1 sync
+# facade, O1 ordering justifications, U1 unsafe containment, C1 charge
+# coverage) must report zero findings, and its machine-readable report
+# must match the golden byte-for-byte — so an allowlist entry can never
+# slip in silently.
+cargo build -q --release -p spin-check --bin spin-lint --bin spin-audit
+LINT_START_NS=$(date +%s%N)
+./target/release/spin-lint --json > "$SMOKE_DIR/lint_report.json"
+LINT_ELAPSED_MS=$(( ($(date +%s%N) - LINT_START_NS) / 1000000 ))
+diff -u scripts/goldens/lint_report.json "$SMOKE_DIR/lint_report.json" || {
+    echo "verify: spin-lint diverged from scripts/goldens/lint_report.json" >&2
+    exit 1
+}
+ALLOW_ENTRIES=$(grep -c '^\[\[allow\]\]' lint.toml)
+if [ "$ALLOW_ENTRIES" -gt 10 ]; then
+    echo "verify: lint.toml has $ALLOW_ENTRIES allow entries (cap: 10)" >&2
+    exit 1
+fi
+# Runtime budget: the full-workspace lint must stay an instant pre-commit
+# check (< 2s), or it stops being run.
+if [ "$LINT_ELAPSED_MS" -ge 2000 ]; then
+    echo "verify: spin-lint took ${LINT_ELAPSED_MS}ms (budget: 2000ms)" >&2
+    exit 1
+fi
+echo "    spin-lint: clean in ${LINT_ELAPSED_MS}ms ($ALLOW_ENTRIES allow entries)"
+# The back-compat alias must keep working for older scripts.
+./target/release/spin-audit > /dev/null
 
 echo "==> spin-check: model-check the lock-free kernel (--cfg spin_check)"
 RUSTFLAGS="--cfg spin_check" CARGO_TARGET_DIR=target/spin-check \

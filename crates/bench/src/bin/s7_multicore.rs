@@ -96,7 +96,7 @@ fn run(workers: usize) -> RunResult {
         let echo_sum = Arc::new(AtomicU64::new(0));
         let es = echo_sum.clone();
         let c2 = cstk.clone();
-        cstk.udp_bind(7, "echo", move |p| {
+        spin_net::UdpSocket::bind_with(&cstk, 7, "echo", move |p| {
             // xor-fold is order-independent, so the sum is deterministic
             // even though handler ordering across packets is not a
             // contract here.
@@ -108,7 +108,7 @@ fn run(workers: usize) -> RunResult {
         })
         .expect("bind echo");
 
-        let reply = a.udp_channel(9000, "client", 4).expect("bind client");
+        let reply = spin_net::UdpSocket::bind(&a, 9000, "client", 4).expect("bind client");
         let b_ip = b.ip_on(Medium::Ethernet);
         let clock = host_a.clock.clone();
         let result: Arc<Mutex<(u64, Nanos)>> = Arc::new(Mutex::new((0, 0)));

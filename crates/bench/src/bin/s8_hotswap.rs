@@ -129,7 +129,7 @@ fn run(workers: usize, swap: bool) -> RunResult {
     let echo_xor = Arc::new(AtomicU64::new(0));
     {
         let (cnt, xor, c2) = (echo_count.clone(), echo_xor.clone(), c.clone());
-        c.udp_bind(ECHO_PORT, "echo", move |p| {
+        spin_net::UdpSocket::bind_with(&c, ECHO_PORT, "echo", move |p| {
             let seq = u64::from_le_bytes(p.payload[0..8].try_into().unwrap());
             cnt.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — read after run_until_idle returns; the barrier join is the sync point.
             xor.fetch_xor(mix(seq), Ordering::Relaxed); // ordering: Relaxed — read after run_until_idle returns; the barrier join is the sync point.
@@ -146,7 +146,7 @@ fn run(workers: usize, swap: bool) -> RunResult {
         let (cnt, xor) = (reply_count.clone(), reply_xor.clone());
         let (rtt, last) = (rtt_sum.clone(), last_reply.clone());
         let clock = host_a.clock.clone();
-        a.udp_bind(CLIENT_PORT, "client", move |p| {
+        spin_net::UdpSocket::bind_with(&a, CLIENT_PORT, "client", move |p| {
             let seq = u64::from_le_bytes(p.payload[0..8].try_into().unwrap());
             let sent = u64::from_le_bytes(p.payload[8..16].try_into().unwrap());
             cnt.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — read after run_until_idle returns; the barrier join is the sync point.

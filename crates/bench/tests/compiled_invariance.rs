@@ -90,12 +90,11 @@ fn forward_rtt(obs: Option<&Obs>) -> (Nanos, bool) {
     let medium = Medium::Ethernet;
     let _fwd = Forwarder::install_udp(&rig.b, ECHO_PORT, rig.c.ip_on(medium));
     let c2 = rig.c.clone();
-    rig.c
-        .udp_bind(ECHO_PORT, "echo", move |p| {
-            let _ = c2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
-        })
-        .expect("bind echo");
-    let reply = rig.a.udp_channel(9000, "client", 4).expect("bind client");
+    spin_net::UdpSocket::bind_with(&rig.c, ECHO_PORT, "echo", move |p| {
+        let _ = c2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+    })
+    .expect("bind echo");
+    let reply = spin_net::UdpSocket::bind(&rig.a, 9000, "client", 4).expect("bind client");
     let b_ip = rig.b.ip_on(medium);
     let a = rig.a.clone();
     let clock = rig.exec.clock().clone();
@@ -138,18 +137,17 @@ fn keyed_forwarder_charges_identical_table6_rtt() {
     assert!(row.measured > 0.0);
 }
 
-/// An echo service bound through the keyed [`spin_net::NetStack::udp_bind`]
+/// An echo service bound through the keyed [`spin_net::UdpSocket::bind_with`]
 /// vs the same service installed as an opaque port-comparison guard: the
 /// round trip charges identical virtual time.
 fn echo_rtt(keyed: bool, obs: Option<&Obs>) -> Nanos {
     let rig = watcher_rig(obs);
     let server = rig.b.clone();
     if keyed {
-        rig.b
-            .udp_bind(ECHO_PORT, "echo", move |p| {
-                let _ = server.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
-            })
-            .expect("bind echo");
+        spin_net::UdpSocket::bind_with(&rig.b, ECHO_PORT, "echo", move |p| {
+            let _ = server.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .expect("bind echo");
     } else {
         rig.b
             .events()
@@ -163,7 +161,7 @@ fn echo_rtt(keyed: bool, obs: Option<&Obs>) -> Nanos {
             )
             .expect("install opaque echo");
     }
-    let reply = rig.a.udp_channel(6000, "client", 4).expect("bind client");
+    let reply = spin_net::UdpSocket::bind(&rig.a, 6000, "client", 4).expect("bind client");
     let dst = rig.b.ip_on(Medium::Ethernet);
     let a = rig.a.clone();
     let clock = rig.exec.clock().clone();
@@ -186,7 +184,7 @@ fn echo_rtt(keyed: bool, obs: Option<&Obs>) -> Nanos {
 }
 
 #[test]
-fn keyed_udp_bind_matches_opaque_echo_service() {
+fn keyed_socket_bind_matches_opaque_echo_service() {
     for obs in [None, Some(Obs::new(4096))] {
         let obs = obs.as_ref();
         let keyed = echo_rtt(true, obs);
@@ -194,7 +192,7 @@ fn keyed_udp_bind_matches_opaque_echo_service() {
         assert_eq!(
             keyed,
             opaque,
-            "udp_bind (keyed) vs opaque echo RTT diverged (obs={})",
+            "socket bind (keyed) vs opaque echo RTT diverged (obs={})",
             obs.is_some()
         );
         assert!(keyed > 0, "round trips must complete");

@@ -188,12 +188,11 @@ fn table6_forward(plan: Option<&FaultPlan>) -> u64 {
     let medium = Medium::Ethernet;
     let _fwd = Forwarder::install_udp(&rig.b, 7, rig.c.ip_on(medium));
     let c2 = rig.c.clone();
-    rig.c
-        .udp_bind(7, "echo", move |p| {
-            let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
-        })
-        .expect("bind echo");
-    let reply = rig.a.udp_channel(9000, "client", 4).expect("bind client");
+    spin_net::UdpSocket::bind_with(&rig.c, 7, "echo", move |p| {
+        let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+    })
+    .expect("bind echo");
+    let reply = spin_net::UdpSocket::bind(&rig.a, 9000, "client", 4).expect("bind client");
     let b_ip = rig.b.ip_on(medium);
     let a = rig.a.clone();
     let clock = rig.exec.clock().clone();

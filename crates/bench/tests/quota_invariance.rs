@@ -138,13 +138,11 @@ fn table6_forward(rig: Option<&QuotaRig>) -> u64 {
     let medium = Medium::Ethernet;
     let _fwd = Forwarder::install_udp(&three.b, 7, three.c.ip_on(medium));
     let c2 = three.c.clone();
-    three
-        .c
-        .udp_bind(7, "echo", move |p| {
-            let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
-        })
-        .expect("bind echo");
-    let reply = three.a.udp_channel(9000, "client", 4).expect("bind client");
+    spin_net::UdpSocket::bind_with(&three.c, 7, "echo", move |p| {
+        let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+    })
+    .expect("bind echo");
+    let reply = spin_net::UdpSocket::bind(&three.a, 9000, "client", 4).expect("bind client");
     let b_ip = three.b.ip_on(medium);
     let a = three.a.clone();
     let clock = three.exec.clock().clone();

@@ -79,12 +79,11 @@ fn table6_rtt(idle_swap: bool, swap_mid_run: bool, obs: Option<&Obs>) -> Nanos {
     let target = rig.c.ip_on(medium);
     let fwd = Forwarder::install_udp(&rig.b, ECHO_PORT, target);
     let c2 = rig.c.clone();
-    rig.c
-        .udp_bind(ECHO_PORT, "echo", move |p| {
-            let _ = c2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
-        })
-        .expect("bind echo");
-    let reply = rig.a.udp_channel(9000, "client", 4).expect("bind client");
+    spin_net::UdpSocket::bind_with(&rig.c, ECHO_PORT, "echo", move |p| {
+        let _ = c2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+    })
+    .expect("bind echo");
+    let reply = spin_net::UdpSocket::bind(&rig.a, 9000, "client", 4).expect("bind client");
     let b_ip = rig.b.ip_on(medium);
     let clock = rig.exec.clock().clone();
 

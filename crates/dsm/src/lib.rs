@@ -163,8 +163,7 @@ impl DsmNode {
 
         // Protocol handler: non-blocking, runs on the protocol thread.
         let n2 = node.clone();
-        stack
-            .udp_bind(DSM_PORT, "DSM", move |p| n2.on_message(p))
+        spin_net::UdpSocket::bind_with(stack, DSM_PORT, "DSM", move |p| n2.on_message(p))
             .expect("bind DSM port");
 
         // Fault handlers: a missing page is a read fetch; a write to a

@@ -33,7 +33,7 @@ impl ActiveMessages {
     pub fn install(stack: &NetStack) -> Result<ActiveMessages, DispatchError> {
         let handlers: Arc<Mutex<HashMap<u32, AmHandler>>> = Arc::new(Mutex::new(HashMap::new()));
         let h2 = handlers.clone();
-        stack.udp_bind(AM_PORT, "A.M.", move |p| {
+        crate::socket::UdpSocket::bind_with(stack, AM_PORT, "A.M.", move |p| {
             if p.payload.len() < 36 {
                 return;
             }

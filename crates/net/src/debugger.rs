@@ -13,7 +13,7 @@ use bytes::{Bytes, BytesMut};
 use spin_check::sync::Mutex;
 use spin_core::DispatchError;
 use spin_sal::{FrameId, PhysMem};
-use spin_sched::{KChannel, StrandCtx};
+use spin_sched::StrandCtx;
 use std::sync::Arc;
 
 /// The UDP port the debugger listens on.
@@ -44,7 +44,7 @@ impl NetDebugger {
         let s2 = served.clone();
         let stack2 = stack.clone();
         let topo = stack.topology().clone();
-        stack.udp_bind(DEBUG_PORT, "NetDbg", move |p| {
+        crate::socket::UdpSocket::bind_with(stack, DEBUG_PORT, "NetDbg", move |p| {
             *s2.lock() += 1;
             let reply = Self::handle(&stack2, &mem, frame_limit, &topo, &p.payload);
             let _ = stack2.udp_send(DEBUG_PORT, p.ip.src, p.header.src_port, &reply);
@@ -117,13 +117,13 @@ impl NetDebugger {
 pub struct DebugClient {
     stack: NetStack,
     target: IpAddr,
-    replies: Arc<KChannel<crate::stack::UdpPacket>>,
+    replies: Arc<crate::socket::UdpSocket>,
 }
 
 impl DebugClient {
     /// Attaches to `target`'s debugger from `stack`.
     pub fn attach(stack: &NetStack, target: IpAddr) -> Result<DebugClient, DispatchError> {
-        let replies = stack.udp_channel(DEBUG_PORT + 1, "NetDbg client", 8)?;
+        let replies = crate::socket::UdpSocket::bind(stack, DEBUG_PORT + 1, "NetDbg client", 8)?;
         Ok(DebugClient {
             stack: stack.clone(),
             target,

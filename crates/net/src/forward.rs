@@ -16,90 +16,18 @@ use crate::pkt::{proto, IpAddr, TcpHeader, UdpHeader};
 use crate::stack::{NetStack, TcpSegment, UdpPacket};
 use bytes::Bytes;
 use spin_check::sync::Mutex;
-use spin_check::sync::Ordering;
 use spin_core::{Constraints, GuardSpec, Identity, InstallSpec};
-use spin_sal::Nanos;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Forwarding statistics.
+/// Forwarding statistics. Transmit retries are no longer counted here:
+/// the stack's [`crate::stack::NetStats::retries`] is the single
+/// authoritative retry counter (see `NetStack::transmit_with_retry`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ForwardStats {
     pub forwarded: u64,
     pub replies: u64,
     pub flows: u64,
-    /// Deterministic retransmissions of forwarded segments whose transmit
-    /// failed (degraded-mode operation under fault injection or routing
-    /// loss). Zero on a healthy wire.
-    pub retries: u64,
-}
-
-/// First retry delay for a failed forwarded transmission (virtual time).
-const FWD_RETRY_BASE: Nanos = 1_000_000;
-
-/// Ceiling on the backed-off retry delay.
-const FWD_RETRY_CAP: Nanos = 8_000_000;
-
-/// Retransmissions attempted before a forwarded segment is dropped.
-const FWD_RETRY_MAX: u32 = 4;
-
-/// Transmits, retrying on failure with capped exponential backoff on the
-/// virtual timers. Each retry is counted in [`ForwardStats::retries`] and,
-/// when observability is wired, the net domain's `retries` counter. The
-/// caller (a packet handler) is never blocked: retries run from timer
-/// callbacks on the shared timeline, so runs stay deterministic.
-fn transmit_with_retry(
-    stack: &NetStack,
-    state: &Arc<Mutex<FlowTable>>,
-    dst: IpAddr,
-    protocol: u8,
-    payload: Bytes,
-) {
-    if stack.transmit(dst, protocol, payload.clone()).is_ok() {
-        return;
-    }
-    schedule_retry(
-        stack.clone(),
-        state.clone(),
-        dst,
-        protocol,
-        payload,
-        1,
-        FWD_RETRY_BASE,
-    );
-}
-
-fn schedule_retry(
-    stack: NetStack,
-    state: Arc<Mutex<FlowTable>>,
-    dst: IpAddr,
-    protocol: u8,
-    payload: Bytes,
-    attempt: u32,
-    delay: Nanos,
-) {
-    if attempt > FWD_RETRY_MAX {
-        return; // budget exhausted: drop, as a datagram service may
-    }
-    state.lock().stats.retries += 1;
-    if let Some(obs) = stack.obs() {
-        obs.counters.retries.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
-    }
-    let at = stack.executor().clock().now() + delay;
-    let stack2 = stack.clone();
-    stack.executor().timers().schedule_at(at, move |_| {
-        if stack2.transmit(dst, protocol, payload.clone()).is_err() {
-            schedule_retry(
-                stack2.clone(),
-                state,
-                dst,
-                protocol,
-                payload,
-                attempt + 1,
-                (delay * 2).min(FWD_RETRY_CAP),
-            );
-        }
-    });
 }
 
 struct FlowTable {
@@ -162,7 +90,7 @@ fn udp_out_handler(
             st.translate((p.ip.src, p.header.src_port))
         };
         let datagram = UdpHeader::encode(rewritten, port, &p.payload);
-        transmit_with_retry(&stack, &state, target, proto::UDP, datagram);
+        stack.transmit_with_retry(target, proto::UDP, datagram);
     }
 }
 
@@ -187,7 +115,7 @@ fn udp_back_handler(
             }
         };
         let datagram = UdpHeader::encode(port, client.1, &p.payload);
-        transmit_with_retry(&stack, &state, client.0, proto::UDP, datagram);
+        stack.transmit_with_retry(client.0, proto::UDP, datagram);
     }
 }
 
@@ -319,13 +247,7 @@ impl Forwarder {
                     };
                     let mut h = s.header;
                     h.src_port = rewritten;
-                    transmit_with_retry(
-                        &stack2,
-                        &st2,
-                        target,
-                        proto::TCP,
-                        reencode(&h, &s.payload),
-                    );
+                    stack2.transmit_with_retry(target, proto::TCP, reencode(&h, &s.payload));
                 },
             )
             .expect("install TCP forwarder (out)");
@@ -357,13 +279,7 @@ impl Forwarder {
                     let mut h = s.header;
                     h.src_port = port;
                     h.dst_port = client.1;
-                    transmit_with_retry(
-                        &stack3,
-                        &st3,
-                        client.0,
-                        proto::TCP,
-                        reencode(&h, &s.payload),
-                    );
+                    stack3.transmit_with_retry(client.0, proto::TCP, reencode(&h, &s.payload));
                 },
             )
             .expect("install TCP forwarder (back)");
@@ -418,15 +334,14 @@ mod tests {
         let fwd = Forwarder::install_udp(&rig.b, 7, rig.c.ip_on(Medium::Ethernet));
         // Echo server on C.
         let c2 = rig.c.clone();
-        rig.c
-            .udp_bind(7, "echo", move |p| {
-                let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
-            })
-            .unwrap();
+        let _echo = crate::socket::UdpSocket::bind_with(&rig.c, 7, "echo", move |p| {
+            let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .unwrap();
         // Client on A: a blocking request/reply to the *forwarder's* IP.
         let a = rig.a.clone();
         let b_ip = rig.b.ip_on(Medium::Ethernet);
-        let reply_ch = rig.a.udp_channel(5555, "client", 4).unwrap();
+        let reply_ch = crate::socket::UdpSocket::bind(&rig.a, 5555, "client", 4).unwrap();
         let got = Arc::new(Mutex::new(Vec::new()));
         let g2 = got.clone();
         rig.exec.spawn("client", move |ctx| {
@@ -451,13 +366,12 @@ mod tests {
         let target = rig.c.ip_on(Medium::Ethernet);
         let fwd = Forwarder::install_udp(&rig.b, 7, target);
         let c2 = rig.c.clone();
-        rig.c
-            .udp_bind(7, "echo", move |p| {
-                let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
-            })
-            .unwrap();
+        let _echo = crate::socket::UdpSocket::bind_with(&rig.c, 7, "echo", move |p| {
+            let _ = c2.udp_send(7, p.ip.src, p.header.src_port, &p.payload);
+        })
+        .unwrap();
         let b_ip = rig.b.ip_on(Medium::Ethernet);
-        let reply_ch = rig.a.udp_channel(5555, "client", 4).unwrap();
+        let reply_ch = crate::socket::UdpSocket::bind(&rig.a, 5555, "client", 4).unwrap();
         let round = |tag: &'static [u8]| {
             let a = rig.a.clone();
             let ch = reply_ch.clone();
@@ -503,7 +417,12 @@ mod tests {
         let s = fwd.stats();
         assert_eq!(s.forwarded, 1);
         assert_eq!(s.replies, 0);
-        assert_eq!(s.retries, FWD_RETRY_MAX as u64, "budget fully consumed");
+        // Retries are counted once, at the stack.
+        assert_eq!(
+            rig.b.stats().retries,
+            u64::from(crate::stack::RETRY_MAX),
+            "budget fully consumed"
+        );
     }
 
     #[test]

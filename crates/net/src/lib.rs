@@ -25,25 +25,31 @@ pub mod measure;
 pub mod metrics;
 pub mod netfs;
 pub mod pkt;
+pub mod poll;
 pub mod rpc;
+pub mod socket;
 pub mod stack;
 pub mod tcp;
 pub mod testrig;
 pub mod video;
 
 pub use am::{ActiveMessages, AM_PORT};
+pub use bytes::Bytes;
 pub use debugger::{DebugClient, NetDebugger, DEBUG_PORT};
 pub use forward::{FlowSnapshot, ForwardStats, Forwarder};
-pub use http::{http_get, HttpServer, HttpStats};
+pub use http::{http_get, HttpConfig, HttpServer, HttpStats};
+pub use http::{Request, Response};
 pub use measure::{reliable_bandwidth, udp_round_trip};
 pub use metrics::install_metrics;
 pub use netfs::{NetFsClient, NetFsError, NetFsServer};
 pub use pkt::{proto, IpAddr};
+pub use poll::{interest, NetPoller, Pollable, ReadyBatch, Registration, Token};
 pub use rpc::{Rpc, RpcError, RPC_PORT};
+pub use socket::UdpSocket;
 pub use stack::{
-    AddressMap, IcmpPacket, IpPacket, LinkFrame, Medium, NetError, NetEvents, NetStack,
+    AddressMap, IcmpPacket, IpPacket, LinkFrame, Medium, NetError, NetEvents, NetStack, NetStats,
     SendRequest, SendVerdict, TcpSegment, Topology, UdpPacket,
 };
-pub use tcp::{TcpConn, TcpError, TcpListener, TcpStack, TcpState};
+pub use tcp::{TcpConn, TcpError, TcpListenerSocket, TcpStack, TcpState};
 pub use testrig::{ShardedPair, ThreeHosts, TwoHosts};
 pub use video::{VideoClient, VideoServer, MULTICAST_GROUP, VIDEO_PORT};

@@ -9,7 +9,7 @@
 use crate::stack::{Medium, NetStack};
 use spin_obs::Histogram;
 use spin_sal::Nanos;
-use spin_sched::{Executor, KChannel};
+use spin_sched::Executor;
 use std::sync::Arc;
 
 /// Echo port used by the latency harness.
@@ -41,15 +41,13 @@ pub fn udp_round_trip(
 ) -> Nanos {
     // Echo service on the server.
     let server2 = server.clone();
-    server
-        .udp_bind(ECHO_PORT, "echo", move |p| {
-            let _ = server2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
-        })
-        .expect("bind echo");
+    crate::socket::UdpSocket::bind_with(server, ECHO_PORT, "echo", move |p| {
+        let _ = server2.udp_send(ECHO_PORT, p.ip.src, p.header.src_port, &p.payload);
+    })
+    .expect("bind echo");
 
-    let reply_ch = client
-        .udp_channel(6000, "rtt-client", 4)
-        .expect("bind client");
+    let reply_ch =
+        crate::socket::UdpSocket::bind(client, 6000, "rtt-client", 4).expect("bind client");
     let dst = server.ip_on(medium);
     let clock = exec.clock().clone();
     let client2 = client.clone();
@@ -96,18 +94,15 @@ pub fn reliable_bandwidth(
     let recv2 = receiver.clone();
     let received = harness_histogram(receiver, &format!("net.bw_recv_bytes.{medium:?}"));
     let rc2 = received.clone();
-    receiver
-        .udp_bind(DATA_PORT, "sink", move |p| {
-            rc2.record(p.payload.len() as u64);
-            let seq = &p.payload[..4];
-            let _ = recv2.udp_send(DATA_PORT, src_ip, ACK_PORT, seq);
-        })
-        .expect("bind sink");
+    crate::socket::UdpSocket::bind_with(receiver, DATA_PORT, "sink", move |p| {
+        rc2.record(p.payload.len() as u64);
+        let seq = &p.payload[..4];
+        let _ = recv2.udp_send(DATA_PORT, src_ip, ACK_PORT, seq);
+    })
+    .expect("bind sink");
 
     // Sender: window-limited blast.
-    let acks: Arc<KChannel<crate::stack::UdpPacket>> = sender
-        .udp_channel(ACK_PORT, "acks", 1024)
-        .expect("bind acks");
+    let acks = crate::socket::UdpSocket::bind(sender, ACK_PORT, "acks", 1024).expect("bind acks");
     let dst = receiver.ip_on(medium);
     let clock = exec.clock().clone();
     let sender2 = sender.clone();

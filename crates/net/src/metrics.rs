@@ -8,7 +8,7 @@
 //! TCP path. Only the *collection* of the numbers is free — the
 //! spin-obs cost-model invariant.
 
-use crate::http::HttpServer;
+use crate::http::{HttpServer, Request, Response};
 use spin_core::Event;
 use std::sync::Arc;
 
@@ -16,9 +16,10 @@ use std::sync::Arc;
 /// `Obs.Snapshot` event returned by `Kernel::install_obs` (importable
 /// from the `ObsService` domain by any extension).
 pub fn install_metrics(server: &Arc<HttpServer>, snapshot: Event<(), String>) {
-    server.route("/metrics", move || {
-        snapshot
+    server.route("/metrics", move |_req: &Request| {
+        let page = snapshot
             .raise(())
-            .unwrap_or_else(|e| format!("# Obs.Snapshot failed: {e:?}\n"))
+            .unwrap_or_else(|e| format!("# Obs.Snapshot failed: {e:?}\n"));
+        Response::ok(page.into_bytes()).with_header("Content-Type", "text/plain; version=0.0.4")
     });
 }

@@ -65,12 +65,20 @@ impl EtherHeader {
     /// Serializes the header followed by `payload`.
     pub fn encode(&self, payload: &[u8]) -> Bytes {
         let mut b = BytesMut::with_capacity(Self::LEN + payload.len());
+        b.extend_from_slice(&self.encode_header());
+        b.extend_from_slice(payload);
+        b.freeze()
+    }
+
+    /// Serializes just the 14 header bytes — the chain path prepends this
+    /// segment without copying the payload.
+    pub fn encode_header(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::LEN);
         b.extend_from_slice(&[0, 0]); // dst MAC padding to 6 bytes
         b.extend_from_slice(&self.dst.to_be_bytes());
         b.extend_from_slice(&[0, 0]); // src MAC padding to 6 bytes
         b.extend_from_slice(&self.src.to_be_bytes());
         b.extend_from_slice(&self.ethertype.to_be_bytes());
-        b.extend_from_slice(payload);
         b.freeze()
     }
 
@@ -108,7 +116,24 @@ impl Ipv4Header {
 
     /// Serializes the header (checksum computed) followed by `payload`.
     pub fn encode(src: IpAddr, dst: IpAddr, protocol: u8, ttl: u8, payload: &[u8]) -> Bytes {
-        let total_len = (Self::LEN + payload.len()) as u16;
+        let header = Self::encode_header(src, dst, protocol, ttl, payload.len());
+        let mut b = BytesMut::with_capacity(Self::LEN + payload.len());
+        b.extend_from_slice(&header);
+        b.extend_from_slice(payload);
+        b.freeze()
+    }
+
+    /// Serializes just the 20 header bytes (checksum computed) for a
+    /// payload of `payload_len` bytes — the chain path prepends this
+    /// segment without copying the payload.
+    pub fn encode_header(
+        src: IpAddr,
+        dst: IpAddr,
+        protocol: u8,
+        ttl: u8,
+        payload_len: usize,
+    ) -> Bytes {
+        let total_len = (Self::LEN + payload_len) as u16;
         let mut h = [0u8; Self::LEN];
         h[0] = 0x45; // v4, IHL 5
         h[2..4].copy_from_slice(&total_len.to_be_bytes());
@@ -118,10 +143,7 @@ impl Ipv4Header {
         h[16..20].copy_from_slice(&dst.0.to_be_bytes());
         let csum = internet_checksum(&h);
         h[10..12].copy_from_slice(&csum.to_be_bytes());
-        let mut b = BytesMut::with_capacity(Self::LEN + payload.len());
-        b.extend_from_slice(&h);
-        b.extend_from_slice(payload);
-        b.freeze()
+        Bytes::copy_from_slice(&h)
     }
 
     /// Parses and checksum-verifies a packet into (header, payload).
@@ -160,13 +182,23 @@ impl UdpHeader {
 
     /// Serializes header + payload.
     pub fn encode(src_port: u16, dst_port: u16, payload: &[u8]) -> Bytes {
-        let len = (Self::LEN + payload.len()) as u16;
-        let mut b = BytesMut::with_capacity(len as usize);
+        let header = Self::encode_header(src_port, dst_port, payload.len());
+        let mut b = BytesMut::with_capacity(Self::LEN + payload.len());
+        b.extend_from_slice(&header);
+        b.extend_from_slice(payload);
+        b.freeze()
+    }
+
+    /// Serializes just the 8 header bytes for a payload of `payload_len`
+    /// bytes — the chain path prepends this segment without copying the
+    /// payload.
+    pub fn encode_header(src_port: u16, dst_port: u16, payload_len: usize) -> Bytes {
+        let len = (Self::LEN + payload_len) as u16;
+        let mut b = BytesMut::with_capacity(Self::LEN);
         b.extend_from_slice(&src_port.to_be_bytes());
         b.extend_from_slice(&dst_port.to_be_bytes());
         b.extend_from_slice(&len.to_be_bytes());
         b.extend_from_slice(&[0, 0]); // checksum optional over simulated wire
-        b.extend_from_slice(payload);
         b.freeze()
     }
 
@@ -227,6 +259,15 @@ impl TcpHeader {
     /// Serializes header + payload.
     pub fn encode(&self, payload: &[u8]) -> Bytes {
         let mut b = BytesMut::with_capacity(Self::LEN + payload.len());
+        b.extend_from_slice(&self.encode_header());
+        b.extend_from_slice(payload);
+        b.freeze()
+    }
+
+    /// Serializes just the 20 header bytes — the chain path prepends this
+    /// segment without copying the payload.
+    pub fn encode_header(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::LEN);
         b.extend_from_slice(&self.src_port.to_be_bytes());
         b.extend_from_slice(&self.dst_port.to_be_bytes());
         b.extend_from_slice(&self.seq.to_be_bytes());
@@ -234,8 +275,15 @@ impl TcpHeader {
         b.extend_from_slice(&[0x50, self.flags.to_byte()]); // offset 5, flags
         b.extend_from_slice(&self.window.to_be_bytes());
         b.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
-        b.extend_from_slice(payload);
         b.freeze()
+    }
+
+    /// Builds the wire segment as a zero-copy chain: header segment +
+    /// payload segment, byte-identical to [`TcpHeader::encode`].
+    pub fn encode_chain(&self, payload: Bytes) -> spin_sal::BufChain {
+        let mut c = spin_sal::BufChain::from_bytes(payload);
+        c.prepend(self.encode_header());
+        c
     }
 
     /// Parses a segment into (header, payload).
@@ -395,6 +443,53 @@ mod tests {
         let (h2, p) = TcpHeader::decode(&seg).unwrap();
         assert_eq!(h, h2);
         assert_eq!(&p[..], b"x");
+    }
+
+    #[test]
+    fn chain_encoders_match_copy_encoders_byte_for_byte() {
+        let eth = EtherHeader {
+            src: 3,
+            dst: 9,
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut chain = spin_sal::BufChain::from_bytes(Bytes::from_static(b"inner"));
+        chain.prepend(eth.encode_header());
+        assert_eq!(chain.to_bytes(), eth.encode(b"inner"));
+
+        let src = IpAddr::new(10, 0, 0, 1);
+        let dst = IpAddr::new(10, 0, 0, 2);
+        let mut ip = spin_sal::BufChain::from_bytes(Bytes::from_static(b"datagram"));
+        ip.prepend(Ipv4Header::encode_header(
+            src,
+            dst,
+            proto::UDP,
+            64,
+            ip.len(),
+        ));
+        assert_eq!(
+            ip.to_bytes(),
+            Ipv4Header::encode(src, dst, proto::UDP, 64, b"datagram")
+        );
+
+        let mut udp = spin_sal::BufChain::from_bytes(Bytes::from_static(b"ping"));
+        udp.prepend(UdpHeader::encode_header(1000, 2000, udp.len()));
+        assert_eq!(udp.to_bytes(), UdpHeader::encode(1000, 2000, b"ping"));
+
+        let tcp = TcpHeader {
+            src_port: 80,
+            dst_port: 1234,
+            seq: 7,
+            ack: 9,
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
+            window: 4096,
+        };
+        assert_eq!(
+            tcp.encode_chain(Bytes::from_static(b"seg")).to_bytes(),
+            tcp.encode(b"seg")
+        );
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Readiness: the epoll-style aggregation layer over the protocol graph.
+//!
+//! The webscale redesign replaces one-blocking-strand-per-connection with
+//! a single server strand parked on a [`NetPoller`]. Sources (sockets,
+//! listeners, connections) carry a [`Registration`]; when the packet path
+//! makes one readable it *notes* the fact in the stack's [`ReadyHub`] —
+//! an uncharged, deduplicating scoreboard. After each inbound burst the
+//! protocol thread *flushes* the hub: one `Net.Ready` raise per poller
+//! (batched via `raise_batch`), demultiplexed by a keyed `GuardSpec` on
+//! the poller id, exactly the compiled-dispatch shape of PR-6.
+//!
+//! Charging story: readiness notes piggyback on the per-packet raises
+//! that already paid for the packet's trip up the graph — the note itself
+//! is a scoreboard write, not an event. The flush charges one `Net.Ready`
+//! raise per poller with pending tokens, amortized across every token
+//! that became ready in the burst. An empty hub flushes for free, so a
+//! stack with no pollers charges nothing — that is what keeps the
+//! pre-webscale goldens byte-identical with this module compiled in.
+
+use crate::stack::NetStack;
+use spin_check::sync::Mutex;
+use spin_core::{Event, Identity};
+use spin_sal::Nanos;
+use spin_sched::{Executor, StrandCtx, StrandId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Interest/readiness bit masks.
+pub mod interest {
+    /// Data (or a datagram) is available to read.
+    pub const READABLE: u8 = 0b001;
+    /// A connection is waiting to be accepted.
+    pub const ACCEPT: u8 = 0b010;
+    /// The peer closed (or the source otherwise reached end-of-stream).
+    pub const CLOSED: u8 = 0b100;
+}
+
+/// An application-chosen identifier for one registered source.
+pub type Token = u64;
+
+/// One poller's worth of readiness, raised as a single `Net.Ready` event.
+#[derive(Clone)]
+pub struct ReadyBatch {
+    /// The destination poller id (the keyed demux field).
+    pub poller: u64,
+    /// `(token, readiness mask)` pairs, in ascending token order.
+    pub tokens: Vec<(Token, u8)>,
+}
+
+/// The stack-wide readiness scoreboard: notes accumulate (deduplicated,
+/// masks OR-merged) between bursts and are flushed as batched `Net.Ready`
+/// raises by the protocol thread.
+#[derive(Default)]
+pub struct ReadyHub {
+    /// `(poller, token) -> mask`, BTree-ordered so a flush groups each
+    /// poller's tokens contiguously and deterministically.
+    pending: Mutex<BTreeMap<(u64, Token), u8>>,
+}
+
+impl ReadyHub {
+    /// An empty hub.
+    // uncharged: constructor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records "`token` on `poller` became ready for `mask`". Merges into
+    /// any pending note for the same source.
+    // uncharged: scoreboard write; the packet that caused it already paid
+    // its per-hop charges, and the flush charges the aggregated raise.
+    pub fn note(&self, poller: u64, token: Token, mask: u8) {
+        if mask == 0 {
+            return;
+        }
+        *self.pending.lock().entry((poller, token)).or_insert(0) |= mask;
+    }
+
+    /// Raises everything pending as one [`ReadyBatch`] per poller through
+    /// `ev` (`Net.Ready`). An empty hub raises nothing and charges
+    /// nothing.
+    // charged: each non-empty poller batch is one `Net.Ready` raise
+    // (batched), paying the dispatcher's standard per-raise costs.
+    pub fn flush(&self, ev: &Event<ReadyBatch, ()>) {
+        let pending = std::mem::take(&mut *self.pending.lock());
+        if pending.is_empty() {
+            return;
+        }
+        let mut batches: Vec<ReadyBatch> = Vec::new();
+        for ((poller, token), mask) in pending {
+            match batches.last_mut() {
+                Some(b) if b.poller == poller => b.tokens.push((token, mask)),
+                _ => batches.push(ReadyBatch {
+                    poller,
+                    tokens: vec![(token, mask)],
+                }),
+            }
+        }
+        let _ = ev.raise_batch(batches);
+    }
+
+    /// Whether any notes are pending.
+    // uncharged: diagnostics probe.
+    pub fn is_empty(&self) -> bool {
+        self.pending.lock().is_empty()
+    }
+}
+
+/// A source's handle back to its poller: the packet path calls
+/// [`Registration::note`] when the source becomes ready.
+pub struct Registration {
+    hub: Arc<ReadyHub>,
+    poller: u64,
+    token: Token,
+    mask: u8,
+}
+
+impl Registration {
+    /// Notes readiness, filtered to the registered interest (`CLOSED`
+    /// always passes — end-of-stream must never be silently dropped).
+    // uncharged: scoreboard write (see `ReadyHub::note`).
+    pub fn note(&self, what: u8) {
+        let m = what & (self.mask | interest::CLOSED);
+        if m != 0 {
+            self.hub.note(self.poller, self.token, m);
+        }
+    }
+}
+
+/// A source that can be registered with a [`NetPoller`].
+pub trait Pollable {
+    /// Attaches `r` to this source and returns its *current* level mask,
+    /// so readiness that predates the registration is not lost.
+    fn register(&self, r: Registration) -> u8;
+}
+
+struct PollInner {
+    /// Accumulated readiness, drained by `wait`/`try_wait` in token order.
+    ready: BTreeMap<Token, u8>,
+    /// The strand parked in `wait`, if any.
+    waiter: Option<StrandId>,
+}
+
+/// An epoll-style poller: sources are added with a token and an interest
+/// mask; `wait` blocks until at least one is ready and drains the set.
+pub struct NetPoller {
+    id: u64,
+    exec: Arc<Executor>,
+    hub: Arc<ReadyHub>,
+    inner: Mutex<PollInner>,
+}
+
+impl NetPoller {
+    /// Creates a poller on `stack`, installing its keyed `Net.Ready`
+    /// demux handler.
+    // uncharged: poller setup is control-plane; delivery charges per raise.
+    pub fn new(stack: &NetStack) -> Arc<NetPoller> {
+        Self::with_time_bound(stack, None)
+    }
+
+    /// [`NetPoller::new`] with a `time_bound` constraint on the delivery
+    /// handler: a delivery burning more virtual time than `bound` is
+    /// aborted by the dispatcher (the PR-3 containment machinery).
+    // uncharged: poller setup is control-plane; delivery charges per raise.
+    pub fn with_time_bound(stack: &NetStack, bound: Option<Nanos>) -> Arc<NetPoller> {
+        let id = stack.alloc_poller_id();
+        let label = format!("poller-{id}");
+        if let Some(b) = bound {
+            stack.set_poller_bound(&label, b);
+        }
+        let poller = Arc::new(NetPoller {
+            id,
+            exec: stack.executor().clone(),
+            hub: stack.ready_hub().clone(),
+            inner: Mutex::new(PollInner {
+                ready: BTreeMap::new(),
+                waiter: None,
+            }),
+        });
+        let me = poller.clone();
+        stack
+            .events()
+            .net_ready
+            .install_keyed(
+                Identity::extension(&label),
+                &stack.events().ready_poller_key,
+                id,
+                move |b: &ReadyBatch| me.deliver(b),
+            )
+            .expect("install poller demux");
+        poller
+    }
+
+    /// This poller's id (the `Net.Ready` demux key).
+    // uncharged: accessor.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Registers `src` under `token` with the given interest mask. Any
+    /// readiness already present on the source is folded in immediately.
+    // uncharged: registration is control-plane.
+    pub fn add(&self, src: &dyn Pollable, token: Token, interest_mask: u8) {
+        let reg = Registration {
+            hub: self.hub.clone(),
+            poller: self.id,
+            token,
+            mask: interest_mask,
+        };
+        let level = src.register(reg) & (interest_mask | interest::CLOSED);
+        if level != 0 {
+            *self.inner.lock().ready.entry(token).or_insert(0) |= level;
+        }
+    }
+
+    /// Delivery from the keyed `Net.Ready` handler (protocol-thread
+    /// context; must not block).
+    // charged: runs inside the `Net.Ready` raise, which pays the
+    // dispatcher's per-raise costs for the whole batch.
+    fn deliver(&self, batch: &ReadyBatch) {
+        let waiter = {
+            let mut inner = self.inner.lock();
+            for &(token, mask) in &batch.tokens {
+                *inner.ready.entry(token).or_insert(0) |= mask;
+            }
+            inner.waiter.take()
+        };
+        if let Some(w) = waiter {
+            self.exec.unblock(w);
+        }
+    }
+
+    /// Posts local readiness (timer ticks, user wakeups) directly into
+    /// this poller, bypassing the hub (no raise, no charge).
+    // uncharged: local scoreboard write; no event is raised.
+    pub fn post(&self, token: Token, mask: u8) {
+        let waiter = {
+            let mut inner = self.inner.lock();
+            *inner.ready.entry(token).or_insert(0) |= mask;
+            inner.waiter.take()
+        };
+        if let Some(w) = waiter {
+            self.exec.unblock(w);
+        }
+    }
+
+    /// Blocks until at least one source is ready, then drains and returns
+    /// the ready set in ascending token order.
+    // uncharged: blocking costs virtual time on the scheduler's account;
+    // the readiness delivery itself was charged at the raise.
+    pub fn wait(&self, ctx: &StrandCtx) -> Vec<(Token, u8)> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if !inner.ready.is_empty() {
+                    return std::mem::take(&mut inner.ready).into_iter().collect();
+                }
+                inner.waiter = Some(ctx.id());
+            }
+            ctx.block();
+        }
+    }
+
+    /// Drains the ready set without blocking (possibly empty).
+    // uncharged: scoreboard read.
+    pub fn try_wait(&self) -> Vec<(Token, u8)> {
+        let mut inner = self.inner.lock();
+        std::mem::take(&mut inner.ready).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_merges_and_groups_by_poller() {
+        let hub = ReadyHub::new();
+        hub.note(2, 10, interest::READABLE);
+        hub.note(1, 5, interest::READABLE);
+        hub.note(2, 10, interest::CLOSED); // merges with the first note
+        hub.note(2, 3, interest::ACCEPT);
+        let pending = std::mem::take(&mut *hub.pending.lock());
+        let flat: Vec<((u64, Token), u8)> = pending.into_iter().collect();
+        assert_eq!(
+            flat,
+            vec![
+                ((1, 5), interest::READABLE),
+                ((2, 3), interest::ACCEPT),
+                ((2, 10), interest::READABLE | interest::CLOSED),
+            ]
+        );
+    }
+
+    #[test]
+    fn registration_filters_by_interest_but_closed_passes() {
+        let hub = Arc::new(ReadyHub::new());
+        let reg = Registration {
+            hub: hub.clone(),
+            poller: 1,
+            token: 7,
+            mask: interest::ACCEPT,
+        };
+        reg.note(interest::READABLE); // not interested: dropped
+        assert!(hub.is_empty());
+        reg.note(interest::CLOSED); // always delivered
+        assert!(!hub.is_empty());
+    }
+}

@@ -117,7 +117,7 @@ impl Rpc {
             stats: Arc::new(AtomicRpcStats::default()),
         };
         let rpc2 = rpc.clone();
-        stack.udp_bind(RPC_PORT, "RPC", move |p| {
+        crate::socket::UdpSocket::bind_with(stack, RPC_PORT, "RPC", move |p| {
             rpc2.on_datagram(p.ip.src, &p.payload);
         })?;
         Ok(rpc)

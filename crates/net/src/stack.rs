@@ -24,14 +24,15 @@ use crate::pkt::{
     proto, EtherHeader, IcmpHeader, IcmpKind, IpAddr, Ipv4Header, TcpHeader, UdpHeader,
     ETHERTYPE_IPV4,
 };
+use crate::poll::{ReadyBatch, ReadyHub};
 use bytes::Bytes;
 use spin_check::sync::{AtomicU16, AtomicU64, Ordering};
 use spin_check::sync::{Mutex, RwLock};
-use spin_core::{Dispatcher, Event, Identity, KeyFn};
+use spin_core::{Constraints, Dispatcher, Event, HandlerMode, Identity, InstallDecision, KeyFn};
 use spin_obs::{ObsHook, TraceKind};
 use spin_sal::board::vectors;
 use spin_sal::devices::nic::Nic;
-use spin_sal::{Host, Nanos, WireEndpoint};
+use spin_sal::{BufChain, Host, Nanos, WireEndpoint};
 use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -125,8 +126,9 @@ pub struct IcmpPacket {
 pub struct SendRequest {
     pub dst: IpAddr,
     pub protocol: u8,
-    /// The transport-layer segment (UDP/TCP/ICMP bytes).
-    pub payload: Bytes,
+    /// The transport-layer segment (UDP/TCP/ICMP bytes) as a zero-copy
+    /// chain; inspectors flatten with [`BufChain::to_bytes`].
+    pub payload: BufChain,
 }
 
 /// What `SendPacket` handlers decided.
@@ -159,6 +161,12 @@ pub struct NetEvents {
     pub udp_port_key: KeyFn<UdpPacket>,
     /// The shared destination-port key on `TCP.PktArrived`.
     pub tcp_port_key: KeyFn<TcpSegment>,
+    /// The aggregated readiness event: one raise per poller per inbound
+    /// burst, demultiplexed by [`NetEvents::ready_poller_key`].
+    pub net_ready: Event<ReadyBatch, ()>,
+    /// The shared poller-id key on `Net.Ready` (each [`crate::poll::NetPoller`]
+    /// installs keyed on its own id).
+    pub ready_poller_key: KeyFn<ReadyBatch>,
 }
 
 /// Edges of the Figure 5 graph, recorded as extensions install handlers.
@@ -213,13 +221,16 @@ impl Topology {
 }
 
 /// Network statistics for one stack.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     pub frames_in: u64,
     pub frames_out: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
     pub parse_errors: u64,
+    /// Transmit retries scheduled by [`NetStack::transmit_with_retry`] —
+    /// the single authoritative retry count (obs mirrors it).
+    pub retries: u64,
 }
 
 /// Lock-free counters backing [`NetStats`]: updated per frame on the
@@ -231,6 +242,7 @@ struct AtomicNetStats {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     parse_errors: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl AtomicNetStats {
@@ -241,9 +253,17 @@ impl AtomicNetStats {
             bytes_in: self.bytes_in.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             bytes_out: self.bytes_out.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             parse_errors: self.parse_errors.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+            retries: self.retries.load(Ordering::Relaxed), // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         }
     }
 }
+
+/// Retry backoff floor for [`NetStack::transmit_with_retry`].
+pub const RETRY_BASE: Nanos = 1_000_000;
+/// Retry backoff ceiling.
+pub const RETRY_CAP: Nanos = 8_000_000;
+/// Retry budget per packet.
+pub const RETRY_MAX: u32 = 4;
 
 /// Pingers parked on (ident, seq), woken by the matching echo reply.
 type PingWaiters = HashMap<(u16, u16), Arc<KChannel<Nanos>>>;
@@ -267,6 +287,13 @@ struct NetInner {
     /// by the dispatcher when transmitting from a handler).
     faults: Arc<spin_core::hooks::HookSlot<spin_fault::FaultHook>>,
     proto_thread: StrandId,
+    /// The readiness scoreboard, flushed by the protocol thread after
+    /// each inbound burst.
+    ready_hub: Arc<ReadyHub>,
+    /// Poller id allocator (`Net.Ready` demux keys).
+    next_poller: AtomicU64,
+    /// Per-poller `time_bound` grants (see the `Net.Ready` authorizer).
+    poller_bounds: Arc<Mutex<HashMap<String, Nanos>>>,
 }
 
 /// One host's protocol stack.
@@ -289,6 +316,10 @@ impl NetStack {
         atm_ip: IpAddr,
         t3_ip: IpAddr,
     ) -> NetStack {
+        // Per-poller `time_bound` grants, consulted by the `Net.Ready`
+        // install authorizer (keyed by the poller's installer label).
+        let poller_bounds: Arc<Mutex<HashMap<String, Nanos>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let events = NetEvents {
             ether_arrived: Self::define_link(dispatcher, "Ether.PktArrived"),
             atm_arrived: Self::define_link(dispatcher, "ATM.PktArrived"),
@@ -338,6 +369,25 @@ impl NetStack {
             ip_proto_key: KeyFn::new(|p: &IpPacket| u64::from(p.header.protocol)),
             udp_port_key: KeyFn::new(|p: &UdpPacket| u64::from(p.header.dst_port)),
             tcp_port_key: KeyFn::new(|s: &TcpSegment| u64::from(s.header.dst_port)),
+            net_ready: {
+                let (ev, owner) =
+                    dispatcher.define::<ReadyBatch, ()>("Net.Ready", Identity::kernel("Net"));
+                owner.set_primary(|_| ()).expect("fresh event");
+                // Pollers registered with a `time_bound` get it applied to
+                // their delivery handler (the PR-3 abort machinery).
+                let bounds = poller_bounds.clone();
+                owner
+                    .set_auth(move |req| InstallDecision::Allow {
+                        owner_guard: None,
+                        constraints: Some(Constraints {
+                            mode: HandlerMode::Synchronous,
+                            time_bound: bounds.lock().get(req.installer.name()).copied(),
+                        }),
+                    })
+                    .expect("fresh event");
+                ev
+            },
+            ready_poller_key: KeyFn::new(|b: &ReadyBatch| b.poller),
         };
 
         let mut my_ips = HashMap::new();
@@ -360,6 +410,8 @@ impl NetStack {
         let obs: Arc<spin_core::hooks::HookSlot<ObsHook>> =
             Arc::new(spin_core::hooks::HookSlot::new());
         let obs2 = Arc::clone(&obs);
+        let ready_hub = Arc::new(ReadyHub::new());
+        let hub2 = ready_hub.clone();
         let proto_thread =
             exec.spawn_on(host.id, &format!("netin-{}", host.id.0), 12, move |ctx| {
                 loop {
@@ -405,7 +457,13 @@ impl NetStack {
                             let _ = ev.raise_batch(burst);
                         }
                     }
-                    if !any {
+                    if any {
+                        // Aggregate everything the burst made ready into
+                        // one `Net.Ready` raise per poller. An idle hub
+                        // (no pollers, or nothing newly ready) raises
+                        // nothing and charges nothing.
+                        hub2.flush(&ev2.net_ready);
+                    } else {
                         ctx.block();
                     }
                 }
@@ -430,6 +488,9 @@ impl NetStack {
             obs,
             faults: Arc::new(spin_core::hooks::HookSlot::new()),
             proto_thread,
+            ready_hub,
+            next_poller: AtomicU64::new(1),
+            poller_bounds,
         });
         let stack = NetStack { inner };
         stack.build_default_graph();
@@ -631,7 +692,14 @@ impl NetStack {
 
     /// Sends a transport segment to `dst`, running the `SendPacket`
     /// extension point first.
-    pub fn send_ip(&self, dst: IpAddr, protocol: u8, segment: Bytes) -> Result<(), NetError> {
+    // charged: one `SendPacket` raise plus the transmit path's NIC charges.
+    pub fn send_ip(
+        &self,
+        dst: IpAddr,
+        protocol: u8,
+        segment: impl Into<BufChain>,
+    ) -> Result<(), NetError> {
+        let segment = segment.into();
         let verdict = self
             .inner
             .events
@@ -648,9 +716,126 @@ impl NetStack {
         self.transmit(dst, protocol, segment)
     }
 
+    /// Sends a burst of transport segments: one batched `SendPacket`
+    /// raise (one plan snapshot for the whole burst, per-item charges
+    /// unchanged), then one per-NIC wire handoff for the surviving
+    /// frames. Per-frame fault draws, routing and stats are exactly those
+    /// of sequential [`NetStack::send_ip`] calls; returns the first error.
+    // charged: one batched `SendPacket` raise (per-item charges identical
+    // to lone raises) plus per-frame NIC charges via `send_burst`.
+    pub fn send_ip_burst(&self, items: Vec<(IpAddr, u8, BufChain)>) -> Result<(), NetError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let reqs: Vec<SendRequest> = items
+            .iter()
+            .map(|(dst, protocol, payload)| SendRequest {
+                dst: *dst,
+                protocol: *protocol,
+                payload: payload.clone(),
+            })
+            .collect();
+        let verdicts = self.inner.events.send_packet.raise_batch(reqs);
+        let mut per_nic: Vec<(Medium, Vec<(WireEndpoint, Bytes)>)> = Vec::new();
+        let mut first_err = None;
+        for ((dst, protocol, chain), verdict) in items.into_iter().zip(verdicts) {
+            if verdict.unwrap_or(SendVerdict::Transmit) == SendVerdict::Suppressed {
+                continue;
+            }
+            match self.prepare_frame(dst, protocol, chain) {
+                Ok((medium, endpoint, frame)) => match per_nic.last_mut() {
+                    Some((m, batch)) if *m == medium => batch.push((endpoint, frame)),
+                    _ => per_nic.push((medium, vec![(endpoint, frame)])),
+                },
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        for (medium, batch) in per_nic {
+            if let Err(e) = self.nic_for(medium).send_burst(batch) {
+                first_err = first_err.or(Some(NetError::TooLarge(format!("{e:?}"))));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Transmits without consulting `SendPacket` (used by handlers that
     /// have already claimed the packet, e.g. multicast fan-out).
-    pub fn transmit(&self, dst: IpAddr, protocol: u8, segment: Bytes) -> Result<(), NetError> {
+    // charged: header assembly is uncharged chain surgery; the NIC charges
+    // driver/PIO/DMA costs on handoff.
+    pub fn transmit(
+        &self,
+        dst: IpAddr,
+        protocol: u8,
+        segment: impl Into<BufChain>,
+    ) -> Result<(), NetError> {
+        let (medium, endpoint, frame) = self.prepare_frame(dst, protocol, segment.into())?;
+        self.nic_for(medium)
+            .send(endpoint, frame)
+            .map_err(|e| NetError::TooLarge(format!("{e:?}")))
+    }
+
+    /// Transmits, retrying on failure with capped exponential backoff on
+    /// the virtual timers. Retries are counted in **one** place — the
+    /// stack's [`NetStats::retries`] and, when observability is wired,
+    /// the net domain's `retries` counter. The caller (typically a packet
+    /// handler) is never blocked: retries run from timer callbacks, so
+    /// runs stay deterministic.
+    // charged: each attempt pays the full transmit charge; retries fire
+    // from virtual timers so the caller pays nothing extra.
+    pub fn transmit_with_retry(&self, dst: IpAddr, protocol: u8, segment: impl Into<BufChain>) {
+        let segment = segment.into();
+        if self.transmit(dst, protocol, segment.clone()).is_ok() {
+            return;
+        }
+        self.schedule_retry(dst, protocol, segment, 1, RETRY_BASE);
+    }
+
+    // charged: each retry pays the full transmit charge at its timer
+    // instant; the bookkeeping itself is a counter write.
+    fn schedule_retry(
+        &self,
+        dst: IpAddr,
+        protocol: u8,
+        segment: BufChain,
+        attempt: u32,
+        delay: Nanos,
+    ) {
+        if attempt > RETRY_MAX {
+            return; // budget exhausted: drop, as a datagram service may
+        }
+        self.inner.stats.retries.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        if let Some(obs) = self.inner.obs.get() {
+            obs.counters.retries.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        }
+        let at = self.inner.exec.clock().now() + delay;
+        let me = self.clone();
+        self.inner.exec.timers().schedule_at(at, move |_| {
+            if me.transmit(dst, protocol, segment.clone()).is_err() {
+                me.schedule_retry(
+                    dst,
+                    protocol,
+                    segment,
+                    attempt + 1,
+                    (delay * 2).min(RETRY_CAP),
+                );
+            }
+        });
+    }
+
+    /// Per-frame transmit bookkeeping: fault draw, route resolution,
+    /// header-chain assembly and stats. The returned frame is the
+    /// flattened chain — the single device-boundary copy.
+    // charged: the flatten is the device-boundary copy; the NIC charges
+    // driver/PIO/DMA costs when the frame is handed over.
+    fn prepare_frame(
+        &self,
+        dst: IpAddr,
+        protocol: u8,
+        segment: BufChain,
+    ) -> Result<(Medium, WireEndpoint, Bytes), NetError> {
         if let Some(h) = self.inner.faults.get() {
             match h.draw() {
                 Some(spin_fault::Injection::Panic) => h.fire_panic(),
@@ -665,17 +850,26 @@ impl NetStack {
             .resolve(dst)
             .ok_or(NetError::NoRoute { dst })?;
         let src = self.inner.my_ips[&medium];
-        let ip_bytes = Ipv4Header::encode(src, dst, protocol, 64, &segment);
-        let nic = self.nic_for(medium);
-        let frame = match medium {
-            Medium::Ethernet => EtherHeader {
-                src: nic.addr().0,
-                dst: endpoint.0,
-                ethertype: ETHERTYPE_IPV4,
-            }
-            .encode(&ip_bytes),
-            Medium::Atm | Medium::T3 => ip_bytes,
-        };
+        let mut chain = segment;
+        chain.prepend(Ipv4Header::encode_header(
+            src,
+            dst,
+            protocol,
+            64,
+            chain.len(),
+        ));
+        if medium == Medium::Ethernet {
+            let nic = self.nic_for(medium);
+            chain.prepend(
+                EtherHeader {
+                    src: nic.addr().0,
+                    dst: endpoint.0,
+                    ethertype: ETHERTYPE_IPV4,
+                }
+                .encode_header(),
+            );
+        }
+        let frame = chain.to_bytes();
         let stats = &self.inner.stats;
         stats.frames_out.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         stats
@@ -688,8 +882,7 @@ impl NetStack {
                 .fetch_add(frame.len() as u64, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
             obs.trace(TraceKind::PacketTx, frame.len() as u64, medium as u64);
         }
-        nic.send(endpoint, frame)
-            .map_err(|e| NetError::TooLarge(format!("{e:?}")))
+        Ok((medium, endpoint, frame))
     }
 
     fn nic_for(&self, medium: Medium) -> &Nic {
@@ -712,40 +905,26 @@ impl NetStack {
         self.send_ip(dst, proto::UDP, datagram)
     }
 
-    /// Binds a handler to a UDP port (a guarded handler on
-    /// `UDP.PktArrived`, per the paper's idiom).
-    // uncharged: socket setup is control-plane; the packet path charges per hop.
-    pub fn udp_bind(
-        &self,
-        port: u16,
-        label: &str,
-        handler: impl Fn(&UdpPacket) + Send + Sync + 'static,
-    ) -> Result<spin_core::HandlerId, spin_core::DispatchError> {
-        self.inner.topology.note("UDP.PktArrived", label);
-        // Keyed on the shared port key: N bound ports cost one lookup per
-        // datagram, not N guard evaluations.
-        self.inner.events.udp_arrived.install_keyed(
-            Identity::extension(label),
-            &self.inner.events.udp_port_key,
-            u64::from(port),
-            move |p: &UdpPacket| handler(p),
-        )
+    /// The stack-wide readiness scoreboard (see [`crate::poll`]).
+    // uncharged: accessor.
+    pub fn ready_hub(&self) -> &Arc<ReadyHub> {
+        &self.inner.ready_hub
     }
 
-    /// Binds a UDP port to a channel for blocking receives.
-    // uncharged: socket setup is control-plane; the packet path charges per hop.
-    pub fn udp_channel(
-        &self,
-        port: u16,
-        label: &str,
-        depth: usize,
-    ) -> Result<Arc<KChannel<UdpPacket>>, spin_core::DispatchError> {
-        let ch = KChannel::new(self.inner.exec.clone(), depth);
-        let ch2 = ch.clone();
-        self.udp_bind(port, label, move |p| {
-            ch2.try_push(p.clone());
-        })?;
-        Ok(ch)
+    /// Allocates a fresh poller id (`Net.Ready` demux key).
+    // uncharged: control-plane id allocation.
+    pub fn alloc_poller_id(&self) -> u64 {
+        self.inner.next_poller.fetch_add(1, Ordering::Relaxed) // ordering: Relaxed — allocates a unique id; the poller carrying it is published separately.
+    }
+
+    /// Grants a `time_bound` to the named poller's `Net.Ready` handler;
+    /// the event's authorizer consults this table at install time.
+    // uncharged: control-plane policy registration.
+    pub fn set_poller_bound(&self, label: &str, bound: Nanos) {
+        self.inner
+            .poller_bounds
+            .lock()
+            .insert(label.to_string(), bound);
     }
 
     /// Pings `dst` with `payload_len` bytes; returns the round-trip time.
@@ -793,6 +972,7 @@ pub enum NetError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::socket::UdpSocket;
     use crate::testrig::TwoHosts;
 
     #[test]
@@ -800,11 +980,10 @@ mod tests {
         let rig = TwoHosts::new();
         let got = Arc::new(Mutex::new(Vec::new()));
         let g2 = got.clone();
-        rig.b
-            .udp_bind(7777, "sink", move |p| {
-                g2.lock().push((p.header.src_port, p.payload.to_vec()));
-            })
-            .unwrap();
+        let _sock = UdpSocket::bind_with(&rig.b, 7777, "sink", move |p| {
+            g2.lock().push((p.header.src_port, p.payload.to_vec()));
+        })
+        .unwrap();
         let a = rig.a.clone();
         let dst = rig.b.ip_on(Medium::Ethernet);
         rig.exec.spawn("sender", move |_| {
@@ -821,9 +1000,9 @@ mod tests {
         let rig = TwoHosts::new();
         let hits = Arc::new(Mutex::new((0u32, 0u32)));
         let h1 = hits.clone();
-        rig.b.udp_bind(1, "one", move |_| h1.lock().0 += 1).unwrap();
+        let _s1 = UdpSocket::bind_with(&rig.b, 1, "one", move |_| h1.lock().0 += 1).unwrap();
         let h2 = hits.clone();
-        rig.b.udp_bind(2, "two", move |_| h2.lock().1 += 1).unwrap();
+        let _s2 = UdpSocket::bind_with(&rig.b, 2, "two", move |_| h2.lock().1 += 1).unwrap();
         let a = rig.a.clone();
         let dst = rig.b.ip_on(Medium::Ethernet);
         rig.exec.spawn("sender", move |_| {
@@ -860,14 +1039,15 @@ mod tests {
         let rig = TwoHosts::new();
         let seen = Arc::new(Mutex::new(0u32));
         let s2 = seen.clone();
-        rig.b.udp_bind(5, "sink", move |_| *s2.lock() += 1).unwrap();
+        let _sock = UdpSocket::bind_with(&rig.b, 5, "sink", move |_| *s2.lock() += 1).unwrap();
         // A firewall extension suppressing everything to port 5.
         rig.a
             .events()
             .send_packet
             .install(Identity::extension("firewall"), move |req: &SendRequest| {
                 if req.protocol == proto::UDP {
-                    if let Some((h, _)) = UdpHeader::decode(&req.payload) {
+                    let bytes = req.payload.to_bytes();
+                    if let Some((h, _)) = UdpHeader::decode(&bytes) {
                         if h.dst_port == 5 {
                             return SendVerdict::Suppressed;
                         }

@@ -19,14 +19,15 @@
 //! caller's strand.
 
 use crate::pkt::{proto, IpAddr, TcpFlags, TcpHeader};
+use crate::poll::{interest, Pollable, Registration};
 use crate::stack::{NetStack, TcpSegment};
 use bytes::Bytes;
-use spin_check::sync::Mutex;
-use spin_check::sync::{AtomicU16, AtomicU32, Ordering};
+use spin_check::sync::{AtomicU32, Ordering};
+use spin_check::sync::{Mutex, RwLock};
 use spin_core::Identity;
-use spin_sal::Nanos;
+use spin_sal::{BufChain, Nanos};
 use spin_sched::{Executor, KChannel, StrandCtx, StrandId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Maximum segment size (fits the Ethernet MTU under IP + TCP headers).
@@ -40,6 +41,16 @@ const RTO: Nanos = 150_000_000;
 
 /// SYN retry limit before `connect` fails.
 const SYN_RETRIES: u32 = 4;
+
+/// Connection-table shards: webscale churn means install/teardown from
+/// every worker, so the table is striped rather than a single mutex.
+const CONN_SHARDS: usize = 16;
+
+/// Ephemeral port range base (ports wrap within `30_000..58_000`; a port
+/// is only recycled after ~28k intervening connects, long after the
+/// earlier connection was reaped).
+const EPHEMERAL_BASE: u16 = 30_000;
+const EPHEMERAL_SPAN: u32 = 28_000;
 
 /// TCP errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,11 +78,22 @@ pub enum TcpState {
     Closed,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct ConnKey {
     local_port: u16,
     peer: IpAddr,
     peer_port: u16,
+}
+
+/// Deterministic shard assignment (splitmix64 finalizer over the key).
+fn shard_of(key: &ConnKey) -> usize {
+    let mut x = (u64::from(key.local_port) << 48)
+        ^ (u64::from(key.peer_port) << 32)
+        ^ u64::from(key.peer.0);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((x ^ (x >> 31)) % CONN_SHARDS as u64) as usize
 }
 
 struct SendEntry {
@@ -111,6 +133,9 @@ pub struct TcpConn {
     established: Arc<KChannel<bool>>,
     /// Signaled when the close handshake fully completes.
     closed: Arc<KChannel<()>>,
+    /// Poller registration: data arrival notes `READABLE`, end-of-stream
+    /// notes `CLOSED` (see [`crate::poll`]).
+    reg: Mutex<Option<Registration>>,
 }
 
 impl TcpConn {
@@ -127,6 +152,16 @@ impl TcpConn {
     /// The peer address and port.
     pub fn peer(&self) -> (IpAddr, u16) {
         (self.key.peer, self.key.peer_port)
+    }
+
+    /// The local (bound) port.
+    pub fn local_port(&self) -> u16 {
+        self.key.local_port
+    }
+
+    /// Received chunks buffered and not yet read (diagnostics).
+    pub fn incoming_len(&self) -> usize {
+        self.incoming.len()
     }
 
     fn send_segment(&self, flags: TcpFlags, seq: u32, payload: &[u8]) {
@@ -187,8 +222,17 @@ impl TcpConn {
         self.arm_rto(&mut st);
     }
 
-    /// Sends `data`, blocking for window space as needed.
+    /// Sends `data`, blocking for window space as needed (copies once
+    /// into a [`Bytes`]; use [`TcpConn::send_buf`] to avoid that copy).
     pub fn send(self: &Arc<Self>, ctx: &StrandCtx, data: &[u8]) -> Result<(), TcpError> {
+        self.send_buf(ctx, Bytes::copy_from_slice(data))
+    }
+
+    /// Sends `data` zero-copy: segments are cheap `Bytes` slices of the
+    /// buffer, prepended with headers as [`BufChain`]s, and each window's
+    /// worth goes to the stack as one burst (`send_ip_burst`), amortizing
+    /// the `SendPacket` raise across the window.
+    pub fn send_buf(self: &Arc<Self>, ctx: &StrandCtx, data: Bytes) -> Result<(), TcpError> {
         let mut offset = 0;
         while offset < data.len() {
             // Wait for window space.
@@ -205,33 +249,43 @@ impl TcpConn {
                 drop(st);
                 ctx.block();
             }
-            let (seq, chunk) = {
+            // Slice as many segments as the window permits in one burst.
+            let batch = {
                 let mut st = self.state.lock();
-                let window = Self::usable_window(&st) as usize;
-                let n = (data.len() - offset).min(MSS).min(window.max(1));
-                let chunk = Bytes::copy_from_slice(&data[offset..offset + n]);
-                let seq = st.snd_nxt;
-                st.snd_nxt = st.snd_nxt.wrapping_add(n as u32);
-                st.retransmit.push_back(SendEntry {
-                    seq,
-                    data: chunk.clone(),
-                    fin: false,
-                });
-                (seq, chunk)
+                let mut window = Self::usable_window(&st) as usize;
+                let mut batch: Vec<(IpAddr, u8, BufChain)> = Vec::new();
+                while offset < data.len() && window > 0 {
+                    let n = (data.len() - offset).min(MSS).min(window);
+                    let chunk = data.slice(offset..offset + n);
+                    let seq = st.snd_nxt;
+                    st.snd_nxt = st.snd_nxt.wrapping_add(n as u32);
+                    st.retransmit.push_back(SendEntry {
+                        seq,
+                        data: chunk.clone(),
+                        fin: false,
+                    });
+                    let header = TcpHeader {
+                        src_port: self.key.local_port,
+                        dst_port: self.key.peer_port,
+                        seq,
+                        ack: st.rcv_nxt,
+                        flags: TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
+                        window: RECV_WINDOW,
+                    };
+                    batch.push((self.key.peer, proto::TCP, header.encode_chain(chunk)));
+                    offset += n;
+                    window -= n;
+                }
+                batch
             };
-            self.send_segment(
-                TcpFlags {
-                    ack: true,
-                    ..Default::default()
-                },
-                seq,
-                &chunk,
-            );
+            let _ = self.stack.send_ip_burst(batch);
             {
                 let mut st = self.state.lock();
                 self.arm_rto(&mut st);
             }
-            offset += chunk.len();
         }
         Ok(())
     }
@@ -253,6 +307,12 @@ impl TcpConn {
         self.incoming.recv(ctx)
     }
 
+    /// Takes a queued in-order chunk without blocking (the poller-driven
+    /// read path: drain after a `READABLE` readiness event).
+    pub fn try_recv(&self) -> Option<Bytes> {
+        self.incoming.try_recv()
+    }
+
     /// Receives exactly `n` bytes (concatenating chunks).
     pub fn recv_exact(&self, ctx: &StrandCtx, n: usize) -> Result<Vec<u8>, TcpError> {
         let mut out = Vec::with_capacity(n);
@@ -265,14 +325,17 @@ impl TcpConn {
         Ok(out)
     }
 
-    /// Closes the send side and waits for the close handshake.
-    pub fn close(self: &Arc<Self>, ctx: &StrandCtx) {
+    /// Fires the FIN without waiting for the close handshake — the
+    /// poller-driven close: the caller (a server strand multiplexing many
+    /// connections) must not block per connection. Returns whether a FIN
+    /// was actually sent.
+    pub fn begin_close(self: &Arc<Self>) -> bool {
         let fin_seq = {
             let mut st = self.state.lock();
             match st.state {
                 TcpState::Established => st.state = TcpState::FinWait1,
                 TcpState::CloseWait => st.state = TcpState::LastAck,
-                _ => return,
+                _ => return false,
             }
             let seq = st.snd_nxt;
             st.snd_nxt = st.snd_nxt.wrapping_add(1);
@@ -295,6 +358,14 @@ impl TcpConn {
         {
             let mut st = self.state.lock();
             self.arm_rto(&mut st);
+        }
+        true
+    }
+
+    /// Closes the send side and waits for the close handshake.
+    pub fn close(self: &Arc<Self>, ctx: &StrandCtx) {
+        if !self.begin_close() {
+            return;
         }
         // Wait until fully closed (bounded by the channel close).
         let _ = self.closed.recv(ctx);
@@ -417,6 +488,10 @@ impl TcpConn {
                 }
             }
         }
+        let mut note_mask = 0u8;
+        if !deliver.is_empty() {
+            note_mask |= interest::READABLE;
+        }
         for b in deliver {
             self.incoming.try_push(b);
         }
@@ -424,6 +499,14 @@ impl TcpConn {
             // No more data will arrive: wake any blocked receiver. Queued
             // chunks are still drained before `recv` reports end-of-stream.
             self.incoming.close();
+        }
+        if fin_arrived || now_closed {
+            note_mask |= interest::CLOSED;
+        }
+        if note_mask != 0 {
+            if let Some(r) = self.reg.lock().as_ref() {
+                r.note(note_mask);
+            }
         }
         if send_ack {
             let seq = self.state.lock().snd_nxt;
@@ -449,31 +532,78 @@ impl TcpConn {
     }
 }
 
-/// A passive listener.
-pub struct TcpListener {
-    accept_ch: Arc<KChannel<Arc<TcpConn>>>,
-    pub port: u16,
-}
-
-impl TcpListener {
-    /// Accepts the next established connection.
-    pub fn accept(&self, ctx: &StrandCtx) -> Option<Arc<TcpConn>> {
-        self.accept_ch.recv(ctx)
+impl Pollable for TcpConn {
+    fn register(&self, r: Registration) -> u8 {
+        let mut level = 0;
+        if !self.incoming.is_empty() {
+            level |= interest::READABLE;
+        }
+        {
+            let st = self.state.lock();
+            if st.fin_received || st.state == TcpState::Closed {
+                level |= interest::CLOSED;
+            }
+        }
+        *self.reg.lock() = Some(r);
+        level
     }
 }
 
-struct TcpStackState {
-    conns: HashMap<ConnKey, Arc<TcpConn>>,
-    listeners: HashMap<u16, Arc<KChannel<Arc<TcpConn>>>>,
+/// A passive listener: pollable (readiness `ACCEPT`), with a bounded
+/// backlog of established-but-unaccepted connections.
+pub struct TcpListenerSocket {
+    accept_ch: Arc<KChannel<Arc<TcpConn>>>,
+    pub port: u16,
+    reg: Mutex<Option<Registration>>,
 }
+
+impl TcpListenerSocket {
+    /// Accepts the next established connection, blocking.
+    pub fn accept(&self, ctx: &StrandCtx) -> Option<Arc<TcpConn>> {
+        self.accept_ch.recv(ctx)
+    }
+
+    /// Accepts without blocking (the poller-driven path: drain after an
+    /// `ACCEPT` readiness event).
+    pub fn try_accept(&self) -> Option<Arc<TcpConn>> {
+        self.accept_ch.try_recv()
+    }
+
+    /// Connections currently queued for accept.
+    pub fn backlog(&self) -> usize {
+        self.accept_ch.len()
+    }
+}
+
+impl Pollable for TcpListenerSocket {
+    fn register(&self, r: Registration) -> u8 {
+        let level = if self.accept_ch.is_empty() {
+            0
+        } else {
+            interest::ACCEPT
+        };
+        *self.reg.lock() = Some(r);
+        level
+    }
+}
+
+/// The listener snapshot: read-mostly (every SYN resolves a port),
+/// rebuilt-and-swapped on `listen`.
+type ListenerMap = BTreeMap<u16, Arc<TcpListenerSocket>>;
+
+/// One stripe of the connection table (see [`shard_of`]).
+type ConnShard = Mutex<BTreeMap<ConnKey, Arc<TcpConn>>>;
 
 /// The per-host TCP extension.
 #[derive(Clone)]
 pub struct TcpStack {
     stack: NetStack,
     exec: Arc<Executor>,
-    state: Arc<Mutex<TcpStackState>>,
-    next_port: Arc<AtomicU16>,
+    /// Connection table, striped by [`shard_of`]: webscale install and
+    /// teardown never contend on a single stack-wide lock.
+    conns: Arc<Vec<ConnShard>>,
+    listeners: Arc<RwLock<Arc<ListenerMap>>>,
+    next_port: Arc<AtomicU32>,
     isn: Arc<AtomicU32>,
 }
 
@@ -484,11 +614,13 @@ impl TcpStack {
         let tcp = TcpStack {
             stack: stack.clone(),
             exec: stack.executor().clone(),
-            state: Arc::new(Mutex::new(TcpStackState {
-                conns: HashMap::new(),
-                listeners: HashMap::new(),
-            })),
-            next_port: Arc::new(AtomicU16::new(30_000)),
+            conns: Arc::new(
+                (0..CONN_SHARDS)
+                    .map(|_| Mutex::new(BTreeMap::new()))
+                    .collect(),
+            ),
+            listeners: Arc::new(RwLock::new(Arc::new(BTreeMap::new()))),
+            next_port: Arc::new(AtomicU32::new(0)),
             isn: Arc::new(AtomicU32::new(1_000)),
         };
         let tcp2 = tcp.clone();
@@ -526,17 +658,32 @@ impl TcpStack {
             incoming: KChannel::new(self.exec.clone(), 1024),
             established: KChannel::new(self.exec.clone(), 1),
             closed: KChannel::new(self.exec.clone(), 1),
+            reg: Mutex::new(None),
         })
     }
 
-    /// Starts listening on `port`.
-    pub fn listen(&self, port: u16) -> Arc<TcpListener> {
-        let ch = KChannel::new(self.exec.clone(), 64);
-        self.state.lock().listeners.insert(port, ch.clone());
-        Arc::new(TcpListener {
-            accept_ch: ch,
+    /// Starts listening on `port` with the default backlog (64).
+    pub fn listen(&self, port: u16) -> Arc<TcpListenerSocket> {
+        self.listen_backlog(port, 64)
+    }
+
+    /// Starts listening on `port` with an explicit backlog depth. A SYN
+    /// arriving with the backlog full is dropped (the client's SYN retry
+    /// recovers), so storm-scale servers size this to their drain rate.
+    pub fn listen_backlog(&self, port: u16, depth: usize) -> Arc<TcpListenerSocket> {
+        let listener = Arc::new(TcpListenerSocket {
+            accept_ch: KChannel::new(self.exec.clone(), depth),
             port,
-        })
+            reg: Mutex::new(None),
+        });
+        // Rebuild-and-swap: SYN routing reads the snapshot lock-free of
+        // any listen in progress.
+        let mut lk = self.listeners.write();
+        let mut map = (**lk).clone();
+        map.insert(port, listener.clone());
+        *lk = Arc::new(map);
+        drop(lk);
+        listener
     }
 
     /// Opens a connection to `dst:port`, blocking through the handshake.
@@ -546,7 +693,8 @@ impl TcpStack {
         dst: IpAddr,
         port: u16,
     ) -> Result<Arc<TcpConn>, TcpError> {
-        let local_port = self.next_port.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
+        let n = self.next_port.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
+        let local_port = EPHEMERAL_BASE + (n % EPHEMERAL_SPAN) as u16;
         let isn = self.isn.fetch_add(64_000, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
         let key = ConnKey {
             local_port,
@@ -554,7 +702,7 @@ impl TcpStack {
             peer_port: port,
         };
         let conn = self.new_conn(key, TcpState::SynSent, isn.wrapping_add(1), 0);
-        self.state.lock().conns.insert(key, conn.clone());
+        self.conns[shard_of(&key)].lock().insert(key, conn.clone());
 
         for _attempt in 0..SYN_RETRIES {
             // Register for the establishment/RST wakeup before the SYN can
@@ -582,13 +730,13 @@ impl TcpStack {
             match conn.state() {
                 TcpState::Established => return Ok(conn),
                 TcpState::Closed => {
-                    self.state.lock().conns.remove(&key);
+                    self.conns[shard_of(&key)].lock().remove(&key);
                     return Err(TcpError::Refused);
                 }
                 _ => {}
             }
         }
-        self.state.lock().conns.remove(&key);
+        self.conns[shard_of(&key)].lock().remove(&key);
         Err(TcpError::Timeout)
     }
 
@@ -598,18 +746,19 @@ impl TcpStack {
             peer: seg.ip.src,
             peer_port: seg.header.src_port,
         };
-        let existing = self.state.lock().conns.get(&key).cloned();
+        let shard = shard_of(&key);
+        let existing = self.conns[shard].lock().get(&key).cloned();
         if let Some(conn) = existing {
             conn.on_segment(seg);
             // Reap fully closed connections.
             if conn.state() == TcpState::Closed {
-                self.state.lock().conns.remove(&key);
+                self.conns[shard].lock().remove(&key);
             }
             return;
         }
         if seg.header.flags.syn && !seg.header.flags.ack {
-            let listener = self.state.lock().listeners.get(&key.local_port).cloned();
-            if let Some(accept_ch) = listener {
+            let listener = self.listeners.read().get(&key.local_port).cloned();
+            if let Some(listener) = listener {
                 // Passive open: SYN-RECEIVED, send SYN-ACK.
                 let isn = self.isn.fetch_add(64_000, Ordering::Relaxed); // ordering: Relaxed — allocates a unique id; the handle carrying it is published separately.
                 let conn = self.new_conn(
@@ -618,7 +767,7 @@ impl TcpStack {
                     isn.wrapping_add(1),
                     seg.header.seq.wrapping_add(1),
                 );
-                self.state.lock().conns.insert(key, conn.clone());
+                self.conns[shard].lock().insert(key, conn.clone());
                 conn.send_segment(
                     TcpFlags {
                         syn: true,
@@ -628,7 +777,10 @@ impl TcpStack {
                     isn,
                     &[],
                 );
-                accept_ch.try_push(conn);
+                listener.accept_ch.try_push(conn);
+                if let Some(r) = listener.reg.lock().as_ref() {
+                    r.note(interest::ACCEPT);
+                }
                 return;
             }
         }
@@ -653,7 +805,7 @@ impl TcpStack {
 
     /// Open connections (diagnostics).
     pub fn connection_count(&self) -> usize {
-        self.state.lock().conns.len()
+        self.conns.iter().map(|s| s.lock().len()).sum()
     }
 }
 

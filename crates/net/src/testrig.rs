@@ -256,19 +256,19 @@ mod tests {
         let run = |workers: usize| -> (Vec<Nanos>, Nanos, u64) {
             let rig = ShardedPair::new(workers);
             let echo = rig.b.clone();
-            rig.b
-                .udp_bind(7, "echo", move |p| {
-                    let src = p.ip.src;
-                    let port = p.header.src_port;
-                    echo.udp_send(7, src, port, &p.payload).unwrap();
-                })
-                .unwrap();
+            let _echo_sock = crate::socket::UdpSocket::bind_with(&rig.b, 7, "echo", move |p| {
+                let src = p.ip.src;
+                let port = p.header.src_port;
+                echo.udp_send(7, src, port, &p.payload).unwrap();
+            })
+            .unwrap();
             let arrivals: Arc<Mutex<Vec<Nanos>>> = Arc::new(Mutex::new(Vec::new()));
             let arr = arrivals.clone();
             let clock_a = rig.host_a.clock.clone();
-            rig.a
-                .udp_bind(9, "pong-sink", move |_| arr.lock().push(clock_a.now()))
-                .unwrap();
+            let _sink = crate::socket::UdpSocket::bind_with(&rig.a, 9, "pong-sink", move |_| {
+                arr.lock().push(clock_a.now())
+            })
+            .unwrap();
             let a = rig.a.clone();
             let dst = rig.b_ip(Medium::Ethernet);
             rig.exec_a.spawn("pinger", move |ctx| {

@@ -159,17 +159,16 @@ impl VideoClient {
         let st2 = stats.clone();
         let clock = stack.executor().clock().clone();
         let profile = stack.executor().profile().clone();
-        stack
-            .udp_bind(VIDEO_PORT, "Video", move |p| {
-                // Decompress...
-                clock.advance(p.payload.len() as u64 * DECOMPRESS_NS_PER_BYTE_X100 / 100);
-                // ...and write to the frame buffer.
-                clock.advance(profile.copy(p.payload.len()));
-                let mut s = st2.lock();
-                s.packets += 1;
-                s.bytes += p.payload.len() as u64;
-            })
-            .expect("bind video port");
+        crate::socket::UdpSocket::bind_with(stack, VIDEO_PORT, "Video", move |p| {
+            // Decompress...
+            clock.advance(p.payload.len() as u64 * DECOMPRESS_NS_PER_BYTE_X100 / 100);
+            // ...and write to the frame buffer.
+            clock.advance(profile.copy(p.payload.len()));
+            let mut s = st2.lock();
+            s.packets += 1;
+            s.bytes += p.payload.len() as u64;
+        })
+        .expect("bind video port");
         Arc::new(VideoClient { stats })
     }
 

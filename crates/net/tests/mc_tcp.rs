@@ -1,0 +1,132 @@
+//! TCP and HTTP over the sharded multicore rig.
+//!
+//! `mc_http_server` is a regression test for the `plan_epoch` grant bug:
+//! a shard whose peer's only local horizon was a distant retransmission
+//! timer could be granted far past the peer's *reaction* to this shard's
+//! own outbound mail, so the reply (here, the client's request segment)
+//! arrived tens of milliseconds stale — after the server's idle reaper
+//! had already closed the session. The grant is now capped at
+//! `n_i + 2·lookahead`.
+
+use spin_net::{interest, Medium, NetPoller, ShardedPair, TcpStack};
+use spin_sched::IdleOutcome;
+
+#[test]
+fn mc_tcp_blocking_accept() {
+    let rig = ShardedPair::new(1);
+    let ta = TcpStack::install(&rig.a);
+    let tb = TcpStack::install(&rig.b);
+    let listener = tb.listen(80);
+    rig.exec_b.spawn("server", move |ctx| {
+        let conn = listener.accept(ctx).unwrap();
+        let _ = conn.recv(ctx);
+        conn.send(ctx, b"pong").unwrap();
+        conn.close(ctx);
+    });
+    let dst = rig.b_ip(Medium::Ethernet);
+    rig.exec_a.spawn("client", move |ctx| {
+        let conn = ta.connect(ctx, dst, 80).unwrap();
+        conn.send(ctx, b"ping").unwrap();
+        assert_eq!(conn.recv(ctx).as_deref(), Some(&b"pong"[..]));
+        conn.close(ctx);
+    });
+    assert_eq!(rig.mc.run_until_idle(), IdleOutcome::AllComplete);
+}
+
+#[test]
+fn mc_tcp_poller_accept() {
+    let rig = ShardedPair::new(1);
+    let ta = TcpStack::install(&rig.a);
+    let tb = TcpStack::install(&rig.b);
+    let listener = tb.listen(80);
+    let poller = NetPoller::new(&rig.b);
+    poller.add(listener.as_ref(), 0, interest::ACCEPT);
+    let server = rig.exec_b.spawn("server", move |ctx| {
+        let mut conns = std::collections::BTreeMap::new();
+        let mut next = 1u64;
+        loop {
+            for (token, _mask) in poller.wait(ctx) {
+                if token == 0 {
+                    while let Some(conn) = listener.try_accept() {
+                        poller.add(conn.as_ref(), next, interest::READABLE);
+                        conns.insert(next, conn);
+                        next += 1;
+                    }
+                } else if let Some(conn) = conns.remove(&token) {
+                    let _ = conn.try_recv();
+                    conn.send(ctx, b"pong").unwrap();
+                    conn.close(ctx);
+                }
+            }
+        }
+    });
+    rig.exec_b.set_daemon(server);
+    let dst = rig.b_ip(Medium::Ethernet);
+    rig.exec_a.spawn("client", move |ctx| {
+        let conn = ta.connect(ctx, dst, 80).unwrap();
+        conn.send(ctx, b"ping").unwrap();
+        assert_eq!(conn.recv(ctx).as_deref(), Some(&b"pong"[..]));
+        conn.close(ctx);
+    });
+    assert_eq!(rig.mc.run_until_idle(), IdleOutcome::AllComplete);
+}
+
+#[test]
+fn mc_http_server() {
+    use spin_fs::{BufferCache, FileSystem, HybridBySize, NoCachePolicy, WebCache};
+    use spin_net::{Bytes, HttpConfig, HttpServer, Request, Response};
+    use std::sync::Arc;
+
+    let rig = ShardedPair::new(1);
+    let ta = TcpStack::install(&rig.a);
+    let tb = TcpStack::install(&rig.b);
+    let bc = BufferCache::new(
+        rig.host_b.disk.clone(),
+        rig.exec_b.clone(),
+        64,
+        Box::new(NoCachePolicy),
+    );
+    let fs = FileSystem::format(bc, 0, 500);
+    let cache = Arc::new(WebCache::new(
+        1 << 20,
+        Box::new(HybridBySize {
+            large_threshold: 65_536,
+        }),
+    ));
+    let server = HttpServer::start_with(
+        &rig.b,
+        &tb,
+        fs,
+        cache,
+        80,
+        HttpConfig {
+            backlog: 4096,
+            idle_timeout: 50_000_000,
+            tick: 10_000_000,
+            time_bound: None,
+            quota: None,
+        },
+    );
+    server.route("/r0", |_req: &Request| {
+        Response::ok(Bytes::from_static(b"hi"))
+    });
+    let dst = rig.b_ip(Medium::Atm);
+    rig.exec_a.spawn("client", move |ctx| {
+        ctx.sleep(250_000_000);
+        let conn = ta.connect(ctx, dst, 80).expect("connect");
+        let _ = conn.send(ctx, b"GET /r0 HTTP/1.0\r\n\r\n");
+        let mut resp = Vec::new();
+        while let Some(b) = conn.recv(ctx) {
+            resp.extend_from_slice(&b);
+        }
+        conn.close(ctx);
+        assert!(
+            std::str::from_utf8(&resp)
+                .unwrap_or("")
+                .starts_with("HTTP/1.0 200"),
+            "got: {resp:?}"
+        );
+    });
+    assert_eq!(rig.mc.run_until_idle(), IdleOutcome::AllComplete);
+    assert_eq!(server.stats().ok, 1);
+}

@@ -1,0 +1,126 @@
+//! Zero-copy buffer chains for the protocol graph.
+//!
+//! A [`BufChain`] is an ordered list of reference-counted [`Bytes`]
+//! segments. Protocol layers prepend headers (and append trailers) without
+//! copying the payload; the chain is flattened into one contiguous buffer
+//! exactly once, at the device boundary, where the NIC needs a single
+//! frame. This mirrors the mbuf/skbuff discipline real stacks use and is
+//! what makes the webscale send path one-copy instead of one-copy-per-layer.
+
+use bytes::{Bytes, BytesMut};
+
+/// An ordered chain of byte segments, cheap to clone and to extend at
+/// either end.
+#[derive(Debug, Clone, Default)]
+pub struct BufChain {
+    segs: Vec<Bytes>,
+    len: usize,
+}
+
+impl BufChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A chain holding one segment.
+    pub fn from_bytes(b: Bytes) -> Self {
+        let len = b.len();
+        BufChain { segs: vec![b], len }
+    }
+
+    /// Prepends a segment (a header) before the current contents.
+    pub fn prepend(&mut self, b: Bytes) {
+        self.len += b.len();
+        self.segs.insert(0, b);
+    }
+
+    /// Appends a segment (payload or trailer) after the current contents.
+    pub fn append(&mut self, b: Bytes) {
+        self.len += b.len();
+        self.segs.push(b);
+    }
+
+    /// Total byte length across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the chain holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying segments, in order.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segs
+    }
+
+    /// Flattens the chain into one contiguous buffer. A single-segment
+    /// chain is returned as-is (no copy); multi-segment chains pay exactly
+    /// one copy — the device-boundary copy.
+    pub fn to_bytes(&self) -> Bytes {
+        match self.segs.as_slice() {
+            [] => Bytes::new(),
+            [one] => one.clone(),
+            many => {
+                let mut b = BytesMut::with_capacity(self.len);
+                for s in many {
+                    b.extend_from_slice(s);
+                }
+                b.freeze()
+            }
+        }
+    }
+}
+
+impl From<Bytes> for BufChain {
+    fn from(b: Bytes) -> Self {
+        BufChain::from_bytes(b)
+    }
+}
+
+impl From<Vec<u8>> for BufChain {
+    fn from(v: Vec<u8>) -> Self {
+        BufChain::from_bytes(Bytes::from(v))
+    }
+}
+
+impl From<&'static [u8]> for BufChain {
+    fn from(s: &'static [u8]) -> Self {
+        BufChain::from_bytes(Bytes::from_static(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_append_flatten_in_order() {
+        let mut c = BufChain::from_bytes(Bytes::from_static(b"payload"));
+        c.prepend(Bytes::from_static(b"ip|"));
+        c.prepend(Bytes::from_static(b"eth|"));
+        c.append(Bytes::from_static(b"|crc"));
+        assert_eq!(c.len(), 18);
+        assert_eq!(c.segments().len(), 4);
+        assert_eq!(&c.to_bytes()[..], b"eth|ip|payload|crc");
+    }
+
+    #[test]
+    fn single_segment_flatten_is_no_copy() {
+        let b = Bytes::from_static(b"solo");
+        let c = BufChain::from_bytes(b.clone());
+        let flat = c.to_bytes();
+        // Bytes from the same static slice share the pointer.
+        assert_eq!(flat.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn empty_chain() {
+        let c = BufChain::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.to_bytes().len(), 0);
+    }
+}

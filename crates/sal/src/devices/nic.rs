@@ -219,6 +219,53 @@ impl Nic {
         Ok(())
     }
 
+    /// Transmits a burst of payloads, charging per-frame driver and I/O
+    /// costs exactly as [`Nic::send`] would, then handing the whole burst
+    /// to the wire under one wire-lock acquisition. Stops at the first
+    /// oversized payload (frames before it are already committed).
+    pub fn send_burst(&self, frames: Vec<(WireEndpoint, Bytes)>) -> Result<(), NicError> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let p = &self.profile;
+        let mut wire_frames = Vec::with_capacity(frames.len());
+        for (dst, payload) in frames {
+            if payload.len() > self.model.mtu {
+                self.wire.transmit_burst(
+                    wire_frames,
+                    self.model.bandwidth_bps,
+                    self.model.staging_ns,
+                );
+                return Err(NicError::TooLarge {
+                    len: payload.len(),
+                    mtu: self.model.mtu,
+                });
+            }
+            self.clock.advance(self.model.driver_ns);
+            match self.model.io {
+                IoKind::Pio => self.clock.advance(p.pio(payload.len())),
+                IoKind::Dma => self.clock.advance(p.dma_setup),
+            }
+            {
+                let mut st = self.stats.lock();
+                st.tx_frames += 1;
+                st.tx_bytes += payload.len() as u64;
+            }
+            let bits = ((payload.len() + self.model.framing_bytes) * 8) as u64;
+            wire_frames.push((
+                Frame {
+                    src: self.addr,
+                    dst,
+                    payload,
+                },
+                bits,
+            ));
+        }
+        self.wire
+            .transmit_burst(wire_frames, self.model.bandwidth_bps, self.model.staging_ns);
+        Ok(())
+    }
+
     /// Pulls the next received frame, charging the driver and the inbound
     /// copy (PIO cards burn CPU per byte here too).
     pub fn receive(&self) -> Option<Frame> {

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod board;
+pub mod buf;
 pub mod clock;
 pub mod cost;
 pub mod devices;
@@ -39,6 +40,7 @@ pub mod trap;
 pub mod wire;
 
 pub use board::{Host, HostId, MulticoreBoard, SimBoard};
+pub use buf::BufChain;
 pub use clock::{AdvanceHookId, Clock, Nanos, TimerQueue};
 pub use cost::{cycles, MachineProfile, CYCLE_NS};
 pub use irq::{Irq, IrqController, IrqVector};

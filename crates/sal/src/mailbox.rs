@@ -47,7 +47,9 @@ pub enum MailFate {
     Drop,
 }
 
-type MailAction = Box<dyn FnOnce(Nanos) + Send>;
+/// A boxed delivery action: fired with the delivery time on the
+/// destination shard.
+pub type MailAction = Box<dyn FnOnce(Nanos) + Send>;
 type PostHook = Box<dyn Fn(Nanos) -> MailFate + Send + Sync>;
 /// Per-lane occupancy gate (kernel resource quotas): consulted on every
 /// post with `(lane, entries already pending on that lane)`; returning
@@ -135,6 +137,50 @@ impl Mailbox {
         self.pending.fetch_add(1, Ordering::Release); // ordering: Release — pairs with the Acquire emptiness probe so a probe that sees the count also sees the entry under the lock.
         self.posted.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
         true
+    }
+
+    /// Posts a batch of envelopes under one lock acquisition.
+    ///
+    /// Per-envelope semantics — hook, quota gate, per-lane sequencing —
+    /// are exactly those of N sequential [`Mailbox::post`] calls in slice
+    /// order; only the locking is amortized. Returns how many envelopes
+    /// were accepted.
+    pub fn post_batch(&self, entries: Vec<(Nanos, u64, MailAction)>) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        let mut accepted = 0u64;
+        for (deliver_at, lane, action) in entries {
+            let deliver_at = match st.hook.as_ref().map(|h| h(deliver_at)) {
+                Some(MailFate::Drop) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                    continue;
+                }
+                Some(MailFate::Deliver(at)) => at,
+                None => deliver_at,
+            };
+            if st.quota_gate.is_some() {
+                let occupancy = st.lane_pending.get(&lane).copied().unwrap_or(0);
+                let admit = st
+                    .quota_gate
+                    .as_ref()
+                    .is_none_or(|gate| gate(lane, occupancy));
+                if !admit {
+                    self.dropped.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+                    continue;
+                }
+                *st.lane_pending.entry(lane).or_insert(0) += 1;
+            }
+            let seq = st.lane_seq.entry(lane).or_insert(0);
+            let key = (deliver_at, lane, *seq);
+            *seq += 1;
+            st.entries.insert(key, action);
+            accepted += 1;
+        }
+        self.pending.fetch_add(accepted, Ordering::Release); // ordering: Release — pairs with the Acquire emptiness probe so a probe that sees the count also sees the entries under the lock.
+        self.posted.fetch_add(accepted, Ordering::Relaxed); // ordering: Relaxed — monotonic statistic; readers take a snapshot, not a sync point.
+        accepted as usize
     }
 
     /// Earliest pending delivery time, if any. Fast path: one atomic load
@@ -330,6 +376,62 @@ mod tests {
         assert!(mb.post(40, 3, |_| {}));
         assert_eq!(mb.purge_lane(3), 2);
         assert!(mb.post(50, 3, |_| {}));
+    }
+
+    #[test]
+    fn post_batch_drains_identically_to_sequential_posts() {
+        let log_a = Arc::new(Mutex::new(Vec::new()));
+        let log_b = Arc::new(Mutex::new(Vec::new()));
+        let tag = |log: &Arc<Mutex<Vec<&'static str>>>, s: &'static str| {
+            let log = log.clone();
+            move |_now: Nanos| log.lock().push(s)
+        };
+        // Interleaved lanes, ties on deliver_at, out-of-order times.
+        let seq = [
+            (500u64, 7u64, "t500/l7"),
+            (500, 2, "t500/l2#0"),
+            (500, 2, "t500/l2#1"),
+            (100, 9, "t100/l9"),
+            (100, 2, "t100/l2"),
+        ];
+        let a = Mailbox::new();
+        for (at, lane, s) in seq {
+            a.post(at, lane, tag(&log_a, s));
+        }
+        let b = Mailbox::new();
+        b.post_batch(
+            seq.iter()
+                .map(|&(at, lane, s)| (at, lane, Box::new(tag(&log_b, s)) as MailAction))
+                .collect(),
+        );
+        for mb in [&a, &b] {
+            for e in mb.drain() {
+                (e.action)(e.deliver_at);
+            }
+        }
+        assert_eq!(*log_a.lock(), *log_b.lock());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn post_batch_respects_hook_and_gate() {
+        let mb = Mailbox::new();
+        mb.set_post_hook(|at| {
+            if at < 100 {
+                MailFate::Drop
+            } else {
+                MailFate::Deliver(at)
+            }
+        });
+        mb.set_quota_gate(|lane, pending| lane != 3 || pending < 1);
+        let accepted = mb.post_batch(vec![
+            (50, 1, Box::new(|_| {}) as MailAction), // hook drops
+            (200, 3, Box::new(|_| {}) as MailAction),
+            (300, 3, Box::new(|_| {}) as MailAction), // gate refuses
+            (400, 4, Box::new(|_| {}) as MailAction),
+        ]);
+        assert_eq!(accepted, 2);
+        assert_eq!(mb.stats(), (2, 0, 2));
     }
 
     #[test]

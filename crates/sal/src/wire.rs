@@ -11,7 +11,7 @@ use crate::devices::nic::Frame;
 use crate::irq::{IrqController, IrqVector};
 use crate::mailbox::Mailbox;
 use spin_check::sync::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// An address on the wire (one per attached NIC).
@@ -156,53 +156,77 @@ impl Wire {
         bandwidth_bps: u64,
         staging_ns: Nanos,
     ) {
-        let tx_time = bits_on_wire.saturating_mul(1_000_000_000) / bandwidth_bps.max(1);
-        let (arrival, dst, dst_mailbox) = {
+        self.transmit_burst(vec![(frame, bits_on_wire)], bandwidth_bps, staging_ns)
+    }
+
+    /// Queues a burst of frames under one state-lock acquisition.
+    ///
+    /// Per-frame semantics — drop filter, per-sender link serialization,
+    /// arrival time, mailbox lane — are exactly those of sequential
+    /// [`Wire::transmit_delayed`] calls in slice order; only the locking
+    /// and (in multicore mode) the mailbox posts are amortized.
+    pub(crate) fn transmit_burst(
+        &self,
+        frames: Vec<(Frame, u64)>,
+        bandwidth_bps: u64,
+        staging_ns: Nanos,
+    ) {
+        // Phase 1 (one lock): serialize each frame on its sender's link
+        // and resolve its destination.
+        let mut deliveries: Vec<(Nanos, Frame, bool)> = Vec::with_capacity(frames.len());
+        {
             let mut st = self.state.lock();
-            let idx = st.tx_index;
-            st.tx_index += 1;
-            if let Some(f) = st.drop_filter.as_ref() {
-                if f(idx) {
-                    st.dropped += 1;
-                    return;
-                }
-            }
-            // Multicore mode: wire time is the *sender's* virtual time.
-            let now = st
-                .shard_senders
-                .get(&frame.src)
-                .map(|c| c.now())
-                .unwrap_or_else(|| self.clock.now());
-            let busy = st.busy_until.get(&frame.src).copied().unwrap_or(0);
-            let start = busy.max(now);
-            let done = start + tx_time;
-            st.busy_until.insert(frame.src, done);
-            let arrival = done + self.propagation + staging_ns;
-            let mbox = st
-                .shard_receivers
-                .get(&frame.dst)
-                .map(|r| r.mailbox.clone());
-            (arrival, frame.dst, mbox)
-        };
-        let state = self.state.clone();
-        match dst_mailbox {
-            // Multicore: land in the destination shard's mailbox on the
-            // sender's lane; the shard loop moves it to the local timers.
-            Some(mbox) => {
-                let lane = self.lane_base + frame.src.0 as u64;
-                mbox.post(arrival, lane, move |_| {
-                    let mut st = state.lock();
-                    if let Some(r) = st.shard_receivers.get(&dst) {
-                        r.rx.lock().push_back(frame);
-                        let (irqs, vector) = (r.irqs.clone(), r.vector);
-                        st.delivered += 1;
-                        drop(st);
-                        irqs.post(vector);
+            for (frame, bits_on_wire) in frames {
+                let tx_time = bits_on_wire.saturating_mul(1_000_000_000) / bandwidth_bps.max(1);
+                let idx = st.tx_index;
+                st.tx_index += 1;
+                if let Some(f) = st.drop_filter.as_ref() {
+                    if f(idx) {
+                        st.dropped += 1;
+                        continue;
                     }
-                });
+                }
+                // Multicore mode: wire time is the *sender's* virtual time.
+                let now = st
+                    .shard_senders
+                    .get(&frame.src)
+                    .map(|c| c.now())
+                    .unwrap_or_else(|| self.clock.now());
+                let busy = st.busy_until.get(&frame.src).copied().unwrap_or(0);
+                let start = busy.max(now);
+                let done = start + tx_time;
+                st.busy_until.insert(frame.src, done);
+                let arrival = done + self.propagation + staging_ns;
+                let sharded = st.shard_receivers.contains_key(&frame.dst);
+                deliveries.push((arrival, frame, sharded));
             }
-            // Shared timeline: deliver through the shared timer queue.
-            None => {
+        }
+        // Phase 2 (no lock): post deliveries. Shard-resident destinations
+        // get their mailbox posts batched per destination, preserving
+        // slice order (and so per-lane seq order); shared-timeline frames
+        // go straight onto the timer queue.
+        let mut batches: BTreeMap<u32, Vec<(Nanos, u64, crate::mailbox::MailAction)>> =
+            BTreeMap::new();
+        for (arrival, frame, sharded) in deliveries {
+            let state = self.state.clone();
+            let dst = frame.dst;
+            if sharded {
+                let lane = self.lane_base + frame.src.0 as u64;
+                batches.entry(dst.0).or_default().push((
+                    arrival,
+                    lane,
+                    Box::new(move |_| {
+                        let mut st = state.lock();
+                        if let Some(r) = st.shard_receivers.get(&dst) {
+                            r.rx.lock().push_back(frame);
+                            let (irqs, vector) = (r.irqs.clone(), r.vector);
+                            st.delivered += 1;
+                            drop(st);
+                            irqs.post(vector);
+                        }
+                    }),
+                ));
+            } else {
                 self.timers.schedule_at(arrival, move |_| {
                     let mut st = state.lock();
                     match st.receivers.get(&dst) {
@@ -216,6 +240,17 @@ impl Wire {
                         None => st.dropped += 1,
                     }
                 });
+            }
+        }
+        for (dst, entries) in batches {
+            let mbox = self
+                .state
+                .lock()
+                .shard_receivers
+                .get(&WireEndpoint(dst))
+                .map(|r| r.mailbox.clone());
+            if let Some(mbox) = mbox {
+                mbox.post_batch(entries);
             }
         }
     }

@@ -405,7 +405,18 @@ impl Multicore {
                 .map(|(_, &e)| e)
                 .min()
             {
-                Some(m) => l.saturating_add(m).min(deadline),
+                // Beyond the peers' own horizons, a peer can also be woken
+                // by mail *this* shard sends (earliest at `n_i`); its
+                // reply lands no sooner than `n_i + 2L` — one lookahead
+                // out, one back. Running past that point would deliver
+                // the reply into this shard's simulated past (observed as
+                // a TCP segment arriving tens of milliseconds stale when
+                // the peer's only local horizon was a distant
+                // retransmission timer).
+                Some(m) => l
+                    .saturating_add(m)
+                    .min(n_i.saturating_add(2 * l))
+                    .min(deadline),
                 None => deadline, // single shard: no one to wait for
             };
             if n_i < grant {

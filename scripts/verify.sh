@@ -125,6 +125,29 @@ diff -u "scripts/goldens/BENCH_overload.json" "$SMOKE_DIR/BENCH_overload.json" |
     exit 1
 }
 
+echo "==> webscale: million-connection storm on the readiness/socket API"
+# The redesigned edge (DESIGN.md decision #14): readiness-equivalence
+# proptests, then the s10 storm — ~10^6 connections over 12 shards
+# against the single-strand poller-driven HTTP server, exiting nonzero
+# on any connect failure, dropped frame/envelope, ledger mismatch,
+# worker-count divergence, or super-2x per-connection wall-clock growth
+# from 10^3 to 10^6. Its virtual outputs are golden-gated byte-for-byte.
+cargo test -q -p spin-net --test readiness_props
+cargo test -q -p spin-net --test mc_tcp
+(cd "$SMOKE_DIR" && cargo run -q --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p spin-bench --bin s10_webscale -- --json > /dev/null)
+diff -u "scripts/goldens/BENCH_webscale.json" "$SMOKE_DIR/BENCH_webscale.json" || {
+    echo "verify: s10_webscale diverged from scripts/goldens/BENCH_webscale.json" >&2
+    exit 1
+}
+# The pre-webscale entry points are removed, not deprecated: no in-tree
+# caller may use them (doc comments naming them for history are fine).
+if grep -rn '\.udp_bind(\|\.udp_channel(' crates/ examples/ --include='*.rs' \
+    | grep -v '^\s*//' ; then
+    echo "verify: removed pre-webscale socket API called in-tree" >&2
+    exit 1
+fi
+
 echo "==> spin-lint: token-level safety & determinism gate"
 # The six-rule verifier (D1 determinism, D2 hash iteration, F1 sync
 # facade, O1 ordering justifications, U1 unsafe containment, C1 charge

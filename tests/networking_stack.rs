@@ -121,17 +121,15 @@ fn concurrent_flows_on_different_ports_do_not_cross() {
     let rig = TwoHosts::new();
     let sums = Arc::new(Mutex::new((0u64, 0u64)));
     let s1 = sums.clone();
-    rig.b
-        .udp_bind(100, "flow-a", move |p| {
-            s1.lock().0 += p.payload.len() as u64
-        })
-        .unwrap();
+    spin_net::UdpSocket::bind_with(&rig.b, 100, "flow-a", move |p| {
+        s1.lock().0 += p.payload.len() as u64
+    })
+    .unwrap();
     let s2 = sums.clone();
-    rig.b
-        .udp_bind(200, "flow-b", move |p| {
-            s2.lock().1 += p.payload.len() as u64
-        })
-        .unwrap();
+    spin_net::UdpSocket::bind_with(&rig.b, 200, "flow-b", move |p| {
+        s2.lock().1 += p.payload.len() as u64
+    })
+    .unwrap();
     let (a, dst) = (rig.a.clone(), rig.b.ip_on(Medium::Atm));
     rig.exec.spawn("sender", move |ctx| {
         for i in 0..20 {
